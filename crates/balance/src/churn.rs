@@ -1,0 +1,122 @@
+//! Churn drivers: grow/shrink a ring under an ID-selection strategy and
+//! record the smoothness trajectory — the measurement behind the E13–
+//! E16 experiments.
+
+use crate::ring::Ring;
+use crate::strategy::IdStrategy;
+use cd_core::interval::FULL;
+use rand::Rng;
+
+/// One sample of the smoothness trajectory.
+#[derive(Clone, Copy, Debug)]
+pub struct SmoothnessSample {
+    /// Operation count at which the sample was taken.
+    pub ops: usize,
+    /// Number of servers at that moment.
+    pub n: usize,
+    /// Smoothness ρ.
+    pub rho: f64,
+    /// Max segment × n (should be Θ(log n) for single choice, Θ(1) for
+    /// multiple choice).
+    pub max_times_n: f64,
+    /// Min segment × n.
+    pub min_times_n: f64,
+}
+
+/// Grow a ring from scratch to `n` servers, sampling every
+/// `sample_every` joins.
+pub fn grow_trajectory(
+    strategy: IdStrategy,
+    n: usize,
+    sample_every: usize,
+    rng: &mut impl Rng,
+) -> Vec<SmoothnessSample> {
+    let mut ring = Ring::new();
+    let mut samples = Vec::new();
+    for i in 0..n {
+        let id = strategy.choose(&ring, rng);
+        ring.insert(id);
+        if ring.len() >= 2 && (i + 1) % sample_every == 0 {
+            samples.push(sample(&ring, i + 1));
+        }
+    }
+    if samples.last().map(|s| s.ops) != Some(n) && ring.len() >= 2 {
+        samples.push(sample(&ring, n));
+    }
+    samples
+}
+
+/// Alternate joins (with the strategy) and uniformly random leaves,
+/// holding the population around `n`. This is the regime where the
+/// pure join algorithms lose smoothness (§4.1's motivation).
+pub fn churn_trajectory(
+    strategy: IdStrategy,
+    n: usize,
+    ops: usize,
+    sample_every: usize,
+    rng: &mut impl Rng,
+) -> Vec<SmoothnessSample> {
+    let mut ring = Ring::new();
+    while ring.len() < n {
+        let id = strategy.choose(&ring, rng);
+        ring.insert(id);
+    }
+    let mut samples = vec![sample(&ring, 0)];
+    for i in 0..ops {
+        if rng.gen_bool(0.5) && ring.len() > n / 2 {
+            // uniformly random leave
+            let k = rng.gen_range(0..ring.len());
+            let victim = ring.iter().nth(k).expect("index in range");
+            ring.remove(victim);
+        } else {
+            let id = strategy.choose(&ring, rng);
+            ring.insert(id);
+        }
+        if (i + 1) % sample_every == 0 {
+            samples.push(sample(&ring, i + 1));
+        }
+    }
+    samples
+}
+
+fn sample(ring: &Ring, ops: usize) -> SmoothnessSample {
+    let (min, max) = ring.min_max_segment();
+    let n = ring.len();
+    SmoothnessSample {
+        ops,
+        n,
+        rho: max as f64 / min as f64,
+        max_times_n: max as f64 / FULL as f64 * n as f64,
+        min_times_n: min as f64 / FULL as f64 * n as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cd_core::rng::seeded;
+
+    #[test]
+    fn grow_trajectory_samples() {
+        let mut rng = seeded(1);
+        let s = grow_trajectory(IdStrategy::MultipleChoice { t: 3 }, 500, 100, &mut rng);
+        assert!(s.len() >= 5);
+        assert_eq!(s.last().expect("samples").n, 500);
+        // multiple choice keeps ρ modest throughout growth
+        assert!(s.iter().all(|x| x.rho < 64.0));
+    }
+
+    #[test]
+    fn churn_degrades_multiple_choice_smoothness() {
+        // §4.1: join-only algorithms do not survive deletions — ρ
+        // drifts upward under churn. (This is the failure the bucket
+        // scheme exists to fix.)
+        let mut rng = seeded(2);
+        let s = churn_trajectory(IdStrategy::MultipleChoice { t: 3 }, 512, 4000, 1000, &mut rng);
+        let end_rho = s.last().expect("samples").rho;
+        assert!(
+            end_rho > 4.0,
+            "expected smoothness to degrade under churn, got ρ = {end_rho}"
+        );
+    }
+}

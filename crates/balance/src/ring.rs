@@ -1,0 +1,191 @@
+//! A dynamic sorted ring of identifier points — the substrate on which
+//! the ID-selection algorithms operate. `O(log n)` insert/remove and
+//! coverage queries via a `BTreeSet`, plus the smoothness measurements
+//! the Section 4 experiments report.
+
+use cd_core::interval::{Interval, FULL};
+use cd_core::point::Point;
+use std::collections::BTreeSet;
+use std::ops::Bound::{Excluded, Unbounded};
+
+/// A dynamic ring of distinct identifier points.
+#[derive(Clone, Debug, Default)]
+pub struct Ring {
+    points: BTreeSet<u64>,
+}
+
+impl Ring {
+    /// An empty ring.
+    pub fn new() -> Self {
+        Ring { points: BTreeSet::new() }
+    }
+
+    /// Build from points (duplicates ignored).
+    pub fn from_points(points: impl IntoIterator<Item = Point>) -> Self {
+        Ring { points: points.into_iter().map(|p| p.bits()).collect() }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True iff no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Insert; returns false if the point was already present.
+    pub fn insert(&mut self, p: Point) -> bool {
+        self.points.insert(p.bits())
+    }
+
+    /// Remove; returns false if the point was absent.
+    pub fn remove(&mut self, p: Point) -> bool {
+        self.points.remove(&p.bits())
+    }
+
+    /// Is `p` one of the identifier points?
+    pub fn contains(&self, p: Point) -> bool {
+        self.points.contains(&p.bits())
+    }
+
+    /// The identifier owning the segment that covers `z` (the greatest
+    /// point ≤ z, wrapping).
+    pub fn covering_start(&self, z: Point) -> Point {
+        match self.points.range(..=z.bits()).next_back() {
+            Some(&b) => Point(b),
+            None => Point(*self.points.iter().next_back().expect("empty ring")),
+        }
+    }
+
+    /// The successor identifier (strictly after `p`, wrapping).
+    pub fn successor(&self, p: Point) -> Point {
+        match self.points.range((Excluded(p.bits()), Unbounded)).next() {
+            Some(&b) => Point(b),
+            None => Point(*self.points.iter().next().expect("empty ring")),
+        }
+    }
+
+    /// The predecessor identifier (strictly before `p`, wrapping).
+    pub fn predecessor(&self, p: Point) -> Point {
+        match self.points.range(..p.bits()).next_back() {
+            Some(&b) => Point(b),
+            None => Point(*self.points.iter().next_back().expect("empty ring")),
+        }
+    }
+
+    /// The segment covering `z`: `[covering_start, successor)`.
+    pub fn segment_of(&self, z: Point) -> Interval {
+        let start = self.covering_start(z);
+        Interval::between(start, self.successor(start))
+    }
+
+    /// Iterate identifiers in ring order.
+    pub fn iter(&self) -> impl Iterator<Item = Point> + '_ {
+        self.points.iter().map(|&b| Point(b))
+    }
+
+    /// All segment lengths (units of 2⁻⁶⁴), in ring order. O(n).
+    pub fn segment_lengths(&self) -> Vec<u128> {
+        let n = self.points.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        if n == 1 {
+            return vec![FULL];
+        }
+        let pts: Vec<u64> = self.points.iter().copied().collect();
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let next = pts[(i + 1) % n];
+            out.push(Point(next).offset_from(Point(pts[i])) as u128);
+        }
+        out
+    }
+
+    /// `(min, max)` segment lengths. O(n).
+    pub fn min_max_segment(&self) -> (u128, u128) {
+        let lens = self.segment_lengths();
+        let min = lens.iter().copied().min().expect("empty ring");
+        let max = lens.iter().copied().max().expect("empty ring");
+        (min, max)
+    }
+
+    /// The smoothness ρ (Definition 1). O(n).
+    pub fn smoothness(&self) -> f64 {
+        let (min, max) = self.min_max_segment();
+        max as f64 / min as f64
+    }
+
+    /// Estimate `log₂ n` from the distance to the predecessor of `p`
+    /// (the paper's §6.2 estimator, after [Viceroy]): w.h.p.
+    /// `log n − log log n − 1 ≤ log(1/d) ≤ 3 log n`.
+    pub fn estimate_log_n(&self, p: Point) -> f64 {
+        let pred = self.predecessor(p);
+        let d = p.offset_from(pred).max(1);
+        (FULL as f64 / d as f64).log2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cd_core::rng::seeded;
+    use rand::Rng;
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut r = Ring::new();
+        assert!(r.insert(Point::from_f64(0.5)));
+        assert!(!r.insert(Point::from_f64(0.5)));
+        assert_eq!(r.len(), 1);
+        assert!(r.remove(Point::from_f64(0.5)));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn coverage_wraps() {
+        let r = Ring::from_points([Point::from_f64(0.25), Point::from_f64(0.75)]);
+        assert_eq!(r.covering_start(Point::from_f64(0.5)), Point::from_f64(0.25));
+        assert_eq!(r.covering_start(Point::from_f64(0.1)), Point::from_f64(0.75));
+        let seg = r.segment_of(Point::from_f64(0.9));
+        assert_eq!(seg.start(), Point::from_f64(0.75));
+        assert_eq!(seg.end(), Point::from_f64(0.25));
+    }
+
+    #[test]
+    fn single_point_owns_circle() {
+        let r = Ring::from_points([Point::from_f64(0.3)]);
+        assert!(r.segment_of(Point::from_f64(0.9)).is_full());
+        assert_eq!(r.min_max_segment(), (FULL, FULL));
+    }
+
+    #[test]
+    fn segments_tile() {
+        let mut rng = seeded(1);
+        let r = Ring::from_points((0..100).map(|_| Point(rng.gen())));
+        let total: u128 = r.segment_lengths().iter().sum();
+        assert_eq!(total, FULL);
+    }
+
+    #[test]
+    fn log_n_estimator_is_in_paper_band() {
+        // Lemma in §6.2: log n − log log n − 1 ≤ log(1/d) ≤ 3 log n whp.
+        let mut rng = seeded(2);
+        let n = 4096usize;
+        let r = Ring::from_points((0..n).map(|_| Point(rng.gen())));
+        let logn = (n as f64).log2();
+        let mut violations = 0usize;
+        for p in r.iter() {
+            let est = r.estimate_log_n(p);
+            if est < logn - logn.log2() - 1.5 || est > 3.0 * logn {
+                violations += 1;
+            }
+        }
+        assert!(
+            violations < n / 20,
+            "{violations}/{n} estimates outside the w.h.p. band"
+        );
+    }
+}

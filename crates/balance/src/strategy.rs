@@ -1,0 +1,162 @@
+//! The ID-selection algorithms of Section 4 (joins only; deletions are
+//! the bucket scheme's job, see [`crate::bucket`]).
+
+use crate::ring::Ring;
+use cd_core::point::Point;
+use rand::Rng;
+
+/// How a joining server chooses its identifier point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IdStrategy {
+    /// Algorithm *Single Choice*: a uniformly random point.
+    SingleChoice,
+    /// Algorithm *Improved Single Choice*: sample a random point, take
+    /// the midpoint of the segment covering it.
+    ImprovedSingleChoice,
+    /// Algorithm *Multiple Choice*: sample `t·⌈log₂ n⌉` points, take
+    /// the midpoint of the longest segment covering any of them.
+    /// The paper proves `t ≥ 2` suffices (Lemma 4.3); the self-
+    /// correction analysis (Lemma 4.5) uses a larger constant.
+    MultipleChoice {
+        /// Samples per log n.
+        t: usize,
+    },
+}
+
+impl IdStrategy {
+    /// Choose an identifier for a server joining `ring`. The ring may
+    /// be empty (first server): a random point is returned.
+    ///
+    /// `log n` is estimated from the ring itself via predecessor
+    /// distances (no global knowledge), as the paper prescribes; the
+    /// estimate only needs to be within a multiplicative factor.
+    pub fn choose(&self, ring: &Ring, rng: &mut impl Rng) -> Point {
+        if ring.is_empty() {
+            return Point(rng.gen());
+        }
+        match *self {
+            IdStrategy::SingleChoice => Point(rng.gen()),
+            IdStrategy::ImprovedSingleChoice => {
+                let z = Point(rng.gen());
+                ring.segment_of(z).midpoint()
+            }
+            IdStrategy::MultipleChoice { t } => {
+                let probe = Point(rng.gen());
+                let log_n = ring.estimate_log_n(ring.covering_start(probe)).max(1.0);
+                let samples = (t as f64 * log_n).ceil() as usize;
+                let mut best = ring.segment_of(probe);
+                for _ in 1..samples.max(1) {
+                    let z = Point(rng.gen());
+                    let seg = ring.segment_of(z);
+                    if seg.len() > best.len() {
+                        best = seg;
+                    }
+                }
+                best.midpoint()
+            }
+        }
+    }
+
+    /// Grow a ring to `n` points with this strategy.
+    pub fn build_ring(&self, n: usize, rng: &mut impl Rng) -> Ring {
+        let mut ring = Ring::new();
+        while ring.len() < n {
+            let id = self.choose(&ring, rng);
+            ring.insert(id);
+        }
+        ring
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cd_core::interval::FULL;
+    use cd_core::rng::seeded;
+
+    #[test]
+    fn lemma_4_1_single_choice_band() {
+        let mut rng = seeded(10);
+        let n = 4096usize;
+        let ring = IdStrategy::SingleChoice.build_ring(n, &mut rng);
+        let (min, max) = ring.min_max_segment();
+        let nf = n as f64;
+        // max = Θ(log n / n): within [0.5·ln n/n, 4·ln n/n] whp
+        let max_frac = max as f64 / FULL as f64;
+        assert!(max_frac < 4.0 * nf.ln() / nf, "max segment too large: {max_frac}");
+        assert!(max_frac > 0.5 / nf, "max segment suspiciously small");
+        // min = Θ(1/n²)-ish: far smaller than 1/(4n)
+        let min_frac = min as f64 / FULL as f64;
+        assert!(min_frac < 1.0 / (4.0 * nf), "min segment too large for single choice");
+    }
+
+    #[test]
+    fn lemma_4_2_improved_single_choice_min() {
+        let mut rng = seeded(11);
+        let n = 4096usize;
+        let ring = IdStrategy::ImprovedSingleChoice.build_ring(n, &mut rng);
+        let (min, max) = ring.min_max_segment();
+        let nf = n as f64;
+        let min_frac = min as f64 / FULL as f64;
+        // min = Ω(1/(n log n)) whp — allow a constant of 1/8
+        assert!(
+            min_frac > 1.0 / (8.0 * nf * nf.log2()),
+            "min segment {min_frac:.3e} below Lemma 4.2 band"
+        );
+        let max_frac = max as f64 / FULL as f64;
+        assert!(max_frac < 4.0 * nf.ln() / nf, "max segment too large: {max_frac}");
+    }
+
+    #[test]
+    fn lemma_4_3_multiple_choice_min() {
+        let mut rng = seeded(12);
+        let n = 2048usize;
+        let ring = IdStrategy::MultipleChoice { t: 3 }.build_ring(n, &mut rng);
+        let (min, max) = ring.min_max_segment();
+        let nf = n as f64;
+        let min_frac = min as f64 / FULL as f64;
+        assert!(min_frac >= 1.0 / (4.0 * nf), "min segment {min_frac:.3e} < 1/4n");
+        // and the max is O(1/n): smoothness is constant
+        let max_frac = max as f64 / FULL as f64;
+        assert!(max_frac <= 8.0 / nf, "max segment {max_frac:.3e} not O(1/n)");
+        assert!(ring.smoothness() <= 32.0, "ρ = {} not constant", ring.smoothness());
+    }
+
+    #[test]
+    fn theorem_4_4_self_correction() {
+        // Adversarial start: a ring with one giant segment (all points
+        // crammed into [0, 2⁻¹⁰)). After inserting n fresh points with
+        // Multiple Choice, the largest segment is O(1/n).
+        let mut rng = seeded(13);
+        let m = 128usize;
+        let mut ring = Ring::new();
+        for i in 0..m {
+            ring.insert(Point::from_ratio(i as u64 + 1, (m as u64 + 2) << 10));
+        }
+        let n = 2048usize;
+        let strat = IdStrategy::MultipleChoice { t: 4 };
+        for _ in 0..n {
+            let id = strat.choose(&ring, &mut rng);
+            ring.insert(id);
+        }
+        let (_, max) = ring.min_max_segment();
+        let max_frac = max as f64 / FULL as f64;
+        assert!(
+            max_frac <= 16.0 / n as f64,
+            "self-correction failed: max segment {max_frac:.3e}"
+        );
+    }
+
+    #[test]
+    fn strategies_build_requested_size() {
+        let mut rng = seeded(14);
+        for strat in [
+            IdStrategy::SingleChoice,
+            IdStrategy::ImprovedSingleChoice,
+            IdStrategy::MultipleChoice { t: 2 },
+        ] {
+            let ring = strat.build_ring(100, &mut rng);
+            assert_eq!(ring.len(), 100);
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! CAN (Ratnasamy et al., SIGCOMM 2001): a `d`-dimensional torus
+//! divided into zones; a joining node splits a random zone in half
+//! (dimensions in round-robin). Neighbors share a (d−1)-face; routing
+//! greedily decreases torus distance to the target point.
+//! Path `O(d·n^(1/d))`, linkage `O(d)` — Table 1's CAN row.
+//!
+//! Zones are dyadic boxes stored in exact `u32` fixed point (splits
+//! halve sides), so adjacency is exact integer arithmetic.
+
+use crate::scheme::LookupScheme;
+use cd_core::rng::splitmix64;
+use rand::Rng;
+
+const ONE: u64 = 1 << 32; // torus side in fixed-point units
+
+/// A dyadic zone: per-dimension origin and side length (`u64`
+/// fractions of `2^32`).
+#[derive(Clone, Debug)]
+struct Zone {
+    lo: Vec<u64>,
+    side: Vec<u64>,
+}
+
+impl Zone {
+    fn contains(&self, p: &[u64]) -> bool {
+        self.lo
+            .iter()
+            .zip(&self.side)
+            .zip(p)
+            .all(|((&lo, &s), &x)| (x.wrapping_sub(lo) % ONE) < s)
+    }
+
+    /// Do zones share a (d−1)-face on the torus?
+    fn face_adjacent(&self, other: &Zone) -> bool {
+        let d = self.lo.len();
+        let mut touching_dims = 0usize;
+        for k in 0..d {
+            let (a0, a1) = (self.lo[k], (self.lo[k] + self.side[k]) % ONE);
+            let (b0, b1) = (other.lo[k], (other.lo[k] + other.side[k]) % ONE);
+            let touches = a1 == b0 || b1 == a0;
+            // overlap test on the circle of circumference ONE
+            let overlaps = {
+                let off = b0.wrapping_sub(a0) % ONE;
+                off < self.side[k] || a0.wrapping_sub(b0) % ONE < other.side[k]
+            };
+            if overlaps {
+                continue;
+            } else if touches {
+                touching_dims += 1;
+            } else {
+                return false; // separated in this dimension
+            }
+        }
+        touching_dims == 1
+    }
+
+    /// Torus distance from the zone to a point (0 if inside): sum over
+    /// dims of the distance to the interval.
+    fn dist(&self, p: &[u64]) -> u64 {
+        self.lo
+            .iter()
+            .zip(&self.side)
+            .zip(p)
+            .map(|((&lo, &s), &x)| {
+                let off = x.wrapping_sub(lo) % ONE;
+                if off < s {
+                    0
+                } else {
+                    // distance forward to lo or backward to lo+s
+                    let fwd = ONE - off;
+                    let bwd = off - s;
+                    fwd.min(bwd)
+                }
+            })
+            .sum()
+    }
+}
+
+/// A CAN network.
+pub struct Can {
+    d: usize,
+    zones: Vec<Zone>,
+    neighbors: Vec<Vec<usize>>,
+}
+
+impl Can {
+    /// Build with `n` nodes in `d` dimensions by the standard join
+    /// process: each node splits the zone containing a random point.
+    pub fn new(n: usize, d: usize, rng: &mut impl Rng) -> Self {
+        assert!(d >= 1 && n >= 1);
+        let mut zones = vec![Zone { lo: vec![0; d], side: vec![ONE; d] }];
+        let mut split_dim = vec![0usize; 1];
+        while zones.len() < n {
+            let p: Vec<u64> = (0..d).map(|_| rng.gen::<u64>() % ONE).collect();
+            let zi = zones.iter().position(|z| z.contains(&p)).expect("zones tile");
+            let k = split_dim[zi];
+            if zones[zi].side[k] <= 1 {
+                continue; // cannot split further (astronomically unlikely)
+            }
+            let mut new_zone = zones[zi].clone();
+            let half = zones[zi].side[k] / 2;
+            zones[zi].side[k] = half;
+            new_zone.lo[k] = (new_zone.lo[k] + half) % ONE;
+            new_zone.side[k] -= half;
+            split_dim[zi] = (k + 1) % d;
+            zones.push(new_zone);
+            split_dim.push((k + 1) % d);
+        }
+        let neighbors = (0..zones.len())
+            .map(|i| {
+                (0..zones.len())
+                    .filter(|&j| j != i && zones[i].face_adjacent(&zones[j]))
+                    .collect()
+            })
+            .collect();
+        Can { d, zones, neighbors }
+    }
+
+    /// Map a key to a torus point.
+    fn key_point(&self, key: u64) -> Vec<u64> {
+        (0..self.d).map(|k| splitmix64(key ^ (k as u64).wrapping_mul(0x9E37)) % ONE).collect()
+    }
+}
+
+impl LookupScheme for Can {
+    fn name(&self) -> String {
+        format!("CAN (d={})", self.d)
+    }
+
+    fn len(&self) -> usize {
+        self.zones.len()
+    }
+
+    fn degree_of(&self, node: usize) -> usize {
+        self.neighbors[node].len()
+    }
+
+    fn route(&self, from: usize, key: u64, rng: &mut rand::rngs::StdRng) -> Vec<usize> {
+        let target = self.key_point(key);
+        let mut cur = from;
+        let mut path = vec![from];
+        let mut guard = 0usize;
+        while !self.zones[cur].contains(&target) {
+            let cur_dist = self.zones[cur].dist(&target);
+            // greedy: any neighbor strictly closer; break ties randomly
+            let mut best: Vec<usize> = Vec::new();
+            let mut best_dist = cur_dist;
+            for &nb in &self.neighbors[cur] {
+                let d = self.zones[nb].dist(&target);
+                match d.cmp(&best_dist) {
+                    std::cmp::Ordering::Less => {
+                        best_dist = d;
+                        best = vec![nb];
+                    }
+                    std::cmp::Ordering::Equal => best.push(nb),
+                    std::cmp::Ordering::Greater => {}
+                }
+            }
+            assert!(
+                !best.is_empty(),
+                "CAN greedy stuck: no neighbor at distance ≤ {cur_dist}"
+            );
+            cur = best[rng.gen_range(0..best.len())];
+            path.push(cur);
+            guard += 1;
+            assert!(guard <= 4 * self.zones.len(), "CAN routing loop");
+        }
+        path
+    }
+
+    fn owner_of(&self, key: u64) -> usize {
+        let p = self.key_point(key);
+        self.zones.iter().position(|z| z.contains(&p)).expect("zones tile the torus")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::measure;
+    use cd_core::rng::seeded;
+
+    #[test]
+    fn zones_tile_the_torus() {
+        let mut rng = seeded(1);
+        let can = Can::new(100, 2, &mut rng);
+        let total: f64 = can
+            .zones
+            .iter()
+            .map(|z| z.side.iter().map(|&s| s as f64 / ONE as f64).product::<f64>())
+            .sum();
+        assert!((total - 1.0).abs() < 1e-9, "zone volumes sum to {total}");
+        // every random point lands in exactly one zone
+        for _ in 0..200 {
+            let p: Vec<u64> = (0..2).map(|_| rng.gen::<u64>() % ONE).collect();
+            let owners = can.zones.iter().filter(|z| z.contains(&p)).count();
+            assert_eq!(owners, 1);
+        }
+    }
+
+    #[test]
+    fn routes_reach_owner() {
+        let mut rng = seeded(2);
+        let can = Can::new(128, 2, &mut rng);
+        for _ in 0..200 {
+            let from = rng.gen_range(0..can.len());
+            let key: u64 = rng.gen();
+            let path = can.route(from, key, &mut rng);
+            assert_eq!(*path.last().expect("nonempty"), can.owner_of(key));
+        }
+    }
+
+    #[test]
+    fn path_scales_as_sqrt_n_for_d2() {
+        let mut rng = seeded(3);
+        let small = Can::new(64, 2, &mut rng);
+        let large = Can::new(1024, 2, &mut rng);
+        let rs = measure(&small, 800, 4);
+        let rl = measure(&large, 800, 5);
+        // d·n^(1/d): ×4 nodes ⇒ ×2 mean path (±noise)
+        let ratio = rl.path.mean / rs.path.mean;
+        assert!(
+            ratio > 2.0 && ratio < 8.0,
+            "path growth {ratio} inconsistent with √n (means {} → {})",
+            rs.path.mean,
+            rl.path.mean
+        );
+    }
+
+    #[test]
+    fn linkage_is_constant_ish() {
+        let mut rng = seeded(6);
+        let can = Can::new(512, 2, &mut rng);
+        let r = measure(&can, 400, 7);
+        assert!(r.mean_degree >= 3.0 && r.mean_degree <= 10.0, "mean degree {}", r.mean_degree);
+    }
+
+    #[test]
+    fn higher_dimension_shortens_paths() {
+        let mut rng = seeded(8);
+        let c2 = Can::new(512, 2, &mut rng);
+        let c4 = Can::new(512, 4, &mut rng);
+        let r2 = measure(&c2, 600, 9);
+        let r4 = measure(&c4, 600, 10);
+        assert!(
+            r4.path.mean < r2.path.mean,
+            "d=4 mean {} should beat d=2 mean {}",
+            r4.path.mean,
+            r2.path.mean
+        );
+    }
+}

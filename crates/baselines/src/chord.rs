@@ -1,0 +1,164 @@
+//! Chord (Stoica et al., SIGCOMM 2001): nodes on a `u64` identifier
+//! ring, each owning the arc from its predecessor (successor-owner
+//! rule); finger `j` points to the first node at or after
+//! `id + 2^j`. Greedy routing forwards to the closest preceding
+//! finger. Path `O(log n)`, linkage `O(log n)` — the first row of
+//! Table 1.
+
+use crate::scheme::LookupScheme;
+use rand::Rng;
+
+/// A Chord ring.
+pub struct Chord {
+    /// Sorted node identifiers.
+    ids: Vec<u64>,
+    /// `fingers[v][j]` = node index owning `ids[v] + 2^j`.
+    fingers: Vec<Vec<usize>>,
+}
+
+impl Chord {
+    /// Build a ring of `n` nodes with random identifiers.
+    pub fn new(n: usize, rng: &mut impl Rng) -> Self {
+        let mut ids: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        while ids.len() < n {
+            ids.push(rng.gen());
+            ids.sort_unstable();
+            ids.dedup();
+        }
+        let mut fingers = Vec::with_capacity(n);
+        for v in 0..n {
+            let mut table: Vec<usize> = (0..64)
+                .map(|j| Self::successor_index(&ids, ids[v].wrapping_add(1u64 << j)))
+                .collect();
+            table.dedup();
+            fingers.push(table);
+        }
+        Chord { ids, fingers }
+    }
+
+    /// First node at or after `key` (wrapping): Chord's successor.
+    fn successor_index(ids: &[u64], key: u64) -> usize {
+        match ids.binary_search(&key) {
+            Ok(i) => i,
+            Err(i) if i == ids.len() => 0,
+            Err(i) => i,
+        }
+    }
+
+    /// Does `x` lie in the half-open ring interval `(a, b]`?
+    fn in_range(a: u64, b: u64, x: u64) -> bool {
+        x.wrapping_sub(a).wrapping_sub(1) < b.wrapping_sub(a)
+    }
+}
+
+impl LookupScheme for Chord {
+    fn name(&self) -> String {
+        "Chord".into()
+    }
+
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    fn degree_of(&self, node: usize) -> usize {
+        // distinct fingers (successor is finger 0)
+        let mut f = self.fingers[node].clone();
+        f.sort_unstable();
+        f.dedup();
+        f.len()
+    }
+
+    fn route(&self, from: usize, key: u64, _rng: &mut rand::rngs::StdRng) -> Vec<usize> {
+        let owner = self.owner_of(key);
+        let mut cur = from;
+        let mut path = vec![from];
+        while cur != owner {
+            // if the owner is our direct successor, take it
+            let succ = Self::successor_index(&self.ids, self.ids[cur].wrapping_add(1));
+            if Self::in_range(self.ids[cur], self.ids[succ], key) {
+                path.push(succ);
+                cur = succ;
+                continue;
+            }
+            // closest preceding finger: the finger furthest along the
+            // ring that does not overshoot the key
+            let mut best = succ;
+            let mut best_off = self.ids[succ].wrapping_sub(self.ids[cur]);
+            for &f in &self.fingers[cur] {
+                if f == cur {
+                    continue;
+                }
+                let off = self.ids[f].wrapping_sub(self.ids[cur]);
+                // strictly before the key (key offset from cur)
+                let key_off = key.wrapping_sub(self.ids[cur]);
+                if off < key_off && off > best_off {
+                    best = f;
+                    best_off = off;
+                }
+            }
+            assert_ne!(best, cur, "routing made no progress");
+            path.push(best);
+            cur = best;
+            assert!(path.len() <= self.ids.len() + 2, "routing loop");
+        }
+        path
+    }
+
+    fn owner_of(&self, key: u64) -> usize {
+        Self::successor_index(&self.ids, key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::measure;
+    use cd_core::rng::seeded;
+
+    #[test]
+    fn routes_reach_owner() {
+        let mut rng = seeded(1);
+        let c = Chord::new(200, &mut rng);
+        for _ in 0..300 {
+            let from = rng.gen_range(0..200);
+            let key: u64 = rng.gen();
+            let path = c.route(from, key, &mut rng);
+            assert_eq!(*path.last().expect("nonempty"), c.owner_of(key));
+        }
+    }
+
+    #[test]
+    fn path_length_is_logarithmic() {
+        let mut rng = seeded(2);
+        let n = 1024usize;
+        let c = Chord::new(n, &mut rng);
+        let r = measure(&c, 2000, 3);
+        let logn = (n as f64).log2();
+        assert!(r.path.mean <= logn, "mean path {} > log n", r.path.mean);
+        assert!(r.path.max <= 3.0 * logn, "max path {}", r.path.max);
+    }
+
+    #[test]
+    fn linkage_is_logarithmic() {
+        let mut rng = seeded(3);
+        let n = 1024usize;
+        let c = Chord::new(n, &mut rng);
+        let logn = (n as f64).log2();
+        let max_deg = (0..n).map(|v| c.degree_of(v)).max().expect("nonempty");
+        assert!((max_deg as f64) >= logn / 2.0);
+        assert!((max_deg as f64) <= 4.0 * logn);
+    }
+
+    #[test]
+    fn owner_is_successor() {
+        let mut rng = seeded(4);
+        let c = Chord::new(10, &mut rng);
+        // a key equal to a node id is owned by that node
+        let v = 3usize;
+        assert_eq!(c.owner_of(c.ids[v]), v);
+        // a key just after a node is owned by the next node
+        assert_eq!(c.owner_of(c.ids[v].wrapping_add(1)), v + 1);
+    }
+}

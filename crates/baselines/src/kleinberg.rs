@@ -1,0 +1,148 @@
+//! Kleinberg's small-world ring (STOC 2000): successor edges plus one
+//! long-range contact per node, sampled with probability proportional
+//! to `1/d(u, v)` (the 1-dimensional harmonic distribution — the
+//! unique exponent making greedy routing polylogarithmic). Greedy
+//! routing achieves `O(log² n)` expected hops with `O(1)` linkage —
+//! Table 1's Small Worlds row.
+
+use crate::scheme::LookupScheme;
+use rand::Rng;
+
+/// A small-world ring of `n` nodes at positions `0..n` (identifier
+/// space = positions scaled to `u64`).
+pub struct SmallWorld {
+    n: usize,
+    /// Long-range contact(s) of each node.
+    long: Vec<Vec<usize>>,
+    /// Number of long links per node.
+    q: usize,
+}
+
+impl SmallWorld {
+    /// Build with `q` harmonic long links per node.
+    pub fn new(n: usize, q: usize, rng: &mut impl Rng) -> Self {
+        assert!(n >= 4);
+        // harmonic sampling over ring distance 1..n/2
+        let half = n / 2;
+        let weights: Vec<f64> = (1..=half).map(|d| 1.0 / d as f64).collect();
+        let total: f64 = weights.iter().sum();
+        let mut long = vec![Vec::new(); n];
+        for (u, links) in long.iter_mut().enumerate() {
+            for _ in 0..q {
+                let mut x = rng.gen::<f64>() * total;
+                let mut d = 1usize;
+                for (i, w) in weights.iter().enumerate() {
+                    if x < *w {
+                        d = i + 1;
+                        break;
+                    }
+                    x -= w;
+                }
+                let dir = rng.gen_bool(0.5);
+                let v = if dir { (u + d) % n } else { (u + n - d) % n };
+                links.push(v);
+            }
+        }
+        SmallWorld { n, long, q }
+    }
+
+    fn ring_dist(&self, a: usize, b: usize) -> usize {
+        let d = a.abs_diff(b);
+        d.min(self.n - d)
+    }
+}
+
+impl LookupScheme for SmallWorld {
+    fn name(&self) -> String {
+        format!("Small-World (q={})", self.q)
+    }
+
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn degree_of(&self, node: usize) -> usize {
+        2 + self.long[node].len() // ring succ/pred + long links
+    }
+
+    fn route(&self, from: usize, key: u64, _rng: &mut rand::rngs::StdRng) -> Vec<usize> {
+        let target = self.owner_of(key);
+        let mut cur = from;
+        let mut path = vec![from];
+        while cur != target {
+            // greedy over ring neighbors + long contacts
+            let mut cands = vec![(cur + 1) % self.n, (cur + self.n - 1) % self.n];
+            cands.extend(self.long[cur].iter().copied());
+            let next = cands
+                .into_iter()
+                .min_by_key(|&v| self.ring_dist(v, target))
+                .expect("ring neighbors always exist");
+            assert!(
+                self.ring_dist(next, target) < self.ring_dist(cur, target),
+                "greedy made no progress"
+            );
+            path.push(next);
+            cur = next;
+        }
+        path
+    }
+
+    fn owner_of(&self, key: u64) -> usize {
+        // keys map uniformly to positions
+        ((key as u128 * self.n as u128) >> 64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::measure;
+    use cd_core::rng::seeded;
+
+    #[test]
+    fn routes_reach_target() {
+        let mut rng = seeded(1);
+        let sw = SmallWorld::new(500, 1, &mut rng);
+        for _ in 0..200 {
+            let from = rng.gen_range(0..500);
+            let key: u64 = rng.gen();
+            let p = sw.route(from, key, &mut rng);
+            assert_eq!(*p.last().expect("nonempty"), sw.owner_of(key));
+        }
+    }
+
+    #[test]
+    fn greedy_is_polylog_not_linear() {
+        let mut rng = seeded(2);
+        let n = 2048usize;
+        let sw = SmallWorld::new(n, 1, &mut rng);
+        let r = measure(&sw, 1500, 3);
+        let log2n = (n as f64).log2().powi(2);
+        // Θ(log² n) ≈ 121 at n=2048; linear would be ~512
+        assert!(
+            r.path.mean < 0.75 * log2n,
+            "mean path {} ≫ log² n = {log2n}",
+            r.path.mean
+        );
+        assert!(r.path.mean > 5.0, "implausibly short paths ({})", r.path.mean);
+    }
+
+    #[test]
+    fn linkage_is_constant() {
+        let mut rng = seeded(4);
+        let sw = SmallWorld::new(1000, 1, &mut rng);
+        assert!((0..1000).all(|v| sw.degree_of(v) == 3));
+    }
+
+    #[test]
+    fn path_grows_slower_than_ring() {
+        let mut rng = seeded(5);
+        let small = SmallWorld::new(256, 1, &mut rng);
+        let large = SmallWorld::new(4096, 1, &mut rng);
+        let rs = measure(&small, 800, 6);
+        let rl = measure(&large, 800, 7);
+        // ×16 nodes: ring would grow ×16; log² grows ×(12/8)² = 2.25
+        let ratio = rl.path.mean / rs.path.mean;
+        assert!(ratio < 5.0, "growth ratio {ratio} looks linear");
+    }
+}

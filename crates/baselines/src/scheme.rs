@@ -1,0 +1,83 @@
+//! The common measurement interface of all compared lookup schemes.
+
+use cd_core::rng::sub_rng;
+use cd_core::stats::Summary;
+use rand::Rng;
+
+/// A lookup scheme under measurement. Nodes are integers `0..len()`;
+/// keys are uniform `u64` identifiers in the scheme's own key space.
+pub trait LookupScheme {
+    /// Display name (Table 1 row).
+    fn name(&self) -> String;
+
+    /// Number of nodes.
+    fn len(&self) -> usize;
+
+    /// Out-degree (routing-table size) of a node — the *linkage*.
+    fn degree_of(&self, node: usize) -> usize;
+
+    /// Route a lookup for `key` from `from`; returns the node sequence
+    /// (`[from, …, owner]`).
+    fn route(&self, from: usize, key: u64, rng: &mut rand::rngs::StdRng) -> Vec<usize>;
+
+    /// The node responsible for `key` (ground truth for route checks).
+    fn owner_of(&self, key: u64) -> usize;
+}
+
+/// Measured Table 1 row for one scheme.
+#[derive(Clone, Debug)]
+pub struct SchemeReport {
+    /// Scheme name.
+    pub name: String,
+    /// Nodes.
+    pub n: usize,
+    /// Lookups measured.
+    pub lookups: usize,
+    /// Path length (hops) summary.
+    pub path: Summary,
+    /// Max node load normalized by the number of lookups — the
+    /// empirical *congestion* (Definition 3).
+    pub congestion: f64,
+    /// `congestion × n / log₂ n` — ≈ constant for (log n)/n schemes.
+    pub congestion_norm: f64,
+    /// Max degree (linkage).
+    pub max_degree: usize,
+    /// Mean degree.
+    pub mean_degree: f64,
+}
+
+/// Run `m` random lookups and assemble the Table 1 row.
+pub fn measure(scheme: &dyn LookupScheme, m: usize, seed: u64) -> SchemeReport {
+    let n = scheme.len();
+    let mut loads = vec![0u64; n];
+    let mut lengths = Vec::with_capacity(m);
+    for i in 0..m {
+        let mut rng = sub_rng(seed, i as u64);
+        let from = rng.gen_range(0..n);
+        let key: u64 = rng.gen();
+        let route = scheme.route(from, key, &mut rng);
+        assert_eq!(
+            *route.last().expect("route never empty"),
+            scheme.owner_of(key),
+            "{}: route ended at the wrong owner",
+            scheme.name()
+        );
+        for &v in &route {
+            loads[v] += 1;
+        }
+        lengths.push((route.len() - 1) as u64);
+    }
+    let max_load = loads.iter().copied().max().unwrap_or(0);
+    let congestion = max_load as f64 / m as f64;
+    let degrees: Vec<usize> = (0..n).map(|v| scheme.degree_of(v)).collect();
+    SchemeReport {
+        name: scheme.name(),
+        n,
+        lookups: m,
+        path: Summary::of_u64(lengths),
+        congestion,
+        congestion_norm: congestion * n as f64 / (n as f64).log2(),
+        max_degree: degrees.iter().copied().max().unwrap_or(0),
+        mean_degree: degrees.iter().sum::<usize>() as f64 / n as f64,
+    }
+}

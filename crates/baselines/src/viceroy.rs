@@ -1,0 +1,221 @@
+//! A simplified Viceroy (Malkhi-Naor-Ratajczak, PODC 2002): the
+//! constant-linkage butterfly emulation the paper lists in Table 1.
+//!
+//! Every node draws a position `x ∈ [0,1)` and a level
+//! `ℓ ∈ {1..⌈log n⌉}`. Links: ring successor/predecessor; two *down*
+//! links from level `ℓ` to the nearest level-`ℓ+1` nodes at `x` and
+//! `x + 2^{−ℓ}`; one *up* link to the nearest level-`ℓ−1` node.
+//! Routing: climb to level 1, then descend — at level `ℓ` take the
+//! far down-link iff the target is ≥ `2^{−ℓ}` ahead — and finish along
+//! the ring. `O(log n)` expected hops, `O(1)` linkage.
+//!
+//! (The full Viceroy join/leave machinery — level re-balancing and
+//! the inner level rings — is not needed for Table 1's static
+//! measurements; this is the standard simplification and is noted in
+//! DESIGN.md.)
+
+use crate::scheme::LookupScheme;
+use rand::Rng;
+
+/// A simplified Viceroy network.
+pub struct Viceroy {
+    /// Sorted positions.
+    ids: Vec<u64>,
+    /// Level of each node (by sorted index).
+    level: Vec<u32>,
+    /// Per-level sorted (position, node) lists.
+    by_level: Vec<Vec<(u64, usize)>>,
+    levels: u32,
+}
+
+impl Viceroy {
+    /// Build with `n` nodes.
+    pub fn new(n: usize, rng: &mut impl Rng) -> Self {
+        assert!(n >= 8);
+        let levels = (n as f64).log2().ceil() as u32;
+        let mut ids: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        while ids.len() < n {
+            ids.push(rng.gen());
+            ids.sort_unstable();
+            ids.dedup();
+        }
+        let level: Vec<u32> = (0..n).map(|_| rng.gen_range(1..=levels)).collect();
+        let mut by_level: Vec<Vec<(u64, usize)>> = vec![Vec::new(); levels as usize + 2];
+        for v in 0..n {
+            by_level[level[v] as usize].push((ids[v], v));
+        }
+        for l in &mut by_level {
+            l.sort_unstable();
+        }
+        // levels can be empty at small n; merge empties downward by
+        // reassigning any empty level's queries to the nearest
+        // non-empty one (handled in `nearest_at_level`)
+        Viceroy { ids, level, by_level, levels }
+    }
+
+    /// The node at level `l` (or the nearest non-empty level ≤/≥ it)
+    /// whose position is closest after `x` (clockwise).
+    fn nearest_at_level(&self, l: u32, x: u64) -> usize {
+        let mut l = l.clamp(1, self.levels) as usize;
+        // fall back to nearby levels if empty
+        let mut probe = 0usize;
+        while self.by_level[l].is_empty() {
+            probe += 1;
+            l = if probe % 2 == 0 { l + probe } else { l.saturating_sub(probe) }
+                .clamp(1, self.levels as usize);
+        }
+        let list = &self.by_level[l];
+        let i = list.partition_point(|&(p, _)| p < x);
+        list[i % list.len()].1
+    }
+
+    fn succ(&self, v: usize) -> usize {
+        (v + 1) % self.ids.len()
+    }
+
+    /// Ring owner of a key: the first node at or after it (successor
+    /// convention, like Chord).
+    fn ring_owner(&self, key: u64) -> usize {
+        match self.ids.binary_search(&key) {
+            Ok(i) => i,
+            Err(i) if i == self.ids.len() => 0,
+            Err(i) => i,
+        }
+    }
+}
+
+impl LookupScheme for Viceroy {
+    fn name(&self) -> String {
+        "Viceroy (simplified)".into()
+    }
+
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    fn degree_of(&self, node: usize) -> usize {
+        // ring (2) + up (1) + down (2): constant
+        let l = self.level[node];
+        let mut d = 2usize;
+        if l > 1 {
+            d += 1;
+        }
+        if l < self.levels {
+            d += 2;
+        }
+        d
+    }
+
+    fn route(&self, from: usize, key: u64, _rng: &mut rand::rngs::StdRng) -> Vec<usize> {
+        let owner = self.ring_owner(key);
+        let mut path = vec![from];
+        let mut cur = from;
+        // Phase 1: climb to level 1
+        while self.level[cur] > 1 {
+            let up = self.nearest_at_level(self.level[cur] - 1, self.ids[cur]);
+            if up == cur {
+                break;
+            }
+            path.push(up);
+            cur = up;
+            if path.len() > 4 * self.levels as usize {
+                break;
+            }
+        }
+        // Phase 2: butterfly descent over a *virtual* position v —
+        // each level halves the remaining distance from v to the key;
+        // the physical hop goes to the nearest node of the next level
+        // (which may overshoot v slightly, but v keeps the invariant).
+        let mut l = self.level[cur];
+        let mut v = self.ids[cur];
+        while l < self.levels {
+            let stride = 1u64 << (64 - l).min(63);
+            if key.wrapping_sub(v) >= stride {
+                v = v.wrapping_add(stride);
+            }
+            let down = self.nearest_at_level(l + 1, v);
+            if down != cur {
+                path.push(down);
+                cur = down;
+            }
+            l += 1;
+        }
+        // Phase 3: finish along the (bidirectional) ring — the descent
+        // lands within O(level spacing) of the key, on either side.
+        let mut guard = 0usize;
+        while cur != owner {
+            let ahead = key.wrapping_sub(self.ids[cur]);
+            cur = if ahead < (1 << 63) {
+                self.succ(cur)
+            } else {
+                (cur + self.ids.len() - 1) % self.ids.len()
+            };
+            path.push(cur);
+            guard += 1;
+            assert!(guard <= self.ids.len(), "ring walk wrapped");
+        }
+        path
+    }
+
+    fn owner_of(&self, key: u64) -> usize {
+        self.ring_owner(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::measure;
+    use cd_core::rng::seeded;
+
+    #[test]
+    fn routes_reach_owner() {
+        let mut rng = seeded(1);
+        let v = Viceroy::new(256, &mut rng);
+        for _ in 0..200 {
+            let from = rng.gen_range(0..256);
+            let key: u64 = rng.gen();
+            let p = v.route(from, key, &mut rng);
+            assert_eq!(*p.last().expect("nonempty"), v.owner_of(key));
+        }
+    }
+
+    #[test]
+    fn linkage_is_constant() {
+        let mut rng = seeded(2);
+        let v = Viceroy::new(512, &mut rng);
+        assert!((0..512).all(|u| v.degree_of(u) <= 5));
+    }
+
+    #[test]
+    fn paths_are_logarithmic_on_average() {
+        let mut rng = seeded(3);
+        let n = 1024usize;
+        let v = Viceroy::new(n, &mut rng);
+        let r = measure(&v, 1200, 4);
+        let logn = (n as f64).log2();
+        assert!(
+            r.path.mean <= 4.0 * logn,
+            "mean path {} ≫ log n = {logn}",
+            r.path.mean
+        );
+    }
+
+    #[test]
+    fn growth_is_logarithmic() {
+        let mut rng = seeded(5);
+        let small = Viceroy::new(256, &mut rng);
+        let large = Viceroy::new(4096, &mut rng);
+        let rs = measure(&small, 800, 6);
+        let rl = measure(&large, 800, 7);
+        // ×16 nodes ⇒ +4 levels: additive, not multiplicative growth
+        assert!(
+            rl.path.mean / rs.path.mean < 2.5,
+            "path growth {} → {} not logarithmic",
+            rs.path.mean,
+            rl.path.mean
+        );
+    }
+}

@@ -1,0 +1,99 @@
+//! Criterion timing benchmarks for the core protocol operations:
+//! lookups per scheme, join/leave, caching serve path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use cd_core::hashing::KWiseHash;
+use cd_core::point::Point;
+use cd_core::pointset::PointSet;
+use cd_core::rng::seeded;
+use dh_caching::CachedDht;
+use dh_dht::{DhNetwork, LookupKind};
+use p2p_baselines::chord::Chord;
+use p2p_baselines::LookupScheme;
+use rand::Rng;
+
+fn bench_lookups(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lookup");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    for n in [1024usize, 8192] {
+        let mut rng = seeded(1);
+        let ps = PointSet::random(n, &mut rng);
+        let net = DhNetwork::new(&ps);
+        group.bench_with_input(BenchmarkId::new("dh_fast", n), &n, |b, _| {
+            b.iter(|| {
+                let from = net.random_node(&mut rng);
+                net.fast_lookup(from, Point(rng.gen())).hops()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("dh_two_phase", n), &n, |b, _| {
+            b.iter(|| {
+                let from = net.random_node(&mut rng);
+                net.dh_lookup(from, Point(rng.gen()), &mut rng).hops()
+            })
+        });
+        let chord = Chord::new(n, &mut rng);
+        group.bench_with_input(BenchmarkId::new("chord", n), &n, |b, _| {
+            b.iter(|| {
+                let from = rng.gen_range(0..n);
+                chord.route(from, rng.gen(), &mut rng).len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("churn");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for n in [1024usize, 4096] {
+        group.bench_with_input(BenchmarkId::new("join_leave", n), &n, |b, &n| {
+            let mut rng = seeded(2);
+            let mut net = DhNetwork::new(&PointSet::random(n, &mut rng));
+            b.iter(|| {
+                if let Some(id) = net.join(Point(rng.gen())) {
+                    net.leave(id);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_caching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("caching");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    let n = 4096usize;
+    let mut rng = seeded(3);
+    let net = DhNetwork::new(&PointSet::random(n, &mut rng));
+    let hash = KWiseHash::new(16, &mut rng);
+    let mut cache = CachedDht::new(net, hash, 12);
+    group.bench_function("hot_request", |b| {
+        b.iter(|| {
+            let from = cache.net.random_node(&mut rng);
+            cache.request(from, 7, &mut rng).hops
+        })
+    });
+    group.finish();
+}
+
+fn bench_hashing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hashing");
+    group.sample_size(30).measurement_time(Duration::from_secs(1));
+    let mut rng = seeded(4);
+    for k in [2usize, 16, 64] {
+        let h = KWiseHash::new(k, &mut rng);
+        group.bench_with_input(BenchmarkId::new("kwise_point", k), &k, |b, _| {
+            let mut x = 0u64;
+            b.iter(|| {
+                x = x.wrapping_add(1);
+                h.point(x)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lookups, bench_churn, bench_caching, bench_hashing);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Criterion timing benchmarks for the substrates: Delaunay insertion,
+//! Reed-Solomon coding, spectral iteration, overlap-DHT lookups.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use cd_core::point::Point;
+use cd_core::rng::seeded;
+use cd_expander::margulis::margulis_graph;
+use cd_expander::spectral::analyze;
+use cd_geometry::{Delaunay, GridPoint};
+use dh_fault::{OverlapNet, OverlapNodeId};
+use rand::Rng;
+
+fn bench_delaunay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("delaunay");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for n in [256usize, 1024] {
+        group.bench_with_input(BenchmarkId::new("build", n), &n, |b, &n| {
+            let mut rng = seeded(1);
+            let pts: Vec<GridPoint> = (0..n)
+                .map(|_| GridPoint::new(rng.gen_range(0..1 << 20), rng.gen_range(0..1 << 20)))
+                .collect();
+            b.iter(|| {
+                let mut d = Delaunay::new();
+                for &p in &pts {
+                    let _ = d.insert(p);
+                }
+                d.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_erasure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("erasure");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    let data = vec![0xA5u8; 16 * 1024];
+    for (k, m) in [(4usize, 12usize), (8, 24)] {
+        group.bench_with_input(BenchmarkId::new("encode_16k", format!("{k}of{m}")), &k, |b, _| {
+            b.iter(|| dh_erasure::encode(&data, k, m).len())
+        });
+        let shares = dh_erasure::encode(&data, k, m);
+        group.bench_with_input(BenchmarkId::new("decode_16k", format!("{k}of{m}")), &k, |b, _| {
+            b.iter(|| dh_erasure::decode(&shares[m - k..], k).expect("decodes").len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_spectral(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spectral");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for m in [16usize, 32] {
+        let adj = margulis_graph(m);
+        group.bench_with_input(BenchmarkId::new("margulis_gap", m * m), &m, |b, _| {
+            b.iter(|| analyze(&adj, 200, 7).gap)
+        });
+    }
+    group.finish();
+}
+
+fn bench_fault_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fault");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    let mut rng = seeded(2);
+    let net = OverlapNet::build(4096, &mut rng);
+    group.bench_function("simple_lookup_n4096", |b| {
+        b.iter(|| {
+            let from = OverlapNodeId(rng.gen_range(0..4096));
+            net.simple_lookup(from, Point(rng.gen()), &mut rng).hops.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_delaunay, bench_erasure, bench_spectral, bench_fault_lookup);
+criterion_main!(benches);

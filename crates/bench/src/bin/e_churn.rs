@@ -1,0 +1,86 @@
+//! **E16 — §4.1**: smoothness under churn. Join-only strategies
+//! degrade once servers leave; the bucket scheme holds ρ = O(1).
+
+use cd_bench::{claim, section, MASTER_SEED};
+use cd_core::point::Point;
+use cd_core::rng::seeded;
+use cd_core::stats::Table;
+use dh_balance::bucket::{BucketConfig, BucketRing};
+use dh_balance::churn::churn_trajectory;
+use dh_balance::IdStrategy;
+use rand::Rng;
+
+fn main() {
+    println!("# E16 — smoothness under churn (§4.1): bucket scheme vs join-only");
+    let n = 2048usize;
+    let ops = 20_000usize;
+
+    section(&format!("{ops} mixed join/leave ops around n = {n}"));
+    let mut t = Table::new([
+        "scheme",
+        "ρ at start",
+        "ρ mid-churn",
+        "ρ at end",
+        "max seg × n at end",
+        "moved/op",
+    ]);
+
+    // naive Single Choice under churn: deletions merge segments into
+    // Ω(log n / n) gaps and nobody repairs them (§4.1's motivation)
+    for (label, strat) in [
+        ("Single Choice (naive)", IdStrategy::SingleChoice),
+        ("Multiple Choice (join-time repair)", IdStrategy::MultipleChoice { t: 3 }),
+    ] {
+        let mut rng = seeded(MASTER_SEED ^ 0x16 ^ label.len() as u64);
+        let traj = churn_trajectory(strat, n, ops, ops / 2, &mut rng);
+        let last = traj.last().expect("samples");
+        t.row([
+            label.to_string(),
+            format!("{:.0}", traj[0].rho),
+            format!("{:.0}", traj[traj.len() / 2].rho),
+            format!("{:.0}", last.rho),
+            format!("{:.1}", last.max_times_n),
+            "0".to_string(),
+        ]);
+    }
+
+    // bucket scheme (self-repairs)
+    let mut rng = seeded(MASTER_SEED ^ 0x17);
+    let initial: Vec<Point> = (0..n).map(|_| Point(rng.gen())).collect();
+    let mut br = BucketRing::new(&initial, BucketConfig::default());
+    let rho_start = br.smoothness();
+    let mut rho_mid = 0.0f64;
+    let mut moved = 0usize;
+    for i in 0..ops {
+        if rng.gen_bool(0.5) && br.len() > n / 2 {
+            br.leave_random(&mut rng);
+        } else {
+            br.join(&mut rng);
+        }
+        moved += br.last_moved;
+        if i == ops / 2 {
+            rho_mid = br.smoothness();
+        }
+    }
+    let ring = br.to_ring();
+    let (_, max_seg) = ring.min_max_segment();
+    t.row([
+        "Bucket scheme".to_string(),
+        format!("{rho_start:.1}"),
+        format!("{rho_mid:.1}"),
+        format!("{:.1}", br.smoothness()),
+        format!(
+            "{:.1}",
+            max_seg as f64 / cd_core::interval::FULL as f64 * br.len() as f64
+        ),
+        format!("{:.1}", moved as f64 / ops as f64),
+    ]);
+    print!("{}", t.to_markdown());
+    claim(
+        "§4.1: the naive scheme loses smoothness under deletions (Ω(log n/n) gaps, \
+         tiny residue segments ⇒ ρ → n-scale); the bucket scheme keeps ρ = O(1) at \
+         O(log n) amortized movement; Multiple Choice's join-time repair sits between \
+         (its max segment stays O(1/n) but it cannot fix deletions' artifacts)",
+        "compare the ρ and max-segment columns; only the bucket row pays movement",
+    );
+}

@@ -1,0 +1,46 @@
+//! **E5 — Theorems 2.7 & 2.9**: congestion of random lookups is
+//! `Θ(log n / n)` for both routing algorithms on smooth networks.
+
+use cd_bench::{claim, section, MASTER_SEED, SIZES};
+use cd_core::pointset::PointSet;
+use cd_core::stats::Table;
+use dh_dht::driver::random_lookups;
+use dh_dht::{DhNetwork, LookupKind};
+
+fn main() {
+    println!("# E5 — congestion Θ(log n / n) (Thm. 2.7/2.9)");
+    for (kind, label) in [
+        (LookupKind::Fast, "Fast Lookup"),
+        (LookupKind::DistanceHalving, "Distance Halving Lookup"),
+    ] {
+        section(label);
+        let mut t = Table::new([
+            "n",
+            "m lookups",
+            "max load",
+            "mean load",
+            "max/m (congestion)",
+            "cong ÷ (log n / n)",
+        ]);
+        for n in SIZES {
+            let net = DhNetwork::new(&PointSet::evenly_spaced(n));
+            let m = 16 * n;
+            let r = random_lookups(&net, kind, m, MASTER_SEED ^ 0xC0 ^ n as u64);
+            let congestion = r.max_load as f64 / m as f64;
+            let normalized = congestion / ((n as f64).log2() / n as f64);
+            t.row([
+                format!("{n}"),
+                format!("{m}"),
+                format!("{}", r.max_load),
+                format!("{:.1}", r.loads.mean),
+                format!("{congestion:.6}"),
+                format!("{normalized:.2}"),
+            ]);
+        }
+        print!("{}", t.to_markdown());
+    }
+    claim(
+        "congestion Θ(log n / n): the last column is a constant across n",
+        "the normalized column stays flat while n grows 64×",
+    );
+}

@@ -1,0 +1,68 @@
+//! **E1/E2/A2 — Theorems 2.1 & 2.2**: edge counts and degree bounds of
+//! the discrete Distance Halving graph, plus the ablation against
+//! direct De Bruijn emulation (Koorde).
+
+use cd_bench::{claim, random_points, section, MASTER_SEED, SIZES};
+use cd_core::rng::seeded;
+use cd_core::stats::Table;
+use dh_dht::analysis::graph_stats;
+use p2p_baselines::koorde::Koorde;
+
+fn main() {
+    println!("# E1/E2 — Theorems 2.1 & 2.2: edges and degrees of G_~x");
+
+    section("E1: Theorem 2.1 — edges (sans ring) ≤ 3n − 1");
+    let mut t = Table::new(["n", "ρ", "edges", "3n−1", "ok"]);
+    for n in SIZES {
+        let ps = random_points(n, 1);
+        let s = graph_stats(&ps, 2);
+        t.row([
+            format!("{n}"),
+            format!("{:.1}", s.smoothness),
+            format!("{}", s.undirected_edges),
+            format!("{}", 3 * n - 1),
+            format!("{}", s.undirected_edges <= 3 * n - 1),
+        ]);
+    }
+    print!("{}", t.to_markdown());
+    claim("total edges without ring edges ≤ 3n − 1 (any ~x)", "all rows `ok = true`");
+
+    section("E2: Theorem 2.2 — out-degree ≤ ρ+4, in-degree ≤ ⌈2ρ⌉+1");
+    let mut t = Table::new(["points", "ρ", "max out", "ρ+4", "max in", "⌈2ρ⌉+1"]);
+    for (label, ps) in [
+        ("evenly spaced (ρ=1), n=4096", cd_core::pointset::PointSet::evenly_spaced(4096)),
+        ("random, n=4096", random_points(4096, 2)),
+        ("random, n=1024", random_points(1024, 3)),
+    ] {
+        let s = graph_stats(&ps, 2);
+        t.row([
+            label.to_string(),
+            format!("{:.1}", s.smoothness),
+            format!("{}", s.max_out_degree),
+            format!("{:.1}", s.smoothness + 4.0),
+            format!("{}", s.max_in_degree),
+            format!("{}", (2.0 * s.smoothness).ceil() as u64 + 1),
+        ]);
+    }
+    print!("{}", t.to_markdown());
+    claim(
+        "degree bounds scale with the smoothness ρ",
+        "max degrees stay below the ρ-bounds in every row",
+    );
+
+    section("A2 ablation: max in-degree — continuous-discrete vs Koorde (direct)");
+    let mut t = Table::new(["n", "DH max in-degree (smooth ~x)", "Koorde max in-degree"]);
+    for n in SIZES {
+        let smooth = cd_core::pointset::PointSet::evenly_spaced(n);
+        let s = graph_stats(&smooth, 2);
+        let mut rng = seeded(MASTER_SEED ^ n as u64);
+        let k = Koorde::new(n, &mut rng);
+        let kmax = *k.in_degrees().iter().max().expect("nonempty");
+        t.row([format!("{n}"), format!("{}", s.max_in_degree), format!("{kmax}")]);
+    }
+    print!("{}", t.to_markdown());
+    claim(
+        "§1.1: direct emulations have O(log n) max degree; ours Θ(ρ) = O(1) given smoothness",
+        "DH column constant, Koorde column grows with n",
+    );
+}

@@ -1,0 +1,56 @@
+//! **E22 — Theorem 7.1**: emulating general graph families over smooth
+//! and random host sets; real-time emulation overheads.
+
+use cd_bench::{claim, random_points, section};
+use cd_core::pointset::PointSet;
+use cd_core::stats::Table;
+use cd_emulation::{Emulation, GraphFamily};
+
+fn main() {
+    println!("# E22 — emulating general graphs (Thm. 7.1)");
+    section("guest families over n = 1000 hosts (k = 10 ⇒ 1024 guests)");
+    let mut t = Table::new([
+        "family",
+        "hosts",
+        "ρ",
+        "guests/host (max)",
+        "ρ+1",
+        "edges/edge (max)",
+        "ρ²",
+        "host degree (max)",
+        "ρ·d",
+    ]);
+    for (label, hosts) in [
+        ("smooth", PointSet::evenly_spaced(1000)),
+        ("random", random_points(1000, 22)),
+    ] {
+        for fam in [
+            GraphFamily::DeBruijn,
+            GraphFamily::ShuffleExchange,
+            GraphFamily::CubeConnectedCycles,
+            GraphFamily::Torus,
+            GraphFamily::Hypercube,
+        ] {
+            let emu = Emulation::with_default_k(fam, hosts.clone());
+            let s = emu.stats();
+            let d = fam.max_degree(emu.k) as f64;
+            t.row([
+                format!("{fam:?} ({label})"),
+                format!("{}", hosts.len()),
+                format!("{:.1}", s.rho),
+                format!("{}", s.max_guests_per_host),
+                format!("{:.1}", s.rho + 1.0),
+                format!("{}", s.max_guest_edges_per_host_edge),
+                format!("{:.0}", s.rho * s.rho),
+                format!("{}", s.max_host_degree),
+                format!("{:.0}", s.rho * d),
+            ]);
+        }
+    }
+    print!("{}", t.to_markdown());
+    claim(
+        "Thm 7.1: guests/host ≤ ρ+1, guest edges per host edge ≤ ρ², host degree ≤ ρ·d — \
+         any static family becomes dynamic at constant slowdown given smoothness",
+        "smooth rows meet every bound tightly; random rows track their (larger) ρ",
+    );
+}

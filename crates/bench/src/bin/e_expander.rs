@@ -1,0 +1,82 @@
+//! **E17/E18 — Corollary 5.2 & Lemma 5.3**: the Gabber-Galil
+//! discretisation is a verified expander; 2D Multiple Choice achieves
+//! smoothness 2.
+
+use cd_bench::{claim, section, MASTER_SEED};
+use cd_core::rng::seeded;
+use cd_core::stats::Table;
+use cd_expander::spectral::analyze;
+use cd_expander::{smoothness2_check, GgExpander, TwoDMultipleChoice};
+use rand::Rng;
+
+fn main() {
+    println!("# E17/E18 — dynamic expanders (Section 5)");
+
+    section("E17: Corollary 5.2 — GG discretisation: degree Θ(ρ), positive spectral gap");
+    let mut t = Table::new([
+        "points",
+        "n",
+        "max GG degree",
+        "spectral gap",
+        "Cheeger lower φ",
+        "sweep-cut φ",
+        "(2−√3)/2 target",
+    ]);
+    for (label, pts) in [
+        ("2D Multiple Choice, n=128", TwoDMultipleChoice::build(128, 4, &mut seeded(MASTER_SEED ^ 1)).points().to_vec()),
+        ("2D Multiple Choice, n=512", TwoDMultipleChoice::build(512, 4, &mut seeded(MASTER_SEED ^ 2)).points().to_vec()),
+        ("uniform random, n=512", {
+            let mut rng = seeded(MASTER_SEED ^ 3);
+            (0..512).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect::<Vec<_>>()
+        }),
+    ] {
+        let x = GgExpander::build(&pts);
+        let (max_deg, _) = x.degree_stats();
+        let r = analyze(&x.full_adjacency(), 600, MASTER_SEED);
+        t.row([
+            label.to_string(),
+            format!("{}", x.len()),
+            format!("{max_deg}"),
+            format!("{:.3}", r.gap),
+            format!("{:.3}", r.cheeger_lower),
+            format!("{:.3}", r.sweep_conductance),
+            format!("{:.3}", (2.0 - 3.0f64.sqrt()) / 2.0),
+        ]);
+    }
+    print!("{}", t.to_markdown());
+    claim(
+        "Cor 5.2: smooth cells ⇒ constant degree and expansion Ω((2−√3)/ρ); \
+         verification is possible from the decomposition itself",
+        "gap/φ stay bounded below across sizes; random (non-smooth) cells pay in degree",
+    );
+
+    section("E18: Lemma 5.3 — 2D Multiple Choice reaches smoothness 2");
+    let mut t = Table::new([
+        "n (= 2m²)",
+        "empty big rects",
+        "crowded small rects",
+        "passes (ρ ≤ 2)",
+        "uniform-random passes",
+    ]);
+    for m in [8usize, 16, 32] {
+        let n = 2 * m * m;
+        let mc = TwoDMultipleChoice::build(n, 4, &mut seeded(MASTER_SEED ^ n as u64));
+        let rep = smoothness2_check(mc.points());
+        let mut rng = seeded(MASTER_SEED ^ 0x99 ^ n as u64);
+        let uni: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen(), rng.gen())).collect();
+        let urep = smoothness2_check(&uni);
+        t.row([
+            format!("{n}"),
+            format!("{}", rep.empty_big),
+            format!("{}", rep.crowded_small),
+            format!("{}", rep.passed()),
+            format!("{}", urep.passed()),
+        ]);
+    }
+    print!("{}", t.to_markdown());
+    claim(
+        "Lemma 5.3: w.h.p. every big rectangle occupied and every small rectangle \
+         singly occupied after n inserts; uniform sampling fails both",
+        "multiple-choice rows pass at every n; the uniform column never does",
+    );
+}

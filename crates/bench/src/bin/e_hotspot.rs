@@ -1,0 +1,63 @@
+//! **E9/E10/E11 — Observation 3.1, Lemma 3.3, Theorem 3.6**: single
+//! hotspot dynamics — active tree size, depth, and per-server load.
+
+use cd_bench::{claim, random_points, section, MASTER_SEED};
+use cd_core::hashing::KWiseHash;
+use cd_core::rng::seeded;
+use cd_core::stats::{Summary, Table};
+use dh_caching::CachedDht;
+use dh_dht::DhNetwork;
+
+fn main() {
+    println!("# E9–E11 — single hotspot (Obs. 3.1, Lemma 3.3, Thm. 3.6)");
+    let n = 4096usize;
+    let c = (n as f64).log2() as u64; // threshold c = log n
+    let item = 7u64;
+
+    section(&format!("q sweep at n = {n}, c = {c}"));
+    let mut t = Table::new([
+        "q requests",
+        "tree nodes (post-collapse)",
+        "4q/c bound",
+        "depth",
+        "log(q/c)+4",
+        "max server supplies",
+        "served p99 hops",
+    ]);
+    for q in [256usize, 1024, 4096, 16384] {
+        let mut rng = seeded(MASTER_SEED ^ q as u64);
+        let net = DhNetwork::new(&random_points(n, 9));
+        let hash = KWiseHash::new(16, &mut rng);
+        let mut cache = CachedDht::new(net, hash, c);
+        let mut hops = Vec::with_capacity(q);
+        for _ in 0..q {
+            let from = cache.net.random_node(&mut rng);
+            let served = cache.request(from, item, &mut rng);
+            hops.push(served.hops as u64);
+        }
+        let depth = cache.tree(item).expect("tree").depth();
+        let max_supply =
+            cache.supplies().into_iter().map(|(_, s)| s).max().expect("nonempty");
+        let report = cache.end_epoch();
+        let depth_bound = ((q as f64 / c as f64).log2() + 4.0).max(1.0);
+        t.row([
+            format!("{q}"),
+            format!("{}", report.active_nodes),
+            format!("{}", 4 * q as u64 / c),
+            format!("{depth}"),
+            format!("{depth_bound:.0}"),
+            format!("{max_supply}"),
+            format!("{:.0}", Summary::of_u64(hops).p99),
+        ]);
+    }
+    print!("{}", t.to_markdown());
+    claim(
+        "Obs 3.1: post-collapse tree ≤ 4q/c nodes; Lemma 3.3: depth ≤ log(q/c)+O(1)",
+        "tree size and depth track the bounds as q grows 64×",
+    );
+    claim(
+        "Thm 3.6 + no-latency property: requests cost normal lookup hops; \
+         per-server supplies stay Θ(c·log(q/c))",
+        "`served p99 hops` ≈ the DH-lookup path; supplies grow only logarithmically in q",
+    );
+}

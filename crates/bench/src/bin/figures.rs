@@ -1,0 +1,106 @@
+//! **F1–F4**: data-driven renderings of the paper's four figures,
+//! generated from the real data structures.
+//!
+//! * Figure 1 — the edges of a point and the two half-length images of
+//!   a segment under `ℓ` and `r`.
+//! * Figure 2 — the first layers of a path tree.
+//! * Figure 3 — an active tree mapped onto the servers covering it.
+//! * Figure 4 — a lookup in the overlapping DHT travelling through
+//!   *all* servers covering each point of the canonical path.
+
+use cd_core::hashing::KWiseHash;
+use cd_core::point::Point;
+use cd_core::pointset::PointSet;
+use cd_core::rng::seeded;
+use dh_caching::tree::path_tree_layers;
+use dh_caching::CachedDht;
+use dh_dht::DhNetwork;
+use dh_fault::{FaultModel, OverlapNet, OverlapNodeId};
+use rand::Rng;
+
+fn main() {
+    figure1();
+    figure2();
+    figure3();
+    figure4();
+}
+
+fn figure1() {
+    println!("# F1 — Figure 1: the continuous Distance Halving maps\n");
+    let x = Point::from_f64(0.65);
+    println!("point x = {x}:  ℓ(x) = {}   r(x) = {}   b(x) = {}", x.left(), x.right(), x.backward());
+    let seg = cd_core::interval::Interval::between(Point::from_f64(0.25), Point::from_f64(0.5));
+    let l = seg.image_left()[0].expect("non-wrapping segment");
+    let r = seg.image_right()[0].expect("non-wrapping segment");
+    println!("segment  {seg}");
+    println!("  ℓ(seg) = {l}   (half length: {})", l.len_f64() / seg.len_f64());
+    println!("  r(seg) = {r}   (half length: {})", r.len_f64() / seg.len_f64());
+    // ASCII strip of the interval [0,1)
+    let mut strip = vec!['.'; 64];
+    let mark = |strip: &mut Vec<char>, iv: &cd_core::interval::Interval, c: char| {
+        let s = (iv.start().to_f64() * 64.0) as usize;
+        let e = ((iv.end().to_f64()) * 64.0).ceil() as usize;
+        for slot in strip.iter_mut().take(e.min(64)).skip(s) {
+            *slot = c;
+        }
+    };
+    mark(&mut strip, &seg, 'S');
+    mark(&mut strip, &l, 'l');
+    mark(&mut strip, &r, 'r');
+    println!("  0{}1", strip.iter().collect::<String>());
+}
+
+fn figure2() {
+    println!("\n# F2 — Figure 2: the first layers of the path tree of h(i)\n");
+    let y = Point::from_f64(0.2); // the paper's example: h(i) = 0.2
+    let layers = path_tree_layers(y, 2);
+    for (j, layer) in layers.iter().enumerate() {
+        let pts: Vec<String> = layer.iter().map(|p| format!("{p}")).collect();
+        println!("layer {j}: {}", pts.join("  "));
+    }
+    println!("(paper: y; y/2, y/2+1/2; y/4, y/4+1/4, y/4+1/2, y/4+3/4)");
+}
+
+fn figure3() {
+    println!("\n# F3 — Figure 3: an active tree mapped onto the servers\n");
+    let mut rng = seeded(33);
+    let net = DhNetwork::new(&PointSet::evenly_spaced(8));
+    let hash = KWiseHash::new(8, &mut rng);
+    let mut cache = CachedDht::new(net, hash, 2);
+    let item = 5u64;
+    for _ in 0..40 {
+        let from = cache.net.random_node(&mut rng);
+        cache.request(from, item, &mut rng);
+    }
+    let tree = cache.tree(item).expect("tree exists");
+    println!("h(i) = {}   (active tree: {} nodes, depth {})", tree.root(), tree.len(), tree.depth());
+    let mut nodes: Vec<_> = tree.iter().collect();
+    nodes.sort_by_key(|n| (n.level, n.point));
+    for n in nodes {
+        let server = cache.net.cover_of(n.point);
+        println!(
+            "  level {} node {}  →  server {} (segment {})",
+            n.level,
+            n.point,
+            server,
+            cache.net.node(server).segment
+        );
+    }
+}
+
+fn figure4() {
+    println!("\n# F4 — Figure 4: majority lookup through all covering servers\n");
+    let mut rng = seeded(44);
+    let mut net = OverlapNet::build(64, &mut rng);
+    net.model = FaultModel::FalseMessageInjection;
+    let from = OverlapNodeId(3);
+    let y = Point(rng.gen());
+    let out = net.majority_lookup(from, y);
+    println!("lookup from V3 for {y}:");
+    println!("  covering sets per hop (sizes): time = {} steps", out.time);
+    println!("  total messages = {} (Θ(log³ n)); decision correct = {}", out.messages, out.correct);
+    // show the covers of the target as the final clique
+    let covers = net.covers_of(y);
+    let ids: Vec<String> = covers.iter().map(|c| format!("V{}", c.0)).collect();
+    println!("  servers covering the target: {{{}}}", ids.join(", "));
+}

@@ -1,0 +1,84 @@
+//! **T1 — Table 1**: empirical comparison of lookup schemes.
+//!
+//! The paper's Table 1 lists asymptotic path length, congestion and
+//! linkage for Chord, Tapestry, CAN, Small Worlds, Viceroy and
+//! Distance Halving. This harness builds each scheme at several sizes,
+//! drives `m = 8n` random lookups, and prints the measured quantities;
+//! the *shape* (who wins, how columns scale with n) is the
+//! reproduction target.
+
+use cd_bench::{random_points, section, MASTER_SEED};
+use cd_core::rng::seeded;
+use cd_core::stats::Table;
+use dh_dht::driver::random_lookups;
+use dh_dht::{DhNetwork, LookupKind};
+use p2p_baselines::can::Can;
+use p2p_baselines::chord::Chord;
+use p2p_baselines::kleinberg::SmallWorld;
+use p2p_baselines::koorde::Koorde;
+use p2p_baselines::plaxton::Plaxton;
+use p2p_baselines::viceroy::Viceroy;
+use p2p_baselines::{measure, LookupScheme};
+
+fn main() {
+    println!("# T1 — Table 1: comparison of lookup schemes (measured)");
+    println!("\npaper rows: Chord log n / (log n)/n / log n; Tapestry log n / (log n)/n / log n;");
+    println!("CAN d·n^(1/d) / d·n^(1/d-1) / d; Small Worlds log²n / log²n/n / O(1);");
+    println!("Viceroy log n / (log n)/n / O(1); Distance Halving log_d n / (log_d n)/n / O(d).");
+
+    for n in [1024usize, 4096] {
+        section(&format!("n = {n}, m = {} random lookups", 8 * n));
+        let m = 8 * n;
+        let mut table = Table::new([
+            "scheme",
+            "path mean",
+            "path p99",
+            "max load/m (congestion)",
+            "cong × n/log n",
+            "max deg",
+            "mean deg",
+        ]);
+        let mut rng = seeded(MASTER_SEED ^ n as u64);
+
+        let schemes: Vec<Box<dyn LookupScheme>> = vec![
+            Box::new(Chord::new(n, &mut rng)),
+            Box::new(Plaxton::new(n, &mut rng)),
+            Box::new(Can::new(n, 2, &mut rng)),
+            Box::new(SmallWorld::new(n, 1, &mut rng)),
+            Box::new(Viceroy::new(n, &mut rng)),
+            Box::new(Koorde::new(n, &mut rng)),
+        ];
+        for s in &schemes {
+            let r = measure(s.as_ref(), m, MASTER_SEED ^ 0x7AB1 ^ n as u64);
+            table.row([
+                r.name.clone(),
+                format!("{:.2}", r.path.mean),
+                format!("{:.1}", r.path.p99),
+                format!("{:.5}", r.congestion),
+                format!("{:.2}", r.congestion_norm),
+                format!("{}", r.max_degree),
+                format!("{:.1}", r.mean_degree),
+            ]);
+        }
+        // Distance Halving at ∆ = 2 and ∆ = 16 (ours)
+        for delta in [2u32, 16] {
+            let ps = random_points(n, 0x7AB1);
+            let net = DhNetwork::with_delta(&ps, delta);
+            let r = random_lookups(&net, LookupKind::DistanceHalving, m, MASTER_SEED ^ 0xD4 ^ n as u64);
+            let (max_deg, mean_deg) = net.degree_stats();
+            let congestion = r.max_load as f64 / m as f64;
+            table.row([
+                format!("Distance Halving (∆={delta})"),
+                format!("{:.2}", r.path_lengths.mean),
+                format!("{:.1}", r.path_lengths.p99),
+                format!("{congestion:.5}"),
+                format!("{:.2}", congestion * n as f64 / (n as f64).log2()),
+                format!("{max_deg}"),
+                format!("{mean_deg:.1}"),
+            ]);
+        }
+        print!("{}", table.to_markdown());
+    }
+    println!("\nReading guide: `cong × n/log n` ≈ constant ⇒ congestion Θ(log n / n);");
+    println!("CAN's column grows as √n/log n; Small-World's as log n.");
+}

@@ -1,0 +1,36 @@
+//! Shared helpers for the experiment harness binaries.
+//!
+//! Every binary under `src/bin/` regenerates one table or figure of
+//! the paper (see `EXPERIMENTS.md` for the experiment index) and
+//! prints Markdown alongside the paper's claimed bound, so measured
+//! shape and theory can be compared line by line.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+use cd_core::pointset::PointSet;
+use cd_core::rng::seeded;
+
+/// The master seed every harness derives from (reproducibility).
+pub const MASTER_SEED: u64 = 0x5EED_CD03;
+
+/// Standard network sizes for sweeps.
+pub const SIZES: [usize; 4] = [256, 1024, 4096, 16384];
+
+/// A random point set of size `n` (Single Choice IDs), seeded per
+/// `(experiment, n)`.
+pub fn random_points(n: usize, experiment: u64) -> PointSet {
+    let mut rng = seeded(MASTER_SEED ^ experiment.wrapping_mul(0x9E37) ^ n as u64);
+    PointSet::random(n, &mut rng)
+}
+
+/// Print a section header for harness output.
+pub fn section(title: &str) {
+    println!("\n## {title}\n");
+}
+
+/// Print a paper-vs-measured comparison line.
+pub fn claim(paper: &str, measured: impl std::fmt::Display) {
+    println!("- paper: {paper}");
+    println!("  measured: {measured}");
+}

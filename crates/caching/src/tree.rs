@@ -1,0 +1,320 @@
+//! Path trees and active trees (Definitions 5 and the Continuous Hot
+//! Spots Protocol of §3.1).
+//!
+//! The *path tree* rooted at `y` is the subgraph of the continuous
+//! graph in which every node `z` has children `ℓ(z)` and `r(z)`. Its
+//! level-`j` nodes are exactly the points `w(σ_j, y)` over all `2^j`
+//! digit strings, i.e. the points whose binary expansion ends (after
+//! `j` shifts) in `y`'s — pairwise `2⁻ʲ` apart (Observation 3.2).
+//!
+//! The *active tree* of an item is the finite, parent-closed subtree of
+//! its path tree whose nodes currently hold a cached copy.
+
+use cd_core::point::Point;
+use std::collections::HashMap;
+
+/// One node of an item's active tree.
+#[derive(Clone, Debug)]
+pub struct PathTreeNode {
+    /// The continuous point identifying this tree node.
+    pub point: Point,
+    /// Depth below the root (root = 0).
+    pub level: u32,
+    /// Parent point (self for the root).
+    pub parent: Point,
+    /// Requests served by this node during the current epoch.
+    pub hits: u64,
+    /// Whether this node has (both) children active.
+    pub has_children: bool,
+}
+
+/// The active tree of a single item: a parent-closed set of path-tree
+/// nodes rooted at `h(item)`, every internal node having exactly two
+/// active children.
+#[derive(Clone, Debug)]
+pub struct ActiveTree {
+    root: Point,
+    nodes: HashMap<u64, PathTreeNode>,
+}
+
+impl ActiveTree {
+    /// A fresh tree: only the root (the item's home position) active.
+    pub fn new(root: Point) -> Self {
+        let mut nodes = HashMap::new();
+        nodes.insert(
+            root.bits(),
+            PathTreeNode { point: root, level: 0, parent: root, hits: 0, has_children: false },
+        );
+        ActiveTree { root, nodes }
+    }
+
+    /// The root point `h(item)`.
+    pub fn root(&self) -> Point {
+        self.root
+    }
+
+    /// Number of active nodes (≥ 1; the root never deactivates).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Never true — the root is always active.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Maximum active level (0 when only the root is active).
+    pub fn depth(&self) -> u32 {
+        self.nodes.values().map(|n| n.level).max().unwrap_or(0)
+    }
+
+    /// Is the given point an active node?
+    pub fn is_active(&self, p: Point) -> bool {
+        self.nodes.contains_key(&p.bits())
+    }
+
+    /// Borrow an active node.
+    pub fn get(&self, p: Point) -> Option<&PathTreeNode> {
+        self.nodes.get(&p.bits())
+    }
+
+    /// Iterate over active nodes (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = &PathTreeNode> {
+        self.nodes.values()
+    }
+
+    /// Record one served request at active node `p`; returns the new
+    /// hit count. Panics if `p` is not active.
+    pub fn record_hit(&mut self, p: Point) -> u64 {
+        let node = self.nodes.get_mut(&p.bits()).expect("hit on inactive node");
+        node.hits += 1;
+        node.hits
+    }
+
+    /// Activate both children of `p` (step 1 of the protocol). Returns
+    /// the children points. No-op (returning the same points) if
+    /// already activated.
+    pub fn activate_children(&mut self, p: Point) -> [Point; 2] {
+        let (level, kids) = {
+            let node = self.nodes.get(&p.bits()).expect("activating children of inactive node");
+            (node.level, [node.point.left(), node.point.right()])
+        };
+        let node = self.nodes.get_mut(&p.bits()).expect("checked above");
+        if node.has_children {
+            return kids;
+        }
+        node.has_children = true;
+        for k in kids {
+            self.nodes.insert(
+                k.bits(),
+                PathTreeNode { point: k, level: level + 1, parent: p, hits: 0, has_children: false },
+            );
+        }
+        kids
+    }
+
+    /// End-of-epoch collapse (steps 2–3 of the protocol): repeatedly
+    /// deactivate sibling *leaf* pairs that each served fewer than
+    /// `threshold` requests, then reset all hit counters. Returns the
+    /// number of nodes removed.
+    pub fn collapse(&mut self, threshold: u64) -> usize {
+        let before = self.nodes.len();
+        loop {
+            // parents whose two children are both active leaves with
+            // hits below the threshold
+            let mut removable: Vec<u64> = Vec::new();
+            for node in self.nodes.values() {
+                if !node.has_children {
+                    continue;
+                }
+                let l = node.point.left();
+                let r = node.point.right();
+                let ok = [l, r].iter().all(|k| {
+                    self.nodes
+                        .get(&k.bits())
+                        .map(|kid| !kid.has_children && kid.hits < threshold)
+                        .unwrap_or(false)
+                });
+                if ok {
+                    removable.push(node.point.bits());
+                }
+            }
+            if removable.is_empty() {
+                break;
+            }
+            for pb in removable {
+                let p = Point(pb);
+                self.nodes.remove(&p.left().bits());
+                self.nodes.remove(&p.right().bits());
+                self.nodes.get_mut(&pb).expect("parent vanished").has_children = false;
+            }
+        }
+        for node in self.nodes.values_mut() {
+            node.hits = 0;
+        }
+        before - self.nodes.len()
+    }
+
+    /// Check the structural invariants: parent-closed, children come in
+    /// pairs, levels consistent. Panics on violation (test helper).
+    pub fn validate(&self) {
+        for node in self.nodes.values() {
+            if node.level == 0 {
+                assert_eq!(node.point, self.root, "level-0 node must be the root");
+                continue;
+            }
+            let parent =
+                self.nodes.get(&node.parent.bits()).expect("active node with inactive parent");
+            assert_eq!(parent.level + 1, node.level, "level mismatch");
+            assert!(parent.has_children, "parent unaware of children");
+            assert!(
+                node.parent.left() == node.point || node.parent.right() == node.point,
+                "node is not a child of its parent"
+            );
+        }
+        for node in self.nodes.values() {
+            if node.has_children {
+                assert!(self.is_active(node.point.left()), "missing left child");
+                assert!(self.is_active(node.point.right()), "missing right child");
+            }
+        }
+    }
+}
+
+/// The full level-`j` slices of the path tree rooted at `y`, for
+/// `j = 0..=depth` — used by the Figure 2 rendering and the
+/// Observation 3.2 test. Level `j` has `2^j` nodes; `depth ≤ 16`.
+pub fn path_tree_layers(y: Point, depth: u32) -> Vec<Vec<Point>> {
+    assert!(depth <= 16, "path tree layers grow as 2^depth");
+    let mut layers = vec![vec![y]];
+    for _ in 0..depth {
+        let prev = layers.last().expect("non-empty");
+        let mut next = Vec::with_capacity(prev.len() * 2);
+        for &p in prev {
+            next.push(p.left());
+            next.push(p.right());
+        }
+        layers.push(next);
+    }
+    layers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fresh_tree_is_root_only() {
+        let t = ActiveTree::new(Point::from_f64(0.2));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.depth(), 0);
+        assert!(t.is_active(Point::from_f64(0.2)));
+        t.validate();
+    }
+
+    #[test]
+    fn activation_grows_pairs() {
+        let root = Point::from_f64(0.2);
+        let mut t = ActiveTree::new(root);
+        let kids = t.activate_children(root);
+        assert_eq!(kids, [root.left(), root.right()]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.depth(), 1);
+        t.validate();
+        // idempotent
+        t.activate_children(root);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn collapse_removes_idle_leaves() {
+        let root = Point::from_f64(0.7);
+        let mut t = ActiveTree::new(root);
+        let kids = t.activate_children(root);
+        t.activate_children(kids[0]);
+        assert_eq!(t.len(), 5);
+        // no hits anywhere: everything below the root collapses
+        let removed = t.collapse(4);
+        assert_eq!(removed, 4);
+        assert_eq!(t.len(), 1);
+        t.validate();
+    }
+
+    #[test]
+    fn collapse_keeps_busy_leaves() {
+        let root = Point::from_f64(0.7);
+        let mut t = ActiveTree::new(root);
+        let kids = t.activate_children(root);
+        for _ in 0..10 {
+            t.record_hit(kids[0]);
+        }
+        let removed = t.collapse(4);
+        // left child busy (10 ≥ 4): pair survives
+        assert_eq!(removed, 0);
+        assert_eq!(t.len(), 3);
+        // counters reset
+        assert_eq!(t.get(kids[0]).expect("active").hits, 0);
+        t.validate();
+    }
+
+    #[test]
+    fn figure2_layers_match_paper() {
+        // Figure 2: root y; level 1 = {y/2, y/2 + 1/2};
+        // level 2 = {y/4, y/4 + 1/4, y/4 + 1/2, y/4 + 3/4}.
+        let y = Point::from_f64(0.5);
+        let layers = path_tree_layers(y, 2);
+        assert_eq!(layers[0], vec![y]);
+        assert_eq!(layers[1], vec![Point::from_f64(0.25), Point::from_f64(0.75)]);
+        let mut l2: Vec<f64> = layers[2].iter().map(|p| p.to_f64()).collect();
+        l2.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        for (got, want) in l2.iter().zip([0.125, 0.375, 0.625, 0.875]) {
+            assert!((got - want).abs() < 1e-12, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn observation_3_2_layer_spacing() {
+        // distance between two points in layer j is at least 2⁻ʲ
+        let y = Point::from_f64(0.31415);
+        let layers = path_tree_layers(y, 8);
+        for (j, layer) in layers.iter().enumerate().skip(1) {
+            let mut sorted: Vec<u64> = layer.iter().map(|p| p.bits()).collect();
+            sorted.sort_unstable();
+            let min_gap = sorted.windows(2).map(|w| w[1] - w[0]).min().expect("≥2 nodes");
+            let bound = 1u64 << (64 - j);
+            assert!(min_gap >= bound - 1, "layer {j}: gap {min_gap} < 2^-{j}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_random_grow_collapse_keeps_invariants(
+            rootb: u64,
+            ops in proptest::collection::vec((0u8..3, 0u8..16), 1..60)
+        ) {
+            let root = Point(rootb);
+            let mut t = ActiveTree::new(root);
+            let mut frontier = vec![root];
+            for (op, pick) in ops {
+                let p = frontier[pick as usize % frontier.len()];
+                match op {
+                    0 => {
+                        let kids = t.activate_children(p);
+                        frontier.extend(kids);
+                    }
+                    1 => {
+                        if t.is_active(p) {
+                            t.record_hit(p);
+                        }
+                    }
+                    _ => {
+                        t.collapse(3);
+                        frontier.retain(|q| t.is_active(*q));
+                    }
+                }
+                t.validate();
+            }
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Sorted point sets `~x` decomposing the circle into segments, and the
+//! smoothness measure `ρ(~x)` (Definition 1 of the paper).
+//!
+//! The smoothness — the ratio between the largest and smallest segment —
+//! governs every quantitative bound in the paper: degrees (Theorem 2.2),
+//! lookup path lengths (Corollary 2.5, Theorem 2.8) and congestion
+//! (Theorems 2.7/2.9). This module is the *analysis* view of a network:
+//! a static sorted array with O(log n) coverage queries. Dynamic
+//! membership (join/leave) is handled by the network crates.
+
+use crate::interval::Interval;
+use crate::point::Point;
+use rand::Rng;
+
+/// A sorted set of distinct points on the circle, each owning the
+/// segment from itself to its successor: `s(x_i) = [x_i, x_{i+1})`,
+/// wrapping at the end (the paper's segment convention).
+#[derive(Clone, Debug)]
+pub struct PointSet {
+    points: Vec<Point>,
+}
+
+impl PointSet {
+    /// Build from arbitrary points; sorts and removes duplicates.
+    /// Panics if no points remain.
+    pub fn new(mut points: Vec<Point>) -> Self {
+        points.sort_unstable();
+        points.dedup();
+        assert!(!points.is_empty(), "a point set must contain at least one point");
+        PointSet { points }
+    }
+
+    /// `n` points drawn uniformly at random (the Single Choice
+    /// algorithm of Section 4).
+    pub fn random(n: usize, rng: &mut impl Rng) -> Self {
+        let mut points: Vec<Point> = (0..n).map(|_| Point(rng.gen())).collect();
+        points.sort_unstable();
+        points.dedup();
+        // Collisions have probability ~n²/2⁶⁴ — refill in the
+        // vanishingly unlikely case.
+        while points.len() < n {
+            points.push(Point(rng.gen()));
+            points.sort_unstable();
+            points.dedup();
+        }
+        PointSet { points }
+    }
+
+    /// The perfectly smooth set `x_i = i/n` (ρ = 1 up to rounding).
+    /// For `n = 2^r` this yields the graph isomorphic to the
+    /// r-dimensional De Bruijn graph (Section 2.1).
+    pub fn evenly_spaced(n: usize) -> Self {
+        assert!(n > 0);
+        PointSet { points: (0..n as u64).map(|i| Point::from_ratio(i, n as u64)).collect() }
+    }
+
+    /// Number of points (= number of segments).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True iff the set is empty (never, by construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The `i`-th point in sorted order.
+    #[inline]
+    pub fn point(&self, i: usize) -> Point {
+        self.points[i]
+    }
+
+    /// All points, sorted.
+    #[inline]
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// The segment owned by the `i`-th point: `[x_i, x_{i+1})`.
+    pub fn segment(&self, i: usize) -> Interval {
+        let n = self.points.len();
+        let next = self.points[(i + 1) % n];
+        Interval::between(self.points[i], next)
+    }
+
+    /// Index of the point covering `p` — the unique `i` with
+    /// `p ∈ s(x_i)`. O(log n).
+    pub fn index_covering(&self, p: Point) -> usize {
+        match self.points.binary_search(&p) {
+            Ok(i) => i,
+            Err(0) => self.points.len() - 1, // p < x_0: wraps to the last segment
+            Err(i) => i - 1,
+        }
+    }
+
+    /// All indices whose segments intersect the arc `q`.
+    pub fn indices_covering(&self, q: &Interval) -> Vec<usize> {
+        let n = self.points.len();
+        if q.is_full() || n == 1 {
+            return (0..n).collect();
+        }
+        let first = self.index_covering(q.start());
+        let mut out = vec![first];
+        let mut i = (first + 1) % n;
+        // Walk successors while their points still lie inside q.
+        while i != first && q.contains(self.points[i]) {
+            out.push(i);
+            i = (i + 1) % n;
+        }
+        out
+    }
+
+    /// The smoothness `ρ(~x) = max_i |s(x_i)| / min_j |s(x_j)|`
+    /// (Definition 1). Returns `f64::INFINITY`-free exact ratio as f64.
+    pub fn smoothness(&self) -> f64 {
+        let (min, max) = self.min_max_segment();
+        max as f64 / min as f64
+    }
+
+    /// Lengths of the smallest and largest segments.
+    pub fn min_max_segment(&self) -> (u128, u128) {
+        let n = self.points.len();
+        let mut min = u128::MAX;
+        let mut max = 0u128;
+        for i in 0..n {
+            let len = self.segment(i).len();
+            min = min.min(len);
+            max = max.max(len);
+        }
+        (min, max)
+    }
+
+    /// Segment lengths as fractions of the circle, in point order.
+    pub fn segment_lengths(&self) -> Vec<f64> {
+        (0..self.len()).map(|i| self.segment(i).len_f64()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+    use proptest::prelude::*;
+
+    #[test]
+    fn evenly_spaced_is_smooth() {
+        for n in [1usize, 2, 3, 7, 64, 1000] {
+            let ps = PointSet::evenly_spaced(n);
+            assert_eq!(ps.len(), n);
+            assert!(ps.smoothness() < 1.0 + 1e-9, "n={n}: ρ={}", ps.smoothness());
+        }
+    }
+
+    #[test]
+    fn coverage_is_exact_partition() {
+        let ps = PointSet::evenly_spaced(8);
+        for i in 0..8u64 {
+            let p = Point::from_ratio(2 * i + 1, 16); // midpoints
+            assert_eq!(ps.index_covering(p), i as usize);
+            assert_eq!(ps.index_covering(Point::from_ratio(i, 8)), i as usize);
+        }
+    }
+
+    #[test]
+    fn wrap_coverage() {
+        let ps = PointSet::new(vec![Point::from_ratio(1, 4), Point::from_ratio(3, 4)]);
+        // [3/4, 1/4) is owned by index 1 and wraps through zero.
+        assert_eq!(ps.index_covering(Point::ZERO), 1);
+        assert_eq!(ps.index_covering(Point::from_ratio(7, 8)), 1);
+        assert_eq!(ps.index_covering(Point::from_ratio(1, 2)), 0);
+    }
+
+    #[test]
+    fn indices_covering_an_arc() {
+        let ps = PointSet::evenly_spaced(8);
+        let q = Interval::between(Point::from_ratio(3, 16), Point::from_ratio(9, 16));
+        let idx = ps.indices_covering(&q);
+        assert_eq!(idx, vec![1, 2, 3, 4]);
+        // wrapping arc
+        let q = Interval::between(Point::from_ratio(15, 16), Point::from_ratio(1, 16));
+        let idx = ps.indices_covering(&q);
+        assert_eq!(idx, vec![7, 0]);
+    }
+
+    #[test]
+    fn random_set_smoothness_is_logarithmicish() {
+        // Lemma 4.1: max segment Θ(log n / n), min Θ(1/n²) ⇒ ρ can be
+        // as large as n log n. Just sanity-check it is finite and > 1.
+        let mut rng = seeded(42);
+        let ps = PointSet::random(1024, &mut rng);
+        let rho = ps.smoothness();
+        assert!(rho > 1.0 && rho.is_finite());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_every_point_covered_once(seed: u64, probe: u64) {
+            let mut rng = seeded(seed);
+            let ps = PointSet::random(33, &mut rng);
+            let p = Point(probe);
+            let i = ps.index_covering(p);
+            prop_assert!(ps.segment(i).contains(p));
+            // and no other segment contains it
+            let hits = (0..ps.len()).filter(|&j| ps.segment(j).contains(p)).count();
+            prop_assert_eq!(hits, 1);
+        }
+
+        #[test]
+        fn prop_segments_tile_the_circle(seed: u64) {
+            let mut rng = seeded(seed);
+            let ps = PointSet::random(17, &mut rng);
+            let total: u128 = (0..ps.len()).map(|i| ps.segment(i).len()).sum();
+            prop_assert_eq!(total, crate::interval::FULL);
+        }
+
+        #[test]
+        fn prop_indices_covering_matches_bruteforce(seed: u64, a: u64, b: u64) {
+            let mut rng = seeded(seed);
+            let ps = PointSet::random(13, &mut rng);
+            let q = Interval::between(Point(a), Point(b));
+            let mut got = ps.indices_covering(&q);
+            got.sort_unstable();
+            let mut want: Vec<usize> =
+                (0..ps.len()).filter(|&i| ps.segment(i).intersects(&q)).collect();
+            want.sort_unstable();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

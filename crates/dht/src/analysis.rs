@@ -1,0 +1,207 @@
+//! Exact combinatorial analysis of the discrete Distance Halving graph,
+//! independent of the routing tables: edge counting for Theorem 2.1,
+//! degree bounds for Theorem 2.2, and the De Bruijn isomorphism of
+//! Section 2.1.
+//!
+//! These functions operate on a bare [`PointSet`], using the exact
+//! fixed-point image intervals (no slack), so they measure the graph
+//! `G_~x` precisely as defined in the paper: `(V_i, V_j)` is an edge
+//! iff there is a continuous edge `(y, z)` with `y ∈ s(x_i)`,
+//! `z ∈ s(x_j)` — and ring edges are excluded.
+
+use cd_core::interval::Interval;
+use cd_core::pointset::PointSet;
+use std::collections::HashSet;
+
+/// Exact degree/edge statistics of `G_~x` (ring edges excluded).
+#[derive(Clone, Debug)]
+pub struct GraphStats {
+    /// Number of distinct unordered adjacencies `{i, j}` (self-loops
+    /// counted once). Theorem 2.1: ≤ 3n − 1.
+    pub undirected_edges: usize,
+    /// Max out-degree: distinct segments intersecting `ℓ(s) ∪ r(s)`
+    /// (resp. all child images). Theorem 2.2: ≤ ρ + 4 for ∆ = 2.
+    pub max_out_degree: usize,
+    /// Max in-degree: distinct segments intersecting `b(s)`.
+    /// Theorem 2.2: ≤ ⌈2ρ⌉ + 1 for ∆ = 2.
+    pub max_in_degree: usize,
+    /// The smoothness ρ of the underlying point set.
+    pub smoothness: f64,
+}
+
+/// Indices of segments intersecting any piece of the image set.
+fn covers(ps: &PointSet, pieces: impl IntoIterator<Item = Interval>) -> HashSet<usize> {
+    let mut out = HashSet::new();
+    for piece in pieces {
+        out.extend(ps.indices_covering(&piece));
+    }
+    out
+}
+
+/// Out-neighbor indices of segment `i` (targets of continuous edges
+/// whose source lies in `s(x_i)`), self included if applicable.
+pub fn out_neighbors(ps: &PointSet, i: usize, delta: u32) -> HashSet<usize> {
+    let seg = ps.segment(i);
+    let mut ids = HashSet::new();
+    for d in 0..delta {
+        ids.extend(covers(ps, seg.image_child(d, delta).into_iter().flatten()));
+    }
+    ids
+}
+
+/// In-neighbor indices of segment `i` (sources of continuous edges
+/// whose target lies in `s(x_i)`), computed via the backward image.
+pub fn in_neighbors(ps: &PointSet, i: usize, delta: u32) -> HashSet<usize> {
+    let seg = ps.segment(i);
+    covers(ps, [seg.image_backward_delta(delta)])
+}
+
+/// Compute exact graph statistics for degree parameter `delta`.
+pub fn graph_stats(ps: &PointSet, delta: u32) -> GraphStats {
+    let n = ps.len();
+    let mut pairs: HashSet<(usize, usize)> = HashSet::new();
+    let mut max_out = 0usize;
+    let mut max_in = 0usize;
+    for i in 0..n {
+        let outs = out_neighbors(ps, i, delta);
+        max_out = max_out.max(outs.len());
+        for j in outs {
+            let key = if i <= j { (i, j) } else { (j, i) };
+            pairs.insert(key);
+        }
+        max_in = max_in.max(in_neighbors(ps, i, delta).len());
+    }
+    GraphStats {
+        undirected_edges: pairs.len(),
+        max_out_degree: max_out,
+        max_in_degree: max_in,
+        smoothness: ps.smoothness(),
+    }
+}
+
+/// The r-dimensional binary De Bruijn graph: does `G_~x` with
+/// `x_i = i/2^r` (ring edges excluded) coincide with it under the
+/// bit-reversal isomorphism of Section 2.1?
+///
+/// Returns `Ok(())` or a description of the first mismatch.
+pub fn check_debruijn_isomorphism(r: u32) -> Result<(), String> {
+    let n = 1usize << r;
+    let ps = PointSet::evenly_spaced(n);
+    let rev = |v: usize| -> usize {
+        let mut out = 0usize;
+        for b in 0..r {
+            if v & (1 << b) != 0 {
+                out |= 1 << (r - 1 - b);
+            }
+        }
+        out
+    };
+    for i in 0..n {
+        // our out-edges
+        let ours: HashSet<usize> = out_neighbors(&ps, i, 2).into_iter().collect();
+        // De Bruijn out-edges of node rev(i): u → (u << 1 | b) mod n,
+        // mapped back through the isomorphism.
+        let u = rev(i);
+        let expect: HashSet<usize> =
+            [0usize, 1].iter().map(|&b| rev(((u << 1) | b) & (n - 1))).collect();
+        if ours != expect {
+            return Err(format!(
+                "node {i} (De Bruijn {u:0r$b}): ours {ours:?} vs De Bruijn {expect:?}",
+                r = r as usize
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cd_core::rng::seeded;
+
+    #[test]
+    fn debruijn_isomorphism_holds() {
+        for r in 2..=8u32 {
+            check_debruijn_isomorphism(r).unwrap_or_else(|e| panic!("r={r}: {e}"));
+        }
+    }
+
+    #[test]
+    fn theorem_2_1_edge_bound_evenly_spaced() {
+        for n in [2usize, 4, 8, 16, 64, 256] {
+            let ps = PointSet::evenly_spaced(n);
+            let stats = graph_stats(&ps, 2);
+            assert!(
+                stats.undirected_edges <= 3 * n - 1,
+                "n={n}: {} edges > 3n−1",
+                stats.undirected_edges
+            );
+        }
+    }
+
+    #[test]
+    fn theorem_2_1_edge_bound_random_sets() {
+        let mut rng = seeded(20);
+        for n in [3usize, 10, 50, 200] {
+            for _ in 0..5 {
+                let ps = PointSet::random(n, &mut rng);
+                let stats = graph_stats(&ps, 2);
+                assert!(
+                    stats.undirected_edges <= 3 * n - 1,
+                    "n={n}: {} edges > 3n−1 (ρ={:.1})",
+                    stats.undirected_edges,
+                    stats.smoothness
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn theorem_2_2_degree_bounds_smooth() {
+        // For the evenly spaced set ρ = 1: out ≤ 5, in ≤ 3.
+        let ps = PointSet::evenly_spaced(128);
+        let stats = graph_stats(&ps, 2);
+        assert!(stats.max_out_degree <= (stats.smoothness + 4.0).ceil() as usize);
+        assert!(stats.max_in_degree <= (2.0 * stats.smoothness).ceil() as usize + 1);
+    }
+
+    #[test]
+    fn theorem_2_2_degree_bounds_random() {
+        let mut rng = seeded(21);
+        for _ in 0..5 {
+            let ps = PointSet::random(100, &mut rng);
+            let stats = graph_stats(&ps, 2);
+            let rho = stats.smoothness;
+            assert!(
+                stats.max_out_degree as f64 <= rho + 4.0,
+                "out-degree {} > ρ+4 = {:.1}",
+                stats.max_out_degree,
+                rho + 4.0
+            );
+            assert!(
+                stats.max_in_degree as f64 <= (2.0 * rho).ceil() + 1.0,
+                "in-degree {} > ⌈2ρ⌉+1",
+                stats.max_in_degree
+            );
+        }
+    }
+
+    #[test]
+    fn delta_ary_degrees_scale_with_delta() {
+        // Theorem 2.13: degree Θ(∆) for a smooth set.
+        let ps = PointSet::evenly_spaced(256);
+        for delta in [2u32, 4, 8, 16] {
+            let stats = graph_stats(&ps, delta);
+            assert!(
+                stats.max_out_degree >= delta as usize,
+                "∆={delta}: out-degree {} < ∆",
+                stats.max_out_degree
+            );
+            assert!(
+                stats.max_out_degree <= 2 * delta as usize + 4,
+                "∆={delta}: out-degree {} ≫ ∆",
+                stats.max_out_degree
+            );
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # dh-dht — the Distance Halving DHT
+//!
+//! The discrete half of the continuous-discrete construction
+//! (Section 2 of Naor & Wieder): `n` servers decompose the circle into
+//! segments `s(x_i) = [x_i, x_{i+1})`; two servers are connected iff
+//! their segments contain adjacent points of the continuous Distance
+//! Halving graph (plus ring edges). The crate provides
+//!
+//! * [`network::DhNetwork`] — the discrete graph with dynamic
+//!   join/leave, neighbor-table derivation and item storage,
+//! * [`lookup`] — Fast Lookup (§2.2.1) and Distance Halving Lookup
+//!   (§2.2.2), for any degree parameter ∆ (§2.3),
+//! * [`analysis`] — exact edge/degree counting used by the
+//!   Theorem 2.1/2.2 experiments and the De Bruijn isomorphism check,
+//! * [`metrics`] + [`driver`] — congestion accounting
+//!   (cache-padded atomic counters) and rayon-parallel workload
+//!   drivers for the congestion/permutation-routing experiments.
+//!
+//! Routing uses **only local state**: every hop moves along an entry of
+//! the current node's own neighbor table, and the implementation
+//! panics if a required discrete edge is missing — turning the paper's
+//! edge-derivation lemmas into runtime-checked invariants.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod analysis;
+pub mod driver;
+pub mod lookup;
+pub mod metrics;
+pub mod network;
+pub mod storage;
+
+pub use lookup::{LookupKind, Route};
+pub use metrics::LoadCounters;
+pub use network::{DhNetwork, NodeId};

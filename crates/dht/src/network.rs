@@ -1,0 +1,683 @@
+//! The discrete Distance Halving graph `G_~x` with dynamic membership.
+//!
+//! Each server `V_i` owns the segment `s(x_i) = [x_i, x_{i+1})`. The
+//! edge set is *derived* from the continuous graph: `V`'s neighbor
+//! table contains every server whose segment intersects
+//!
+//! * `f_d(s(V))` for `d = 0..∆`   (forward/children images),
+//! * `b_∆(s(V))` (+ ∆ ulps of slack to absorb fixed-point flooring of
+//!   the forward maps — see below), and
+//! * the ring predecessor and successor.
+//!
+//! Routing only ever moves a message from a node to a point covered by
+//! an entry of that node's **own** table:
+//!
+//! * a forward hop goes from `cover(p)` to `cover(f_d(p))` — found via
+//!   the forward images;
+//! * a backward hop goes from `cover(q)` to `cover(b_∆(q))` — `b_∆` is
+//!   exact on the fixed-point grid, so it is found via the backward
+//!   image; when a hop instead targets the exact *walk predecessor*
+//!   `q_k` with `q_{k+1} = f_d(q_k)` (phase 2 of the DH lookup), the
+//!   flooring of `f_d` makes `b_∆(q_{k+1})` undershoot `q_k` by up to
+//!   `∆−1` ulps — the slack on the backward image covers exactly this.
+//!
+//! Join and leave maintain the tables incrementally: the set of nodes
+//! whose tables can change is `{split/absorbing node} ∪ watchers`,
+//! where `watchers(X)` is the reverse index of neighbor tables.
+
+use cd_core::interval::Interval;
+use cd_core::point::Point;
+use cd_core::pointset::PointSet;
+use cd_core::Point as CPoint;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+
+/// A stable handle to a live server (slab index).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "V{}", self.0)
+    }
+}
+
+/// A neighbor-table entry: the neighbor and the segment it covered
+/// when the entry was derived (kept current by the churn protocol).
+#[derive(Clone, Copy, Debug)]
+pub struct Neighbor {
+    /// The neighbor's id.
+    pub id: NodeId,
+    /// The neighbor's segment.
+    pub segment: Interval,
+}
+
+/// An item stored on a node.
+#[derive(Clone, Debug)]
+pub struct StoredItem {
+    /// The hashed location of the item.
+    pub point: Point,
+    /// The payload.
+    pub value: bytes::Bytes,
+}
+
+/// Per-server state: identifier point, owned segment, neighbor table,
+/// reverse index, stored items.
+#[derive(Clone, Debug)]
+pub struct NodeState {
+    /// This node's id.
+    pub id: NodeId,
+    /// The node's identifier point `x_i`.
+    pub x: Point,
+    /// The owned segment `s(x_i)`.
+    pub segment: Interval,
+    /// The neighbor table (excluding self).
+    pub neighbors: Vec<Neighbor>,
+    /// Reverse index: nodes whose tables list this node.
+    pub watchers: HashSet<NodeId>,
+    /// Stored data items, keyed by item key.
+    pub items: HashMap<u64, StoredItem>,
+}
+
+impl NodeState {
+    /// Does this node's own segment cover `p`?
+    #[inline]
+    pub fn covers(&self, p: Point) -> bool {
+        self.segment.contains(p)
+    }
+
+    /// Find a table entry covering `p` (self excluded).
+    pub fn neighbor_covering(&self, p: Point) -> Option<NodeId> {
+        self.neighbors.iter().find(|nb| nb.segment.contains(p)).map(|nb| nb.id)
+    }
+
+    /// Degree (table size).
+    pub fn degree(&self) -> usize {
+        self.neighbors.len()
+    }
+}
+
+/// Cost report of one lookup-driven join (the paper's "cost of
+/// join/leave" metric).
+#[derive(Clone, Copy, Debug)]
+pub struct JoinCost {
+    /// The new node.
+    pub id: NodeId,
+    /// Hops of the initial lookup (step 2 of Algorithm Join).
+    pub lookup_hops: usize,
+    /// Number of servers whose state changed (steps 3–4): the split
+    /// node, the joiner, and every server holding an edge to the split
+    /// node. The paper: "only a small number of servers should change
+    /// their state" — O(degree) = O(ρ + ∆).
+    pub state_changes: usize,
+}
+
+/// The discrete Distance Halving network.
+pub struct DhNetwork {
+    delta: u32,
+    nodes: Vec<Option<NodeState>>,
+    free: Vec<u32>,
+    /// Sorted map from identifier-point bits to node.
+    registry: BTreeMap<u64, NodeId>,
+    /// Live node ids, unordered, for O(1) random sampling.
+    live: Vec<NodeId>,
+    /// Position of each node in `live` (slab-indexed).
+    live_pos: Vec<u32>,
+}
+
+impl DhNetwork {
+    /// Build a degree-2 (binary De Bruijn) network from identifier
+    /// points.
+    pub fn new(points: &PointSet) -> Self {
+        Self::with_delta(points, 2)
+    }
+
+    /// Build a degree-∆ network (Section 2.3) from identifier points.
+    pub fn with_delta(points: &PointSet, delta: u32) -> Self {
+        assert!(delta >= 2, "∆ must be ≥ 2");
+        let n = points.len();
+        let mut net = DhNetwork {
+            delta,
+            nodes: Vec::with_capacity(n),
+            free: Vec::new(),
+            registry: BTreeMap::new(),
+            live: Vec::with_capacity(n),
+            live_pos: Vec::with_capacity(n),
+        };
+        for i in 0..n {
+            let id = NodeId(i as u32);
+            net.nodes.push(Some(NodeState {
+                id,
+                x: points.point(i),
+                segment: points.segment(i),
+                neighbors: Vec::new(),
+                watchers: HashSet::new(),
+                items: HashMap::new(),
+            }));
+            net.registry.insert(points.point(i).bits(), id);
+            net.live.push(id);
+            net.live_pos.push(i as u32);
+        }
+        for i in 0..n {
+            net.rebuild_table(NodeId(i as u32));
+        }
+        net
+    }
+
+    /// The degree parameter ∆.
+    #[inline]
+    pub fn delta(&self) -> u32 {
+        self.delta
+    }
+
+    /// Number of live servers.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// True iff the network has no servers.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// Slab capacity (upper bound over all `NodeId.0` ever issued + 1);
+    /// sized for metric arrays.
+    #[inline]
+    pub fn slab_len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The live node ids (unordered).
+    #[inline]
+    pub fn live(&self) -> &[NodeId] {
+        &self.live
+    }
+
+    /// Borrow a node's state.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &NodeState {
+        self.nodes[id.0 as usize].as_ref().expect("dangling NodeId")
+    }
+
+    fn node_mut(&mut self, id: NodeId) -> &mut NodeState {
+        self.nodes[id.0 as usize].as_mut().expect("dangling NodeId")
+    }
+
+    /// Mutable access to a node's state. Exposed for the storage layer
+    /// and the caching protocol; topology fields (`x`, `segment`,
+    /// `neighbors`, `watchers`) must only be changed through
+    /// [`Self::join`]/[`Self::leave`].
+    pub fn node_state_mut(&mut self, id: NodeId) -> &mut NodeState {
+        self.node_mut(id)
+    }
+
+    /// The node covering point `p` (global oracle — used by tests,
+    /// neighbor derivation and experiment setup, never by routing).
+    pub fn cover_of(&self, p: Point) -> NodeId {
+        // greatest x ≤ p, else wrap to the greatest overall
+        if let Some((_, &id)) = self.registry.range(..=p.bits()).next_back() {
+            id
+        } else {
+            let (_, &id) = self.registry.iter().next_back().expect("empty network");
+            id
+        }
+    }
+
+    /// A uniformly random live node.
+    pub fn random_node(&self, rng: &mut impl rand::Rng) -> NodeId {
+        self.live[rng.gen_range(0..self.live.len())]
+    }
+
+    /// Local routing primitive: the node covering `p`, *as visible from
+    /// `cur`* — `cur` itself if its segment covers `p`, otherwise the
+    /// entry of `cur`'s own neighbor table covering `p`, otherwise
+    /// `None`. Higher-level protocols (lookups, caching, figures) build
+    /// every hop from this, so routing never consults global state.
+    pub fn local_cover(&self, cur: NodeId, p: Point) -> Option<NodeId> {
+        let state = self.node(cur);
+        if state.covers(p) {
+            Some(cur)
+        } else {
+            state.neighbor_covering(p)
+        }
+    }
+
+    /// The identifier points of all live nodes as a `PointSet`
+    /// (analysis view).
+    pub fn point_set(&self) -> PointSet {
+        PointSet::new(self.live.iter().map(|&id| self.node(id).x).collect())
+    }
+
+    // ------------------------------------------------------------------
+    // Neighbor derivation
+    // ------------------------------------------------------------------
+
+    /// All nodes whose segments intersect the arc `q` (oracle query on
+    /// the registry; stands in for the paper's assumption that segment
+    /// boundaries of adjacent cells are known at derivation time).
+    fn covers_of_arc(&self, q: &Interval) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let first = self.cover_of(q.start());
+        out.push(first);
+        // walk successors while their points lie inside q
+        let mut cur = self.node(first).x;
+        loop {
+            let (x, id) = self.successor(cur);
+            if id == first || !q.contains(x) {
+                break;
+            }
+            out.push(id);
+            cur = x;
+        }
+        out
+    }
+
+    /// The live node whose point strictly follows `x` on the ring.
+    fn successor(&self, x: Point) -> (Point, NodeId) {
+        use std::ops::Bound::{Excluded, Unbounded};
+        if let Some((&bits, &id)) = self.registry.range((Excluded(x.bits()), Unbounded)).next() {
+            (CPoint(bits), id)
+        } else {
+            let (&bits, &id) = self.registry.iter().next().expect("empty network");
+            (CPoint(bits), id)
+        }
+    }
+
+    /// The live node whose point strictly precedes `x` on the ring.
+    fn predecessor(&self, x: Point) -> (Point, NodeId) {
+        if let Some((&bits, &id)) = self.registry.range(..x.bits()).next_back() {
+            (CPoint(bits), id)
+        } else {
+            let (&bits, &id) = self.registry.iter().next_back().expect("empty network");
+            (CPoint(bits), id)
+        }
+    }
+
+    /// Derive the neighbor id set for a segment (excluding `myself`).
+    fn derive_ids(&self, seg: &Interval, myself: NodeId) -> Vec<NodeId> {
+        let mut ids: HashSet<NodeId> = HashSet::new();
+        // forward images
+        for d in 0..self.delta {
+            for piece in seg.image_child(d, self.delta).into_iter().flatten() {
+                ids.extend(self.covers_of_arc(&piece));
+            }
+        }
+        // backward image with ∆ ulps of slack (see module docs)
+        let b = seg.image_backward_delta(self.delta);
+        let widened = Interval::new(b.start(), (b.len() + self.delta as u128).min(cd_core::interval::FULL));
+        ids.extend(self.covers_of_arc(&widened));
+        // ring edges
+        ids.insert(self.successor(seg.start()).1);
+        ids.insert(self.predecessor(seg.start()).1);
+        ids.remove(&myself);
+        let mut v: Vec<NodeId> = ids.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Recompute one node's table from its current segment, updating
+    /// the reverse index.
+    fn rebuild_table(&mut self, id: NodeId) {
+        let seg = self.node(id).segment;
+        let new_ids = self.derive_ids(&seg, id);
+        let entries: Vec<Neighbor> =
+            new_ids.iter().map(|&nb| Neighbor { id: nb, segment: self.node(nb).segment }).collect();
+        let old_ids: Vec<NodeId> = self.node(id).neighbors.iter().map(|nb| nb.id).collect();
+        for old in &old_ids {
+            if !new_ids.contains(old) {
+                // the old neighbor may have just left the network
+                if let Some(n) = self.nodes[old.0 as usize].as_mut() {
+                    n.watchers.remove(&id);
+                }
+            }
+        }
+        for new in &new_ids {
+            if !old_ids.contains(new) {
+                self.node_mut(*new).watchers.insert(id);
+            }
+        }
+        self.node_mut(id).neighbors = entries;
+    }
+
+    // ------------------------------------------------------------------
+    // Join / leave
+    // ------------------------------------------------------------------
+
+    /// Join a new server with identifier point `x` (Algorithm Join,
+    /// §2.1). The segment covering `x` splits at `x`; items in the new
+    /// half move over; tables of the affected nodes are rebuilt.
+    ///
+    /// Returns the new node's id, or `None` if `x` collides with an
+    /// existing identifier.
+    pub fn join(&mut self, x: Point) -> Option<NodeId> {
+        if self.registry.contains_key(&x.bits()) {
+            return None;
+        }
+        let old = self.cover_of(x);
+        // Split s(old) at x: old keeps [x_old, x), new gets [x, old_end).
+        let old_seg = self.node(old).segment;
+        let (keep, give) = old_seg.split(x);
+        // allocate
+        let id = match self.free.pop() {
+            Some(slot) => {
+                let id = NodeId(slot);
+                self.nodes[slot as usize] = Some(NodeState {
+                    id,
+                    x,
+                    segment: give,
+                    neighbors: Vec::new(),
+                    watchers: HashSet::new(),
+                    items: HashMap::new(),
+                });
+                id
+            }
+            None => {
+                let id = NodeId(self.nodes.len() as u32);
+                self.nodes.push(Some(NodeState {
+                    id,
+                    x,
+                    segment: give,
+                    neighbors: Vec::new(),
+                    watchers: HashSet::new(),
+                    items: HashMap::new(),
+                }));
+                self.live_pos.push(0);
+                id
+            }
+        };
+        self.registry.insert(x.bits(), id);
+        self.live_pos[id.0 as usize] = self.live.len() as u32;
+        self.live.push(id);
+        self.node_mut(old).segment = keep;
+        // transfer items that now belong to the new node
+        let moved: Vec<u64> = self
+            .node(old)
+            .items
+            .iter()
+            .filter(|(_, it)| give.contains(it.point))
+            .map(|(&k, _)| k)
+            .collect();
+        for k in moved {
+            let it = self.node_mut(old).items.remove(&k).expect("item vanished");
+            self.node_mut(id).items.insert(k, it);
+        }
+        // rebuild affected tables: new, old, and everyone watching old
+        let mut affected: HashSet<NodeId> = self.node(old).watchers.iter().copied().collect();
+        affected.insert(old);
+        affected.insert(id);
+        for a in affected {
+            self.rebuild_table(a);
+        }
+        Some(id)
+    }
+
+    /// The full Algorithm Join of §2.1 with cost accounting: the
+    /// joining server contacts `host`, looks up its chosen point `x`
+    /// (step 2), splits the covering segment (step 3) and informs the
+    /// affected neighbors (step 4). Returns the measured cost, or
+    /// `None` on identifier collision.
+    pub fn join_via_lookup(
+        &mut self,
+        host: NodeId,
+        x: Point,
+        rng: &mut impl rand::Rng,
+    ) -> Option<JoinCost> {
+        if self.registry.contains_key(&x.bits()) {
+            return None;
+        }
+        let route = self.dh_lookup(host, x, rng);
+        debug_assert_eq!(route.destination(), self.cover_of(x));
+        let affected_before = self.node(route.destination()).watchers.len() + 2;
+        let id = self.join(x)?;
+        Some(JoinCost {
+            id,
+            lookup_hops: route.hops(),
+            // servers whose state changed: the split node, the new
+            // node, and every watcher of the split node (their tables
+            // were rebuilt)
+            state_changes: affected_before,
+        })
+    }
+
+    /// Remove a server; its ring predecessor absorbs the segment and
+    /// the stored items (the simple Leave of §2.1).
+    ///
+    /// Panics when removing the last node.
+    pub fn leave(&mut self, id: NodeId) {
+        assert!(self.live.len() > 1, "cannot remove the last server");
+        let x = self.node(id).x;
+        let seg = self.node(id).segment;
+        let (_, pred) = self.predecessor(x);
+        debug_assert_ne!(pred, id);
+        // affected set, computed before mutation
+        let mut affected: HashSet<NodeId> = self.node(id).watchers.iter().copied().collect();
+        affected.extend(self.node(pred).watchers.iter().copied());
+        affected.insert(pred);
+        affected.remove(&id);
+        // detach: remove from tables' reverse index
+        let my_neighbors: Vec<NodeId> = self.node(id).neighbors.iter().map(|nb| nb.id).collect();
+        for nb in my_neighbors {
+            self.node_mut(nb).watchers.remove(&id);
+        }
+        // pred absorbs segment + items
+        let pred_seg = self.node(pred).segment;
+        let merged = Interval::new(pred_seg.start(), (pred_seg.len() + seg.len()).min(cd_core::interval::FULL));
+        self.node_mut(pred).segment = merged;
+        let items: Vec<(u64, StoredItem)> = self.node_mut(id).items.drain().collect();
+        self.node_mut(pred).items.extend(items);
+        // unregister
+        self.registry.remove(&x.bits());
+        let pos = self.live_pos[id.0 as usize] as usize;
+        self.live.swap_remove(pos);
+        if pos < self.live.len() {
+            let moved = self.live[pos];
+            self.live_pos[moved.0 as usize] = pos as u32;
+        }
+        self.nodes[id.0 as usize] = None;
+        self.free.push(id.0);
+        for a in affected {
+            self.rebuild_table(a);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Validation
+    // ------------------------------------------------------------------
+
+    /// Check global invariants (used by tests after churn):
+    /// segments tile the circle, registry agrees with node state,
+    /// tables match fresh derivation, reverse index is consistent.
+    pub fn validate(&self) {
+        // segments tile
+        let mut total: u128 = 0;
+        for &id in &self.live {
+            let n = self.node(id);
+            assert_eq!(n.segment.start(), n.x, "segment must start at x");
+            let (sx, _) = self.successor(n.x);
+            assert_eq!(n.segment.end(), sx, "segment must end at successor");
+            total += n.segment.len();
+        }
+        assert_eq!(total, cd_core::interval::FULL, "segments must tile the circle");
+        // tables match derivation, watchers consistent
+        for &id in &self.live {
+            let fresh = self.derive_ids(&self.node(id).segment, id);
+            let actual: Vec<NodeId> = {
+                let mut v: Vec<NodeId> = self.node(id).neighbors.iter().map(|nb| nb.id).collect();
+                v.sort_unstable();
+                v
+            };
+            assert_eq!(actual, fresh, "stale table on {id}");
+            for nb in &self.node(id).neighbors {
+                assert_eq!(
+                    nb.segment, self.node(nb.id).segment,
+                    "stale segment info for {} in table of {id}",
+                    nb.id
+                );
+                assert!(self.node(nb.id).watchers.contains(&id), "missing watcher backlink");
+            }
+        }
+    }
+
+    /// Maximum and mean table size (the paper's *linkage* metric).
+    pub fn degree_stats(&self) -> (usize, f64) {
+        let mut max = 0usize;
+        let mut sum = 0usize;
+        for &id in &self.live {
+            let d = self.node(id).degree();
+            max = max.max(d);
+            sum += d;
+        }
+        (max, sum as f64 / self.live.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cd_core::rng::seeded;
+    use rand::Rng;
+
+    #[test]
+    fn build_small_and_validate() {
+        let net = DhNetwork::new(&PointSet::evenly_spaced(8));
+        assert_eq!(net.len(), 8);
+        net.validate();
+    }
+
+    #[test]
+    fn build_random_and_validate() {
+        let mut rng = seeded(3);
+        for n in [2usize, 3, 5, 17, 64, 257] {
+            let net = DhNetwork::new(&PointSet::random(n, &mut rng));
+            net.validate();
+        }
+    }
+
+    #[test]
+    fn build_delta_ary_and_validate() {
+        let mut rng = seeded(4);
+        for delta in [3u32, 4, 8, 16] {
+            let net = DhNetwork::with_delta(&PointSet::random(50, &mut rng), delta);
+            net.validate();
+        }
+    }
+
+    #[test]
+    fn cover_of_matches_pointset() {
+        let mut rng = seeded(5);
+        let ps = PointSet::random(40, &mut rng);
+        let net = DhNetwork::new(&ps);
+        for _ in 0..200 {
+            let p = CPoint(rng.gen());
+            let id = net.cover_of(p);
+            assert!(net.node(id).covers(p));
+        }
+    }
+
+    #[test]
+    fn join_splits_segment() {
+        let mut rng = seeded(6);
+        let mut net = DhNetwork::new(&PointSet::random(10, &mut rng));
+        let x = CPoint(rng.gen());
+        let old = net.cover_of(x);
+        let old_seg = net.node(old).segment;
+        let id = net.join(x).expect("no collision");
+        assert_eq!(net.len(), 11);
+        assert_eq!(net.node(id).x, x);
+        assert_eq!(net.node(id).segment.end(), old_seg.end());
+        assert_eq!(net.node(old).segment.end(), x);
+        net.validate();
+    }
+
+    #[test]
+    fn leave_merges_into_predecessor() {
+        let mut rng = seeded(7);
+        let mut net = DhNetwork::new(&PointSet::random(10, &mut rng));
+        let victim = net.random_node(&mut rng);
+        let seg = net.node(victim).segment;
+        let (_, pred) = net.predecessor(net.node(victim).x);
+        let pred_seg = net.node(pred).segment;
+        net.leave(victim);
+        assert_eq!(net.len(), 9);
+        assert_eq!(net.node(pred).segment.len(), pred_seg.len() + seg.len());
+        net.validate();
+    }
+
+    #[test]
+    fn churn_storm_preserves_invariants() {
+        let mut rng = seeded(8);
+        let mut net = DhNetwork::new(&PointSet::random(16, &mut rng));
+        for step in 0..300 {
+            if net.len() > 2 && rng.gen_bool(0.45) {
+                let v = net.random_node(&mut rng);
+                net.leave(v);
+            } else {
+                net.join(CPoint(rng.gen()));
+            }
+            if step % 50 == 49 {
+                net.validate();
+            }
+        }
+        net.validate();
+    }
+
+    #[test]
+    fn churn_storm_delta_4() {
+        let mut rng = seeded(9);
+        let mut net = DhNetwork::with_delta(&PointSet::random(16, &mut rng), 4);
+        for _ in 0..150 {
+            if net.len() > 2 && rng.gen_bool(0.45) {
+                let v = net.random_node(&mut rng);
+                net.leave(v);
+            } else {
+                net.join(CPoint(rng.gen()));
+            }
+        }
+        net.validate();
+    }
+
+    #[test]
+    fn join_via_lookup_reports_costs() {
+        let mut rng = seeded(21);
+        let mut net = DhNetwork::new(&PointSet::evenly_spaced(64));
+        let logn = 6.0f64;
+        for _ in 0..30 {
+            let host = net.random_node(&mut rng);
+            let x = CPoint(rng.gen());
+            let Some(cost) = net.join_via_lookup(host, x, &mut rng) else { continue };
+            assert!(net.node(cost.id).covers(x));
+            assert!(
+                (cost.lookup_hops as f64) <= 2.0 * logn + 8.0,
+                "join lookup {} hops",
+                cost.lookup_hops
+            );
+            assert!(
+                cost.state_changes <= 40,
+                "{} servers changed state — join must be local",
+                cost.state_changes
+            );
+        }
+        net.validate();
+    }
+
+    #[test]
+    fn two_node_network_has_each_other() {
+        let ps = PointSet::new(vec![CPoint(0), CPoint(1 << 63)]);
+        let net = DhNetwork::new(&ps);
+        net.validate();
+        for &id in net.live() {
+            assert!(net.node(id).degree() >= 1);
+        }
+    }
+
+    #[test]
+    fn average_degree_is_constant_for_smooth_sets() {
+        // Theorem 2.1 ⇒ average degree ≤ 6 (plus 2 ring edges).
+        let net = DhNetwork::new(&PointSet::evenly_spaced(512));
+        let (_, avg) = net.degree_stats();
+        assert!(avg <= 8.0, "average degree {avg} too large for a smooth set");
+    }
+}

@@ -1,0 +1,138 @@
+//! The hash-table interface on top of the Distance Halving network:
+//! items are hashed into `I` by a k-wise independent function chosen at
+//! system construction (Section 2.1, “Mapping the data items to
+//! servers”), stored at the covering server, and located by lookup.
+
+use crate::lookup::{LookupKind, Route};
+use crate::network::{DhNetwork, NodeId, StoredItem};
+use bytes::Bytes;
+use cd_core::hashing::KWiseHash;
+use rand::Rng;
+
+/// The DHT storage layer: a network plus the global hash function
+/// every server received when joining.
+pub struct Dht {
+    /// The overlay network.
+    pub net: DhNetwork,
+    /// The item-placement hash function.
+    pub hash: KWiseHash,
+    /// Which lookup algorithm `put`/`get` use.
+    pub kind: LookupKind,
+}
+
+impl Dht {
+    /// Wrap a network with a freshly drawn `log₂ n`-wise independent
+    /// hash function (the independence the paper's Theorem 2.11 needs).
+    pub fn new(net: DhNetwork, rng: &mut impl Rng) -> Self {
+        let k = (net.len().max(2) as f64).log2().ceil() as usize + 1;
+        Dht { hash: KWiseHash::new(k, rng), net, kind: LookupKind::DistanceHalving }
+    }
+
+    /// Store an item, routing from `from` to the responsible server.
+    /// Returns the route taken.
+    pub fn put(&mut self, from: NodeId, key: u64, value: Bytes, rng: &mut impl Rng) -> Route {
+        let point = self.hash.point(key);
+        let route = self.net.lookup(self.kind, from, point, rng);
+        let dest = route.destination();
+        let items = &mut self.net.node_state_mut(dest).items;
+        items.insert(key, StoredItem { point, value });
+        route
+    }
+
+    /// Retrieve an item, routing from `from`. Returns the route and the
+    /// value if present.
+    pub fn get(&self, from: NodeId, key: u64, rng: &mut impl Rng) -> (Route, Option<Bytes>) {
+        let point = self.hash.point(key);
+        let route = self.net.lookup(self.kind, from, point, rng);
+        let dest = route.destination();
+        let value = self.net.node(dest).items.get(&key).map(|it| it.value.clone());
+        (route, value)
+    }
+
+    /// Remove an item (routes like `get`).
+    pub fn remove(&mut self, from: NodeId, key: u64, rng: &mut impl Rng) -> (Route, Option<Bytes>) {
+        let point = self.hash.point(key);
+        let route = self.net.lookup(self.kind, from, point, rng);
+        let dest = route.destination();
+        let value = self.net.node_state_mut(dest).items.remove(&key).map(|it| it.value);
+        (route, value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cd_core::pointset::PointSet;
+    use cd_core::rng::seeded;
+    use cd_core::Point as CPoint;
+    use rand::Rng;
+
+    #[test]
+    fn put_then_get_roundtrips() {
+        let mut rng = seeded(30);
+        let net = DhNetwork::new(&PointSet::random(64, &mut rng));
+        let mut dht = Dht::new(net, &mut rng);
+        for key in 0..200u64 {
+            let from = dht.net.random_node(&mut rng);
+            let value = Bytes::from(format!("value-{key}"));
+            dht.put(from, key, value.clone(), &mut rng);
+            let from2 = dht.net.random_node(&mut rng);
+            let (_, got) = dht.get(from2, key, &mut rng);
+            assert_eq!(got, Some(value));
+        }
+    }
+
+    #[test]
+    fn get_missing_returns_none() {
+        let mut rng = seeded(31);
+        let net = DhNetwork::new(&PointSet::random(16, &mut rng));
+        let dht = Dht::new(net, &mut rng);
+        let from = dht.net.random_node(&mut rng);
+        let (_, got) = dht.get(from, 999, &mut rng);
+        assert_eq!(got, None);
+    }
+
+    #[test]
+    fn items_survive_churn() {
+        let mut rng = seeded(32);
+        let net = DhNetwork::new(&PointSet::random(32, &mut rng));
+        let mut dht = Dht::new(net, &mut rng);
+        for key in 0..100u64 {
+            let from = dht.net.random_node(&mut rng);
+            dht.put(from, key, Bytes::from(key.to_be_bytes().to_vec()), &mut rng);
+        }
+        // churn: joins move items to new owners, leaves merge them back
+        for _ in 0..60 {
+            if dht.net.len() > 4 && rng.gen_bool(0.5) {
+                let v = dht.net.random_node(&mut rng);
+                dht.net.leave(v);
+            } else {
+                dht.net.join(CPoint(rng.gen()));
+            }
+        }
+        dht.net.validate();
+        for key in 0..100u64 {
+            let from = dht.net.random_node(&mut rng);
+            let (route, got) = dht.get(from, key, &mut rng);
+            assert_eq!(
+                got,
+                Some(Bytes::from(key.to_be_bytes().to_vec())),
+                "item {key} lost after churn (route ended at {})",
+                route.destination()
+            );
+        }
+    }
+
+    #[test]
+    fn remove_deletes() {
+        let mut rng = seeded(33);
+        let net = DhNetwork::new(&PointSet::random(16, &mut rng));
+        let mut dht = Dht::new(net, &mut rng);
+        let from = dht.net.random_node(&mut rng);
+        dht.put(from, 7, Bytes::from_static(b"x"), &mut rng);
+        let (_, removed) = dht.remove(from, 7, &mut rng);
+        assert_eq!(removed, Some(Bytes::from_static(b"x")));
+        let (_, got) = dht.get(from, 7, &mut rng);
+        assert_eq!(got, None);
+    }
+}

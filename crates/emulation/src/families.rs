@@ -1,0 +1,155 @@
+//! Bounded-degree graph families `{G_k}` with `2^k` vertices — the
+//! guests for the Section 7 emulation. Each family defines its edge
+//! set arithmetically, so adjacency is computable locally by any
+//! server (the paper's requirement that `Φ_k` be locally computable).
+
+/// A family of graphs, one per dimension `k`, on vertex set `0..2^k`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum GraphFamily {
+    /// The k-dimensional hypercube: `u ~ u ⊕ 2^i`. Degree k.
+    Hypercube,
+    /// The wrapped butterfly on `2^k` nodes: vertex `(level, row)`
+    /// packed as `level·2^(k−r) + row` where `k = r + log r`…
+    /// simplified here to the *shuffle-exchange*-style packing: we use
+    /// the standard arithmetic butterfly on `2^k` vertices with
+    /// `k`-bit labels: `u ~ rot(u) and rot(u) ⊕ 1`. Degree ≤ 4.
+    WrappedButterfly,
+    /// Cube-connected cycles flavored as the degree-3 graph:
+    /// `u ~ u⊕1`, `u ~ rot_left(u)`, `u ~ rot_right(u)`. Degree 3
+    /// distinct neighbors (≤ 4 with coincidences).
+    CubeConnectedCycles,
+    /// The binary De Bruijn graph: `u ~ 2u mod 2^k (+1)`. Degree ≤ 4.
+    DeBruijn,
+    /// The shuffle-exchange graph: `u ~ u⊕1`, `u ~ rot_left(u)`.
+    ShuffleExchange,
+    /// A √n × √n torus (k even): 4-regular grid with wraparound.
+    Torus,
+}
+
+impl GraphFamily {
+    /// Maximum degree `d` of the family (constant in `k`): the bound
+    /// entering Theorem 7.1. (The hypercube has degree `k` — included
+    /// as the paper's canonical *non*-constant-degree contrast.)
+    pub fn max_degree(&self, k: u32) -> usize {
+        match self {
+            GraphFamily::Hypercube => k as usize,
+            GraphFamily::WrappedButterfly => 4,
+            GraphFamily::CubeConnectedCycles => 4,
+            GraphFamily::DeBruijn => 4,
+            GraphFamily::ShuffleExchange => 3,
+            GraphFamily::Torus => 4,
+        }
+    }
+
+    /// The neighbors of vertex `u` in `G_k` (vertices `0..2^k`).
+    pub fn neighbors(&self, k: u32, u: u64) -> Vec<u64> {
+        let n = 1u64 << k;
+        debug_assert!(u < n);
+        let mask = n - 1;
+        let rot_l = |v: u64| ((v << 1) | (v >> (k - 1))) & mask;
+        let rot_r = |v: u64| ((v >> 1) | ((v & 1) << (k - 1))) & mask;
+        let mut out = match self {
+            GraphFamily::Hypercube => (0..k).map(|i| u ^ (1 << i)).collect::<Vec<_>>(),
+            GraphFamily::WrappedButterfly => {
+                vec![rot_l(u), rot_l(u) ^ 1, rot_r(u), rot_r(u ^ 1)]
+            }
+            GraphFamily::CubeConnectedCycles => vec![u ^ 1, rot_l(u), rot_r(u)],
+            GraphFamily::DeBruijn => {
+                vec![(u << 1) & mask, ((u << 1) | 1) & mask, u >> 1, (u >> 1) | (n >> 1)]
+            }
+            GraphFamily::ShuffleExchange => vec![u ^ 1, rot_l(u), rot_r(u)],
+            GraphFamily::Torus => {
+                assert!(k % 2 == 0, "torus needs even k");
+                let side = 1u64 << (k / 2);
+                let (x, y) = (u / side, u % side);
+                vec![
+                    ((x + 1) % side) * side + y,
+                    ((x + side - 1) % side) * side + y,
+                    x * side + (y + 1) % side,
+                    x * side + (y + side - 1) % side,
+                ]
+            }
+        };
+        out.retain(|&v| v != u);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Is the adjacency symmetric (it must be — checked in tests)?
+    pub fn check_symmetry(&self, k: u32) -> bool {
+        let n = 1u64 << k;
+        (0..n).all(|u| self.neighbors(k, u).iter().all(|&v| self.neighbors(k, v).contains(&u)))
+    }
+
+    /// All families (for sweeps).
+    pub fn all() -> [GraphFamily; 6] {
+        [
+            GraphFamily::Hypercube,
+            GraphFamily::WrappedButterfly,
+            GraphFamily::CubeConnectedCycles,
+            GraphFamily::DeBruijn,
+            GraphFamily::ShuffleExchange,
+            GraphFamily::Torus,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_families_symmetric() {
+        for fam in GraphFamily::all() {
+            let k = if fam == GraphFamily::Torus { 6 } else { 5 };
+            assert!(fam.check_symmetry(k), "{fam:?} asymmetric");
+        }
+    }
+
+    #[test]
+    fn degrees_within_bounds() {
+        for fam in GraphFamily::all() {
+            let k = if fam == GraphFamily::Torus { 6 } else { 7 };
+            let d = fam.max_degree(k);
+            for u in 0..(1u64 << k) {
+                let nb = fam.neighbors(k, u);
+                assert!(nb.len() <= d, "{fam:?}: deg({u}) = {} > {d}", nb.len());
+            }
+        }
+    }
+
+    #[test]
+    fn hypercube_neighbors() {
+        let nb = GraphFamily::Hypercube.neighbors(3, 0b101);
+        assert_eq!(nb, vec![0b001, 0b100, 0b111]);
+    }
+
+    #[test]
+    fn torus_is_4_regular() {
+        for u in 0..(1u64 << 6) {
+            assert_eq!(GraphFamily::Torus.neighbors(6, u).len(), 4);
+        }
+    }
+
+    #[test]
+    fn debruijn_is_connected_small() {
+        // BFS over k=5
+        let k = 5u32;
+        let n = 1usize << k;
+        let mut seen = vec![false; n];
+        let mut stack = vec![0u64];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(u) = stack.pop() {
+            for v in GraphFamily::DeBruijn.neighbors(k, u) {
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    count += 1;
+                    stack.push(v);
+                }
+            }
+        }
+        assert_eq!(count, n);
+    }
+}

@@ -1,0 +1,27 @@
+//! # cd-emulation — emulating general graphs (Section 7)
+//!
+//! "Smoothness is everything": given *any* family of bounded-degree
+//! graphs `{G_1, G_2, …}` with `2^k` vertices each, a smooth dynamic
+//! decomposition of `[0,1)` emulates `G_⌈log n⌉` in real time. Node
+//! `u_j` of `G_k` is mapped to the server covering `j/2^k`:
+//!
+//! ```text
+//! Φ_k(u_j) = V_i   iff   j/2^k ∈ s(x_i)
+//! ```
+//!
+//! Theorem 7.1: with smoothness ρ, every server simulates ≤ ρ+1 guest
+//! nodes, every host edge carries ≤ ρ² guest edges, and host degree is
+//! ≤ ρ·d (≤ 2dρ·log ρ when servers must *estimate* log n from their
+//! segment lengths). The paper's conclusion — any static-network
+//! solution can be made dynamic this way — is exercised by emulating
+//! hypercubes, butterflies, cube-connected cycles, shuffle-exchange
+//! and torus graphs over the point sets of the balance crate.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod emulate;
+pub mod families;
+
+pub use emulate::{Emulation, EmulationStats};
+pub use families::GraphFamily;

@@ -1,0 +1,24 @@
+//! # dh-erasure — Reed-Solomon erasure coding over GF(2⁸)
+//!
+//! Section 6.2 of Naor & Wieder observes that in the overlapping DHT
+//! all `Θ(log n)` servers holding a data item form a clique, so the
+//! item can be stored as **erasure-code shares** instead of full
+//! replicas — "the data stored by any small subset of the servers
+//! suffices to reconstruct the data item" (citing digital fountains
+//! [Byers et al.] and the erasure-vs-replication comparison of
+//! Weatherspoon & Kubiatowicz). This crate supplies that substrate,
+//! from scratch:
+//!
+//! * [`gf256`] — arithmetic in `GF(2⁸)` (AES polynomial `0x11B`) with
+//!   log/antilog tables built at construction,
+//! * [`rs`] — a systematic Reed-Solomon code: `encode` produces `m`
+//!   shares from `k` data shards; `decode` reconstructs from **any**
+//!   `k` of them (Vandermonde matrix inversion over the field).
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod gf256;
+pub mod rs;
+
+pub use rs::{decode, encode, Share};

@@ -1,0 +1,198 @@
+//! Systematic Reed-Solomon erasure code: `k` data shards are extended
+//! to `m ≤ 255` shares such that **any** `k` shares reconstruct the
+//! data. Encoding evaluates the data polynomial at distinct field
+//! points (Vandermonde); decoding solves the k×k system by Gaussian
+//! elimination over `GF(2⁸)`.
+
+use crate::gf256::Gf256;
+use bytes::Bytes;
+
+/// One coded share.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Share {
+    /// Share index in `0..m` (determines the evaluation point).
+    pub index: u8,
+    /// Payload (all shares of an item have equal length).
+    pub data: Bytes,
+}
+
+/// Split `data` into `k` shards (padding with the length trailer) and
+/// produce `m` shares, any `k` of which reconstruct. `0 < k ≤ m ≤ 255`.
+pub fn encode(data: &[u8], k: usize, m: usize) -> Vec<Share> {
+    assert!(0 < k && k <= m && m <= 255, "need 0 < k ≤ m ≤ 255");
+    let f = Gf256::new();
+    // shard layout: append an 8-byte big-endian length, pad to k·len
+    let mut padded = data.to_vec();
+    padded.extend_from_slice(&(data.len() as u64).to_be_bytes());
+    let shard_len = padded.len().div_ceil(k);
+    padded.resize(shard_len * k, 0);
+    let shards: Vec<&[u8]> = padded.chunks(shard_len).collect();
+    // share i = Σ_j shards[j] · x_i^j with x_i = i+1 (nonzero points)
+    (0..m)
+        .map(|i| {
+            let x = (i + 1) as u8;
+            let mut out = vec![0u8; shard_len];
+            for (j, shard) in shards.iter().enumerate() {
+                let c = f.pow(x, j);
+                for (o, &b) in out.iter_mut().zip(shard.iter()) {
+                    *o = f.add(*o, f.mul(c, b));
+                }
+            }
+            Share { index: i as u8, data: Bytes::from(out) }
+        })
+        .collect()
+}
+
+/// Reconstruct the original data from any `k` distinct shares.
+/// Returns `None` if fewer than `k` distinct shares are supplied or
+/// the system is inconsistent.
+pub fn decode(shares: &[Share], k: usize) -> Option<Vec<u8>> {
+    let f = Gf256::new();
+    // pick k distinct shares
+    let mut seen = std::collections::HashSet::new();
+    let chosen: Vec<&Share> =
+        shares.iter().filter(|s| seen.insert(s.index)).take(k).collect();
+    if chosen.len() < k {
+        return None;
+    }
+    let shard_len = chosen[0].data.len();
+    if chosen.iter().any(|s| s.data.len() != shard_len) {
+        return None;
+    }
+    // Solve V · shards = shares where V[r][j] = x_r^j, x_r = index+1.
+    // Gaussian elimination on the k×k Vandermonde with the share bytes
+    // as the right-hand side (columns of bytes processed jointly).
+    let mut mat: Vec<Vec<u8>> = chosen
+        .iter()
+        .map(|s| (0..k).map(|j| f.pow(s.index + 1, j)).collect())
+        .collect();
+    let mut rhs: Vec<Vec<u8>> = chosen.iter().map(|s| s.data.to_vec()).collect();
+    for col in 0..k {
+        // pivot
+        let pivot = (col..k).find(|&r| mat[r][col] != 0)?;
+        mat.swap(col, pivot);
+        rhs.swap(col, pivot);
+        let inv = f.inv(mat[col][col]);
+        for j in 0..k {
+            mat[col][j] = f.mul(mat[col][j], inv);
+        }
+        for b in rhs[col].iter_mut() {
+            *b = f.mul(*b, inv);
+        }
+        for r in 0..k {
+            if r == col || mat[r][col] == 0 {
+                continue;
+            }
+            let factor = mat[r][col];
+            for j in 0..k {
+                let v = f.mul(factor, mat[col][j]);
+                mat[r][j] = f.add(mat[r][j], v);
+            }
+            for b in 0..shard_len {
+                let v = f.mul(factor, rhs[col][b]);
+                rhs[r][b] = f.add(rhs[r][b], v);
+            }
+        }
+    }
+    // reassemble and strip the length trailer
+    let mut padded = Vec::with_capacity(k * shard_len);
+    for row in rhs {
+        padded.extend_from_slice(&row);
+    }
+    if padded.len() < 8 {
+        return None;
+    }
+    // the length trailer was appended at position data_len
+    // scan: data_len = u64 at padded[data_len..data_len+8]; we know
+    // total = shard_len·k and data_len + 8 ≤ total, padding zeros after
+    // — recover by reading the 8 bytes right after the data: we stored
+    // len at a *known* relative position: it directly follows the data.
+    // Try all suffix positions? No: len is stored immediately after the
+    // data, so padded = data ‖ len ‖ zeros. Read len from the end:
+    // find the last non-zero... simpler: the trailer is the 8 bytes at
+    // offset L where L is encoded *in* the trailer. Scan candidates:
+    for cand in (0..=padded.len() - 8).rev() {
+        let mut le = [0u8; 8];
+        le.copy_from_slice(&padded[cand..cand + 8]);
+        let l = u64::from_be_bytes(le) as usize;
+        if l == cand && padded[cand + 8..].iter().all(|&b| b == 0) {
+            return Some(padded[..cand].to_vec());
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+
+    #[test]
+    fn roundtrip_all_shares() {
+        let data = b"the continuous-discrete approach".to_vec();
+        let shares = encode(&data, 4, 9);
+        assert_eq!(shares.len(), 9);
+        let back = decode(&shares, 4).expect("decodes");
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn any_k_of_m_suffice() {
+        let data: Vec<u8> = (0..100u8).collect();
+        let (k, m) = (5usize, 12usize);
+        let shares = encode(&data, k, m);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..30 {
+            let mut subset = shares.clone();
+            subset.shuffle(&mut rng);
+            subset.truncate(k);
+            assert_eq!(decode(&subset, k).expect("any k decode"), data);
+        }
+    }
+
+    #[test]
+    fn fewer_than_k_fail() {
+        let data = b"secret".to_vec();
+        let shares = encode(&data, 3, 6);
+        assert!(decode(&shares[..2], 3).is_none());
+    }
+
+    #[test]
+    fn k_equals_one_is_replication() {
+        let data = b"replica".to_vec();
+        let shares = encode(&data, 1, 4);
+        for s in &shares {
+            assert_eq!(decode(&[s.clone()], 1).expect("single share"), data);
+        }
+    }
+
+    #[test]
+    fn empty_data_roundtrips() {
+        let shares = encode(&[], 3, 5);
+        assert_eq!(decode(&shares[1..4], 3).expect("decodes"), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn duplicate_share_indices_rejected_gracefully() {
+        let data = b"dup".to_vec();
+        let shares = encode(&data, 2, 4);
+        let dup = vec![shares[0].clone(), shares[0].clone()];
+        assert!(decode(&dup, 2).is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..200),
+                          k in 1usize..8, extra in 0usize..8, seed: u64) {
+            let m = k + extra;
+            let shares = encode(&data, k, m);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut subset = shares.clone();
+            subset.shuffle(&mut rng);
+            subset.truncate(k);
+            prop_assert_eq!(decode(&subset, k).expect("decode"), data);
+        }
+    }
+}

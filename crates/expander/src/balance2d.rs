@@ -1,0 +1,234 @@
+//! Achieving smoothness in two dimensions (§5.3): the 2D Multiple
+//! Choice algorithm and the Definition 7 smoothness check.
+//!
+//! For a joining server: sample `t·log n` random points; prefer one
+//! whose *small* rectangle (the `1/√(2n) × 1/√(2n)` grid) **and**
+//! *big* rectangle (the `√(2/n) × √(2/n)` grid) are both empty;
+//! otherwise any with an empty small rectangle; otherwise fail to the
+//! first sample. Lemma 5.3: after `n` inserts the configuration has
+//! smoothness ≤ 2 w.h.p. — every big rectangle occupied, every small
+//! rectangle at most singly occupied.
+//!
+//! (Note: Definition 7 in the paper text swaps the two quantifiers —
+//! as stated, `ρn` small rectangles each containing a point would need
+//! `ρn ≤ n` points. We implement the intent, which is also what the
+//! Lemma 5.3 proof uses: **coverage** of the `n/ρ` big rectangles and
+//! **separation** on the `ρn` small ones.)
+
+use rand::Rng;
+
+/// A point set in `[0,1)²` with grid-occupancy queries, supporting the
+/// 2D Multiple Choice join rule.
+///
+/// The rectangle grids are sized for the *target* population `n`, as
+/// in the paper's Lemma 5.3 (which assumes an accurate estimate of
+/// `n`): the proof inserts `n` points against the fixed `2n`/`n/2`
+/// grids. (A fully dynamic variant would re-derive the estimate from
+/// the current population; the accuracy assumption is the same one the
+/// paper makes.)
+#[derive(Clone, Debug)]
+pub struct TwoDMultipleChoice {
+    points: Vec<(f64, f64)>,
+    /// Samples per `log₂ n` (the paper's `t`; ≥ 3 for the lemma).
+    pub t: usize,
+    /// The target population the grids are sized for.
+    pub target: usize,
+}
+
+impl TwoDMultipleChoice {
+    /// Empty set with sampling parameter `t` and target size `target`.
+    pub fn new(t: usize, target: usize) -> Self {
+        TwoDMultipleChoice { points: Vec::new(), t: t.max(1), target: target.max(2) }
+    }
+
+    /// The points inserted so far.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True iff no points have been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    fn count_in_cell(&self, k: usize, cx: usize, cy: usize) -> usize {
+        // O(n) scan; experiment sizes (n ≤ 8192) keep builds fast, and
+        // correctness-first beats a stale occupancy cache under churn.
+        let k = k as f64;
+        self.points
+            .iter()
+            .filter(|&&(x, y)| {
+                (x * k) as usize == cx && (y * k) as usize == cy
+            })
+            .count()
+    }
+
+    fn cell_of(k: usize, p: (f64, f64)) -> (usize, usize) {
+        let k = k as f64;
+        ((p.0 * k) as usize, (p.1 * k) as usize)
+    }
+
+    /// Side of the small grid: `⌈√(2n)⌉` for the target `n`.
+    pub fn small_side(&self) -> usize {
+        (((self.target * 2) as f64).sqrt().ceil() as usize).max(1)
+    }
+
+    /// Side of the big grid: `⌊√(n/2)⌋` for the target `n`.
+    pub fn big_side(&self) -> usize {
+        ((self.target as f64 / 2.0).sqrt().floor() as usize).max(1)
+    }
+
+    /// Join one server: run the 2D Multiple Choice rule and insert the
+    /// chosen point. Returns it.
+    pub fn join(&mut self, rng: &mut impl Rng) -> (f64, f64) {
+        let n = self.target;
+        let samples = (self.t as f64 * (n as f64).log2()).ceil() as usize;
+        let ks = self.small_side();
+        let kb = self.big_side();
+        let zs: Vec<(f64, f64)> =
+            (0..samples.max(1)).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+        // preferred: small and big rectangles both empty
+        let mut fallback: Option<(f64, f64)> = None;
+        let mut chosen: Option<(f64, f64)> = None;
+        for &z in &zs {
+            let (sx, sy) = Self::cell_of(ks, z);
+            if self.count_in_cell(ks, sx, sy) > 0 {
+                continue;
+            }
+            if fallback.is_none() {
+                fallback = Some(z);
+            }
+            let (bx, by) = Self::cell_of(kb, z);
+            if self.count_in_cell(kb, bx, by) == 0 {
+                chosen = Some(z);
+                break;
+            }
+        }
+        let p = chosen.or(fallback).unwrap_or(zs[0]);
+        self.points.push(p);
+        p
+    }
+
+    /// Grow to `n` points (grids sized for `n`).
+    pub fn build(n: usize, t: usize, rng: &mut impl Rng) -> Self {
+        let mut s = Self::new(t, n);
+        while s.len() < n {
+            s.join(rng);
+        }
+        s
+    }
+}
+
+/// Report of the Definition-7 style smoothness-2 check.
+#[derive(Clone, Copy, Debug)]
+pub struct Smoothness2Report {
+    /// Number of *big* (`√(2/n)`-side) rectangles with no point —
+    /// must be 0 for smoothness ≤ 2.
+    pub empty_big: usize,
+    /// Number of *small* (`1/√(2n)`-side) rectangles holding ≥ 2
+    /// points — must be 0 for smoothness ≤ 2.
+    pub crowded_small: usize,
+    /// Maximum points found in any small rectangle.
+    pub max_small_occupancy: usize,
+}
+
+impl Smoothness2Report {
+    /// Did the configuration pass (smoothness ≤ 2)?
+    pub fn passed(&self) -> bool {
+        self.empty_big == 0 && self.crowded_small == 0
+    }
+}
+
+/// Check the smoothness-2 conditions for a point set of size `n = 2m²`
+/// (so both grids are exact: `2n = (2m)²` small cells, `n/2 = m²` big
+/// cells).
+pub fn smoothness2_check(points: &[(f64, f64)]) -> Smoothness2Report {
+    let n = points.len();
+    let m = ((n as f64) / 2.0).sqrt().round() as usize;
+    assert_eq!(2 * m * m, n, "smoothness-2 check requires n = 2m² (got n = {n})");
+    let ks = 2 * m; // small grid side: (2m)² = 2n cells
+    let kb = m; // big grid side: m² = n/2 cells
+    let mut small = vec![0usize; ks * ks];
+    let mut big = vec![0usize; kb * kb];
+    for &(x, y) in points {
+        let sx = ((x * ks as f64) as usize).min(ks - 1);
+        let sy = ((y * ks as f64) as usize).min(ks - 1);
+        small[sx * ks + sy] += 1;
+        let bx = ((x * kb as f64) as usize).min(kb - 1);
+        let by = ((y * kb as f64) as usize).min(kb - 1);
+        big[bx * kb + by] += 1;
+    }
+    Smoothness2Report {
+        empty_big: big.iter().filter(|&&c| c == 0).count(),
+        crowded_small: small.iter().filter(|&&c| c >= 2).count(),
+        max_small_occupancy: small.iter().copied().max().unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cd_core::rng::seeded;
+
+    #[test]
+    fn lemma_5_3_multiple_choice_reaches_smoothness_2() {
+        let mut rng = seeded(1);
+        let n = 2 * 16 * 16; // 512 = 2m², m = 16
+        let s = TwoDMultipleChoice::build(n, 4, &mut rng);
+        let report = smoothness2_check(s.points());
+        assert!(
+            report.passed(),
+            "2D multiple choice failed: {} empty big, {} crowded small",
+            report.empty_big,
+            report.crowded_small
+        );
+    }
+
+    #[test]
+    fn single_choice_2d_fails_smoothness_2() {
+        // contrast: uniform random points collide in small rectangles
+        // and miss big ones with constant probability per cell
+        let mut rng = seeded(2);
+        let n = 2 * 16 * 16;
+        let points: Vec<(f64, f64)> =
+            (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+        let report = smoothness2_check(&points);
+        assert!(
+            !report.passed(),
+            "uniform random points unexpectedly smooth (p ≈ e^{{-Ω(n)}})"
+        );
+    }
+
+    #[test]
+    fn lattice_passes_trivially() {
+        let m = 8usize;
+        let mut pts = Vec::new();
+        // 2m² points: two shifted m×m lattices… use a (2m)×m grid
+        for i in 0..(2 * m) {
+            for j in 0..m {
+                pts.push((
+                    (i as f64 + 0.5) / (2.0 * m as f64),
+                    (j as f64 + 0.5) / m as f64,
+                ));
+            }
+        }
+        let report = smoothness2_check(&pts);
+        assert_eq!(report.empty_big, 0);
+        // the (2m)² small grid: our lattice has 2m columns and only m
+        // rows, so vertically adjacent cells share… actually each small
+        // cell column index hits one point per two rows: occupancy ≤ 1
+        assert!(report.max_small_occupancy <= 1);
+    }
+
+    #[test]
+    fn grows_to_requested_size() {
+        let mut rng = seeded(3);
+        let s = TwoDMultipleChoice::build(100, 3, &mut rng);
+        assert_eq!(s.len(), 100);
+    }
+}

@@ -1,0 +1,227 @@
+//! Discretisation of the Gabber-Galil continuous expander over a torus
+//! Voronoi decomposition (§5.2).
+//!
+//! Each server owns a Voronoi cell. Two cells are connected iff they
+//! contain adjacent points of the continuous graph — i.e. iff
+//! `T(C_i) ∩ C_j ≠ ∅` for one of the four transformations
+//! `T ∈ {f, g, f⁻¹, g⁻¹}` — or share a Voronoi boundary (the dual
+//! Delaunay edges a deployment maintains anyway for the diagram
+//! itself). Since the maps are affine shears and cells are convex, the
+//! overlap test is an exact convex-polygon intersection (with a
+//! conservative ε of one grid unit, so boundary-touching pairs count
+//! as adjacent).
+
+use cd_geometry::polygon::{affine, centroid, convex_intersect};
+use cd_geometry::predicates::GRID;
+use cd_geometry::TorusVoronoi;
+
+/// The four Gabber-Galil shears as affine matrices over grid coords.
+const MAPS: [[f64; 4]; 4] = [
+    [1.0, 1.0, 0.0, 1.0],  // f:  (x+y, y)
+    [1.0, 0.0, 1.0, 1.0],  // g:  (x, x+y)
+    [1.0, -1.0, 0.0, 1.0], // f⁻¹: (x−y, y)
+    [1.0, 0.0, -1.0, 1.0], // g⁻¹: (x, y−x)
+];
+
+/// A discretised Gabber-Galil expander network.
+pub struct GgExpander {
+    voronoi: TorusVoronoi,
+    /// Continuous-graph edges (from the four shears), per cell.
+    gg_adj: Vec<Vec<usize>>,
+    /// Voronoi (Delaunay) adjacency, per cell.
+    cell_adj: Vec<Vec<usize>>,
+}
+
+impl GgExpander {
+    /// Discretise over the Voronoi diagram of `points` (unit square).
+    pub fn build(points: &[(f64, f64)]) -> Self {
+        let voronoi = TorusVoronoi::build(points);
+        Self::from_voronoi(voronoi)
+    }
+
+    /// Discretise an existing diagram.
+    pub fn from_voronoi(voronoi: TorusVoronoi) -> Self {
+        let n = voronoi.len();
+        let cells: Vec<Vec<(f64, f64)>> = (0..n).map(|i| voronoi.cell(i)).collect();
+        let cell_adj: Vec<Vec<usize>> = (0..n).map(|i| voronoi.neighbors(i)).collect();
+        let centroids: Vec<(f64, f64)> = cells.iter().map(|c| centroid(c)).collect();
+        // max cell "radius" (over vertices) for the candidate search
+        let mut max_r2 = 0.0f64;
+        for (i, cell) in cells.iter().enumerate() {
+            for &(x, y) in cell {
+                let dx = x - centroids[i].0;
+                let dy = y - centroids[i].1;
+                max_r2 = max_r2.max(dx * dx + dy * dy);
+            }
+        }
+        let max_r = max_r2.sqrt();
+        let g = GRID as f64;
+        let mut gg_adj: Vec<std::collections::BTreeSet<usize>> =
+            vec![std::collections::BTreeSet::new(); n];
+        for i in 0..n {
+            for m in MAPS {
+                let image = affine(&cells[i], m, (0.0, 0.0));
+                let (icx, icy) = centroid(&image);
+                // image radius
+                let ir = image
+                    .iter()
+                    .map(|&(x, y)| ((x - icx).powi(2) + (y - icy).powi(2)).sqrt())
+                    .fold(0.0f64, f64::max);
+                let reach = ir + max_r + 2.0;
+                // candidates: all cells whose centroid is within reach
+                // (mod the torus), tested by exact convex intersection
+                // against the candidate polygon unwrapped into the
+                // image's frame.
+                for (j, &(cjx, cjy)) in centroids.iter().enumerate() {
+                    // nearest torus image of candidate centroid
+                    let dx = wrap_delta(cjx - icx, g);
+                    let dy = wrap_delta(cjy - icy, g);
+                    if (dx * dx + dy * dy).sqrt() > reach {
+                        continue;
+                    }
+                    let shift = (icx + dx - cjx, icy + dy - cjy);
+                    let cand = affine(&cells[j], [1.0, 0.0, 0.0, 1.0], shift);
+                    if convex_intersect(&image, &cand, 1.0) {
+                        if i != j {
+                            gg_adj[i].insert(j);
+                            gg_adj[j].insert(i); // continuous edges are undirected
+                        }
+                    }
+                }
+            }
+        }
+        GgExpander {
+            voronoi,
+            gg_adj: gg_adj.into_iter().map(|s| s.into_iter().collect()).collect(),
+            cell_adj,
+        }
+    }
+
+    /// Number of servers.
+    pub fn len(&self) -> usize {
+        self.gg_adj.len()
+    }
+
+    /// True iff no servers.
+    pub fn is_empty(&self) -> bool {
+        self.gg_adj.is_empty()
+    }
+
+    /// The underlying Voronoi diagram.
+    pub fn voronoi(&self) -> &TorusVoronoi {
+        &self.voronoi
+    }
+
+    /// Continuous-graph (Gabber-Galil) adjacency.
+    pub fn gg_adjacency(&self) -> &[Vec<usize>] {
+        &self.gg_adj
+    }
+
+    /// Combined network adjacency: Gabber-Galil edges ∪ Voronoi
+    /// (Delaunay) edges — what a deployment's routing tables hold.
+    pub fn full_adjacency(&self) -> Vec<Vec<usize>> {
+        (0..self.len())
+            .map(|i| {
+                let mut s: std::collections::BTreeSet<usize> =
+                    self.gg_adj[i].iter().copied().collect();
+                s.extend(self.cell_adj[i].iter().copied());
+                s.remove(&i);
+                s.into_iter().collect()
+            })
+            .collect()
+    }
+
+    /// `(max, mean)` degree of the Gabber-Galil edges — Corollary 5.2's
+    /// `Θ(ρ)`.
+    pub fn degree_stats(&self) -> (usize, f64) {
+        let max = self.gg_adj.iter().map(|a| a.len()).max().unwrap_or(0);
+        let sum: usize = self.gg_adj.iter().map(|a| a.len()).sum();
+        (max, sum as f64 / self.len() as f64)
+    }
+}
+
+fn wrap_delta(d: f64, period: f64) -> f64 {
+    let mut d = d % period;
+    if d > period / 2.0 {
+        d -= period;
+    } else if d < -period / 2.0 {
+        d += period;
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spectral::analyze;
+    use cd_core::rng::seeded;
+    use rand::Rng;
+
+    fn jittered_lattice(k: usize, seed: u64) -> Vec<(f64, f64)> {
+        let mut rng = seeded(seed);
+        let mut pts = Vec::new();
+        for i in 0..k {
+            for j in 0..k {
+                let jx: f64 = rng.gen::<f64>() * 0.2 / k as f64;
+                let jy: f64 = rng.gen::<f64>() * 0.2 / k as f64;
+                pts.push(((i as f64 + 0.5) / k as f64 + jx, (j as f64 + 0.5) / k as f64 + jy));
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn smooth_cells_give_constant_degree() {
+        // Corollary 5.2: degree Θ(ρ). A shear image of a lattice cell
+        // spans a 2-cell-wide parallelogram, so each of the 4 maps
+        // overlaps ~6-8 cells: constant, independent of n.
+        let small = GgExpander::build(&jittered_lattice(8, 1));
+        let large = GgExpander::build(&jittered_lattice(14, 1));
+        let (max_s, mean_s) = small.degree_stats();
+        let (max_l, mean_l) = large.degree_stats();
+        assert!(max_s <= 36 && max_l <= 36, "max GG degrees {max_s}, {max_l}");
+        assert!(mean_s >= 2.0 && mean_l >= 2.0);
+        // constant in n: the max degree must not grow with the network
+        assert!(
+            max_l <= max_s + 6,
+            "degree grew with n: {max_s} → {max_l} (not Θ(ρ))"
+        );
+    }
+
+    #[test]
+    fn gg_adjacency_symmetric() {
+        let x = GgExpander::build(&jittered_lattice(8, 2));
+        for (i, nbrs) in x.gg_adjacency().iter().enumerate() {
+            for &j in nbrs {
+                assert!(x.gg_adjacency()[j].contains(&i), "asymmetric {i}↔{j}");
+            }
+        }
+    }
+
+    #[test]
+    fn discretised_expander_has_constant_gap() {
+        // the headline of Section 5: the discretisation of a smooth set
+        // is an expander — positive spectral gap, not decaying like a
+        // lattice torus graph would.
+        let small = GgExpander::build(&jittered_lattice(8, 3));
+        let large = GgExpander::build(&jittered_lattice(16, 4));
+        let rs = analyze(&small.full_adjacency(), 500, 10);
+        let rl = analyze(&large.full_adjacency(), 500, 11);
+        assert!(rs.gap > 0.05, "gap {} at n=64", rs.gap);
+        assert!(rl.gap > 0.05, "gap {} at n=256", rl.gap);
+        // non-decaying within noise
+        assert!(rl.gap > rs.gap * 0.4, "gap collapsed: {} → {}", rs.gap, rl.gap);
+    }
+
+    #[test]
+    fn random_cells_still_expand_with_higher_degree() {
+        let mut rng = seeded(5);
+        let pts: Vec<(f64, f64)> = (0..150).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+        let x = GgExpander::build(&pts);
+        let (max, _) = x.degree_stats();
+        // random sets have ρ = ω(1): degrees grow but stay moderate
+        assert!(max >= 4 && max <= 80, "max degree {max}");
+        let r = analyze(&x.full_adjacency(), 500, 12);
+        assert!(r.gap > 0.02, "gap {}", r.gap);
+    }
+}

@@ -1,0 +1,34 @@
+//! # cd-expander — dynamic constant-degree expanders (Section 5)
+//!
+//! The paper's second architecture: discretise the **Gabber-Galil
+//! continuous expander** over `I = [0,1)²` — neighbours of `(x,y)` are
+//! `f(x,y) = (x+y, y)`, `g(x,y) = (x, x+y)` and their inverses — using
+//! a dynamic Voronoi decomposition of the torus into server cells. By
+//! Theorem 5.1 (Gabber-Galil) every set of measure ≤ 1/2 expands by
+//! `(2−√3)/2`, so (Corollary 5.2) any *smooth* decomposition yields a
+//! network with degree `Θ(ρ)` and expansion `Ω((2−√3)/ρ)` — expansion
+//! that can be *verified* from smoothness, unlike randomized
+//! constructions.
+//!
+//! Components:
+//! * [`gg`] — the discretisation: cell adjacency from the Voronoi
+//!   diagram plus the cells overlapped by each cell's image under
+//!   `f, g, f⁻¹, g⁻¹`,
+//! * [`spectral`] — expansion verification: the spectral gap of the
+//!   normalized adjacency operator (power iteration with deflation)
+//!   and sweep-cut conductance (Cheeger witnesses),
+//! * [`margulis`] — the classical discrete Margulis expander on
+//!   `Z_m × Z_m`, a known-gap baseline for the verifier,
+//! * [`balance2d`] — the 2D Multiple Choice algorithm (Lemma 5.3):
+//!   smoothness ≤ 2 w.h.p., making the expander constant-degree.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod balance2d;
+pub mod gg;
+pub mod margulis;
+pub mod spectral;
+
+pub use balance2d::{smoothness2_check, TwoDMultipleChoice};
+pub use gg::GgExpander;

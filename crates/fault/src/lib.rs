@@ -1,0 +1,31 @@
+//! # dh-fault — the Overlapping Distance Halving DHT (Section 6)
+//!
+//! Same continuous graph as the plain DHT, different discretisation:
+//! segments **overlap**. Server `V_i` covers `s(V_i) = [x_i, y_i]`
+//! with `|s(V_i)| = Θ(log n / n)`, derived purely locally — `log n` is
+//! estimated from the distance to the ring predecessor (Lemma 6.2) —
+//! so every point of `I` is covered by `Θ(log n)` servers and every
+//! data item is stored `Θ(log n)` times.
+//!
+//! * **Simple Lookup** (Theorem 6.3): emulate the canonical backward
+//!   path of Claim 2.4, forwarding each hop to *one random live* cover
+//!   of the next point. `log n + O(1)` hops; survives random fail-stop
+//!   of a constant fraction of servers (Theorem 6.4).
+//! * **Majority Lookup** (Theorem 6.6): forward each hop to **all**
+//!   `Θ(log n)` covers; a server accepts a value only when a majority
+//!   of the previous covering set vouches for it. Correct retrieval
+//!   under random *false message injection* with `O(log n)` time and
+//!   `O(log³ n)` messages.
+//!
+//! The crate also wires in `dh-erasure` (§6.2's suggestion): instead of
+//! full replicas, covers can hold Reed-Solomon shares, any
+//! `k`-of-`m` of which reconstruct the item.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod net;
+pub mod lookup;
+pub mod storage;
+
+pub use net::{FaultModel, OverlapNet, OverlapNodeId};

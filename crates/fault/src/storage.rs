@@ -1,0 +1,150 @@
+//! Erasure-coded storage on the overlapping DHT (§6.2).
+//!
+//! All servers covering `h(item)` form a clique, so once one of them
+//! is located the rest are one hop away and can be queried in
+//! parallel. Instead of full replicas, each cover holds one
+//! Reed-Solomon share; any `k` live covers reconstruct the item —
+//! the paper's digital-fountain suggestion (after Byers et al. and
+//! Weatherspoon-Kubiatowicz).
+
+use crate::net::{OverlapNet, OverlapNodeId};
+use cd_core::point::Point;
+use dh_erasure::{decode, encode, Share};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Erasure-coded item store layered over an [`OverlapNet`].
+pub struct ErasureStore {
+    /// Reconstruction threshold `k`.
+    pub k: usize,
+    /// Shares held per server, per item.
+    shelves: HashMap<(OverlapNodeId, u64), Share>,
+    /// Item locations (`h(item)`), fixed at store time.
+    locations: HashMap<u64, Point>,
+}
+
+impl ErasureStore {
+    /// New store with reconstruction threshold `k`.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1);
+        ErasureStore { k, shelves: HashMap::new(), locations: HashMap::new() }
+    }
+
+    /// Store `value` for `item` hashed to `location`: one share per
+    /// covering server. Returns the number of shares placed.
+    pub fn put(&mut self, net: &OverlapNet, item: u64, location: Point, value: &[u8]) -> usize {
+        let covers = net.covers_of(location);
+        assert!(
+            covers.len() >= self.k,
+            "not enough covers ({}) for threshold k = {}",
+            covers.len(),
+            self.k
+        );
+        let shares = encode(value, self.k, covers.len());
+        for (server, share) in covers.iter().zip(shares) {
+            self.shelves.insert((*server, item), share);
+        }
+        self.locations.insert(item, location);
+        covers.len()
+    }
+
+    /// Retrieve `item` from `from`: Simple Lookup to one live cover,
+    /// then pull shares from the live covers (one hop each, clique)
+    /// until `k` are gathered. Returns the value and the number of
+    /// share-fetch messages, or `None` if reconstruction failed.
+    pub fn get(
+        &self,
+        net: &OverlapNet,
+        from: OverlapNodeId,
+        item: u64,
+        rng: &mut impl Rng,
+    ) -> Option<(Vec<u8>, usize)> {
+        let location = *self.locations.get(&item)?;
+        let route = net.simple_lookup(from, location, rng);
+        if !route.ok {
+            return None;
+        }
+        let mut shares = Vec::new();
+        let mut messages = route.hops.len() - 1;
+        for server in net.live_covers_of(location) {
+            if let Some(share) = self.shelves.get(&(server, item)) {
+                shares.push(share.clone());
+                messages += 1;
+                if shares.len() == self.k {
+                    break;
+                }
+            }
+        }
+        decode(&shares, self.k).map(|v| (v, messages))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cd_core::rng::seeded;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let mut rng = seeded(1);
+        let net = OverlapNet::build(256, &mut rng);
+        let mut store = ErasureStore::new(3);
+        let loc = Point(rng.gen());
+        let placed = store.put(&net, 7, loc, b"erasure-coded payload");
+        assert!(placed >= 3);
+        let from = OverlapNodeId(rng.gen_range(0..256));
+        let (value, _) = store.get(&net, from, 7, &mut rng).expect("reconstructs");
+        assert_eq!(value, b"erasure-coded payload");
+    }
+
+    #[test]
+    fn survives_failures_up_to_threshold() {
+        let mut rng = seeded(2);
+        let mut net = OverlapNet::build(512, &mut rng);
+        let mut store = ErasureStore::new(3);
+        let loc = Point(rng.gen());
+        store.put(&net, 1, loc, b"resilient");
+        net.fail_random(0.25, &mut rng);
+        let mut ok = 0usize;
+        let trials = 50usize;
+        for _ in 0..trials {
+            let from = loop {
+                let id = OverlapNodeId(rng.gen_range(0..512));
+                if net.alive(id) {
+                    break id;
+                }
+            };
+            if let Some((v, _)) = store.get(&net, from, 1, &mut rng) {
+                assert_eq!(v, b"resilient");
+                ok += 1;
+            }
+        }
+        assert!(ok >= trials * 9 / 10, "only {ok}/{trials} retrievals under p = 0.25");
+    }
+
+    #[test]
+    fn storage_overhead_beats_replication() {
+        // m shares of size |v|/k vs m replicas of size |v|:
+        // k× saving, the Weatherspoon-Kubiatowicz argument.
+        let mut rng = seeded(3);
+        let net = OverlapNet::build(256, &mut rng);
+        let mut store = ErasureStore::new(4);
+        let value = vec![0xAB; 4096];
+        let loc = Point(rng.gen());
+        let m = store.put(&net, 9, loc, &value);
+        let total: usize = store.shelves.values().map(|s| s.data.len()).sum();
+        let replication_total = m * value.len();
+        assert!(
+            total * 3 < replication_total,
+            "erasure total {total} not ≪ replication {replication_total}"
+        );
+    }
+
+    #[test]
+    fn missing_item_returns_none() {
+        let mut rng = seeded(4);
+        let net = OverlapNet::build(64, &mut rng);
+        let store = ErasureStore::new(2);
+        assert!(store.get(&net, OverlapNodeId(0), 42, &mut rng).is_none());
+    }
+}

@@ -1,0 +1,449 @@
+//! Incremental Delaunay triangulation (Bowyer-Watson).
+//!
+//! Classic algorithm: locate the triangle containing the new point by
+//! walking, grow the *cavity* of triangles whose circumcircle contains
+//! the point, and retriangulate the cavity boundary as a fan. All
+//! decisions use the exact predicates of [`crate::predicates`], so the
+//! structure is combinatorially exact; the enclosing super-square keeps
+//! every insertion interior.
+
+use crate::predicates::{incircle, orient2d, GridPoint};
+use std::collections::HashMap;
+
+const NONE: u32 = u32::MAX;
+
+/// Half the side of the enclosing super-square (grid units). Large
+/// enough that super vertices distort only triangles incident to them.
+pub const SUPER: i64 = 1 << 24;
+
+#[derive(Clone, Debug)]
+struct Tri {
+    /// Vertex indices, counter-clockwise.
+    v: [u32; 3],
+    /// `adj[i]` = triangle across the edge opposite `v[i]`
+    /// (the edge `v[i+1] → v[i+2]`), or `NONE`.
+    adj: [u32; 3],
+    alive: bool,
+}
+
+/// An incremental Delaunay triangulation of grid points.
+pub struct Delaunay {
+    points: Vec<GridPoint>,
+    tris: Vec<Tri>,
+    /// A triangle incident to each vertex (walk hint / traversal seed).
+    vert_tri: Vec<u32>,
+    /// Hint for point location.
+    last: u32,
+}
+
+impl Delaunay {
+    /// An empty triangulation: just the super-square (two triangles).
+    pub fn new() -> Self {
+        let points = vec![
+            GridPoint::new(-SUPER, -SUPER),
+            GridPoint::new(SUPER, -SUPER),
+            GridPoint::new(SUPER, SUPER),
+            GridPoint::new(-SUPER, SUPER),
+        ];
+        // two ccw triangles: (0,1,2) and (0,2,3)
+        let tris = vec![
+            Tri { v: [0, 1, 2], adj: [NONE, 1, NONE], alive: true },
+            Tri { v: [0, 2, 3], adj: [NONE, NONE, 0], alive: true },
+        ];
+        Delaunay { points, tris, vert_tri: vec![0, 0, 0, 1], last: 0 }
+    }
+
+    /// Number of real (non-super) vertices.
+    pub fn len(&self) -> usize {
+        self.points.len() - 4
+    }
+
+    /// True iff no real vertices were inserted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Is this vertex index one of the four super-square corners?
+    pub fn is_super(&self, v: usize) -> bool {
+        v < 4
+    }
+
+    /// The coordinates of a vertex.
+    pub fn point(&self, v: usize) -> GridPoint {
+        self.points[v]
+    }
+
+    /// Insert a point strictly inside the super-square. Returns the new
+    /// vertex index, or `Err(existing)` if the exact point is already
+    /// present.
+    pub fn insert(&mut self, p: GridPoint) -> Result<usize, usize> {
+        assert!(
+            p.x.abs() < SUPER && p.y.abs() < SUPER,
+            "point outside the super-square: {p:?}"
+        );
+        let t0 = self.locate(p)?;
+        let vi = self.points.len() as u32;
+        self.points.push(p);
+        self.vert_tri.push(NONE);
+
+        // Grow the cavity: triangles whose circumcircle contains p.
+        let mut cavity: Vec<u32> = vec![t0];
+        let mut in_cavity: HashMap<u32, bool> = HashMap::new();
+        in_cavity.insert(t0, true);
+        let mut stack = vec![t0];
+        while let Some(t) = stack.pop() {
+            let adj = self.tris[t as usize].adj;
+            for a in adj {
+                if a == NONE || in_cavity.contains_key(&a) {
+                    continue;
+                }
+                let tv = self.tris[a as usize].v;
+                let inside = incircle(
+                    self.points[tv[0] as usize],
+                    self.points[tv[1] as usize],
+                    self.points[tv[2] as usize],
+                    p,
+                ) > 0;
+                in_cavity.insert(a, inside);
+                if inside {
+                    cavity.push(a);
+                    stack.push(a);
+                }
+            }
+        }
+
+        // Boundary edges of the cavity, with the outer triangle across.
+        // Edge (a, b) is ccw on the cavity boundary (p is to its left).
+        let mut boundary: Vec<(u32, u32, u32)> = Vec::new(); // (a, b, outer)
+        for &t in &cavity {
+            let tri = self.tris[t as usize].clone();
+            for i in 0..3 {
+                let out = tri.adj[i];
+                let is_outer = out == NONE || !*in_cavity.get(&out).unwrap_or(&false);
+                if is_outer {
+                    let a = tri.v[(i + 1) % 3];
+                    let b = tri.v[(i + 2) % 3];
+                    boundary.push((a, b, out));
+                }
+            }
+        }
+        // Kill cavity triangles.
+        for &t in &cavity {
+            self.tris[t as usize].alive = false;
+        }
+        // Create the fan: one triangle (p, a, b) per boundary edge.
+        let mut edge_owner: HashMap<(u32, u32), u32> = HashMap::new();
+        let mut created: Vec<u32> = Vec::with_capacity(boundary.len());
+        for &(a, b, out) in &boundary {
+            let nt = self.alloc(Tri { v: [vi, a, b], adj: [out, NONE, NONE], alive: true });
+            created.push(nt);
+            // fix the outer triangle's back pointer
+            if out != NONE {
+                let o = &mut self.tris[out as usize];
+                for i in 0..3 {
+                    if (o.v[(i + 1) % 3] == b && o.v[(i + 2) % 3] == a)
+                        || (o.v[(i + 1) % 3] == a && o.v[(i + 2) % 3] == b)
+                    {
+                        o.adj[i] = nt;
+                    }
+                }
+            }
+            // link fan siblings: edge (p,a) pairs with a sibling's (p,b') where b' == a
+            // our edge (vi→a) is opposite vertex index 2 (edge v[2+1]=vi? see below)
+            // triangle (vi, a, b): edges: opposite 0 = (a,b) [outer],
+            // opposite 1 = (b,vi), opposite 2 = (vi,a).
+            edge_owner.insert((vi, a), nt); // edge (vi→a), opposite index 2
+            edge_owner.insert((b, vi), nt); // edge (b→vi), opposite index 1
+            self.vert_tri[a as usize] = nt;
+            self.vert_tri[b as usize] = nt;
+        }
+        for &nt in &created {
+            let (a, b) = {
+                let tri = &self.tris[nt as usize];
+                (tri.v[1], tri.v[2])
+            };
+            // sibling across (vi, a) has recorded (a, vi)… we recorded
+            // directed edges (vi,a) and (b,vi) per triangle; the sibling
+            // sharing our edge (vi→a) recorded it as (a→…)? Fan edges:
+            // our (vi,a) matches the sibling whose third edge is (a,vi),
+            // i.e. the sibling with boundary edge ending at a recorded
+            // (a, vi)? It recorded (b',vi) with b' == a.
+            if let Some(&s) = edge_owner.get(&(a, vi)) {
+                self.tris[nt as usize].adj[2] = s;
+            }
+            if let Some(&s) = edge_owner.get(&(vi, b)) {
+                self.tris[nt as usize].adj[1] = s;
+            }
+        }
+        self.vert_tri[vi as usize] = created[0];
+        self.last = created[0];
+        Ok(vi as usize)
+    }
+
+    fn alloc(&mut self, t: Tri) -> u32 {
+        self.tris.push(t);
+        (self.tris.len() - 1) as u32
+    }
+
+    /// Locate an alive triangle containing `p` (by walking), or
+    /// `Err(v)` when `p` coincides with an existing vertex `v`.
+    fn locate(&self, p: GridPoint) -> Result<u32, usize> {
+        let mut t = if self.tris[self.last as usize].alive {
+            self.last
+        } else {
+            self.tris
+                .iter()
+                .position(|x| x.alive)
+                .expect("triangulation always has alive triangles") as u32
+        };
+        let mut steps = 0usize;
+        'walk: loop {
+            steps += 1;
+            if steps > self.tris.len() * 3 + 16 {
+                // extremely defensive fallback: exhaustive scan
+                for (i, tri) in self.tris.iter().enumerate() {
+                    if tri.alive && self.contains(i as u32, p) {
+                        t = i as u32;
+                        break;
+                    }
+                }
+                return self.check_duplicate(t, p);
+            }
+            let tri = &self.tris[t as usize];
+            for i in 0..3 {
+                let a = tri.v[(i + 1) % 3];
+                let b = tri.v[(i + 2) % 3];
+                if orient2d(self.points[a as usize], self.points[b as usize], p) < 0 {
+                    let next = tri.adj[i];
+                    assert!(next != NONE, "walked off the super-square");
+                    t = next;
+                    continue 'walk;
+                }
+            }
+            return self.check_duplicate(t, p);
+        }
+    }
+
+    fn check_duplicate(&self, t: u32, p: GridPoint) -> Result<u32, usize> {
+        for &v in &self.tris[t as usize].v {
+            if self.points[v as usize] == p {
+                return Err(v as usize);
+            }
+        }
+        Ok(t)
+    }
+
+    fn contains(&self, t: u32, p: GridPoint) -> bool {
+        let tri = &self.tris[t as usize];
+        (0..3).all(|i| {
+            let a = tri.v[(i + 1) % 3];
+            let b = tri.v[(i + 2) % 3];
+            orient2d(self.points[a as usize], self.points[b as usize], p) >= 0
+        })
+    }
+
+    /// The alive triangles incident to vertex `v`, in rotation order
+    /// (counter-clockwise), as triangle indices.
+    pub fn triangles_around(&self, v: usize) -> Vec<u32> {
+        let start = self.vert_tri[v];
+        debug_assert!(start != NONE);
+        // rotate ccw: in triangle t with v at local index i, the next
+        // triangle ccw around v is across the edge opposite v[(i+2)%3]
+        let mut out = Vec::new();
+        let mut t = start;
+        loop {
+            out.push(t);
+            let tri = &self.tris[t as usize];
+            let i = tri.v.iter().position(|&x| x as usize == v).expect("vertex in own triangle");
+            let next = tri.adj[(i + 2) % 3];
+            assert!(next != NONE, "open fan around vertex {v} (vertex on hull?)");
+            t = next;
+            if t == start {
+                break;
+            }
+            assert!(out.len() <= self.tris.len(), "rotation did not close");
+        }
+        out
+    }
+
+    /// The vertices adjacent to `v` (its Delaunay link), in ccw order.
+    pub fn link(&self, v: usize) -> Vec<usize> {
+        self.triangles_around(v)
+            .into_iter()
+            .map(|t| {
+                let tri = &self.tris[t as usize];
+                let i = tri.v.iter().position(|&x| x as usize == v).expect("vertex in triangle");
+                tri.v[(i + 1) % 3] as usize
+            })
+            .collect()
+    }
+
+    /// Vertex triples of all alive triangles (including super-incident
+    /// ones).
+    pub fn triangles(&self) -> Vec<[usize; 3]> {
+        self.tris
+            .iter()
+            .filter(|t| t.alive)
+            .map(|t| [t.v[0] as usize, t.v[1] as usize, t.v[2] as usize])
+            .collect()
+    }
+
+    /// Vertex triple of one triangle index (from
+    /// [`Self::triangles_around`]).
+    pub fn triangle(&self, t: u32) -> [usize; 3] {
+        let tri = &self.tris[t as usize];
+        [tri.v[0] as usize, tri.v[1] as usize, tri.v[2] as usize]
+    }
+
+    /// Validate the structure: adjacency symmetry, ccw orientation and
+    /// the Delaunay empty-circle property (exhaustive; tests only).
+    pub fn validate(&self) {
+        for (ti, t) in self.tris.iter().enumerate() {
+            if !t.alive {
+                continue;
+            }
+            let [a, b, c] = t.v;
+            assert!(
+                orient2d(
+                    self.points[a as usize],
+                    self.points[b as usize],
+                    self.points[c as usize]
+                ) > 0,
+                "triangle {ti} not ccw"
+            );
+            for i in 0..3 {
+                let n = t.adj[i];
+                if n == NONE {
+                    continue;
+                }
+                let nt = &self.tris[n as usize];
+                assert!(nt.alive, "adjacency into dead triangle");
+                assert!(
+                    nt.adj.iter().any(|&x| x == ti as u32),
+                    "asymmetric adjacency {ti} → {n}"
+                );
+            }
+        }
+        // empty-circle over non-super triangles vs non-super vertices
+        for t in self.tris.iter().filter(|t| t.alive) {
+            let [a, b, c] = t.v;
+            if t.v.iter().any(|&x| (x as usize) < 4) {
+                continue;
+            }
+            for v in 4..self.points.len() {
+                if v as u32 == a || v as u32 == b || v as u32 == c {
+                    continue;
+                }
+                assert!(
+                    incircle(
+                        self.points[a as usize],
+                        self.points[b as usize],
+                        self.points[c as usize],
+                        self.points[v]
+                    ) <= 0,
+                    "Delaunay violation: vertex {v} inside circumcircle of ({a},{b},{c})"
+                );
+            }
+        }
+    }
+}
+
+impl Default for Delaunay {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cd_core::rng::seeded;
+    use rand::Rng;
+
+    #[test]
+    fn single_point_fan() {
+        let mut d = Delaunay::new();
+        let v = d.insert(GridPoint::new(0, 0)).expect("fresh point");
+        assert_eq!(v, 4);
+        d.validate();
+        assert_eq!(d.triangles_around(v).len(), 4);
+    }
+
+    #[test]
+    fn duplicate_detected() {
+        let mut d = Delaunay::new();
+        d.insert(GridPoint::new(5, 5)).expect("fresh");
+        assert_eq!(d.insert(GridPoint::new(5, 5)), Err(4));
+    }
+
+    #[test]
+    fn small_square_triangulation() {
+        let mut d = Delaunay::new();
+        for (x, y) in [(0, 0), (100, 0), (100, 100), (0, 100)] {
+            d.insert(GridPoint::new(x, y)).expect("fresh");
+        }
+        d.validate();
+        // link of each corner contains the two adjacent corners
+        let l = d.link(4);
+        assert!(l.contains(&5) && l.contains(&7));
+    }
+
+    #[test]
+    fn random_points_delaunay_property() {
+        let mut rng = seeded(1);
+        let mut d = Delaunay::new();
+        for _ in 0..150 {
+            let p = GridPoint::new(rng.gen_range(-1000..1000), rng.gen_range(-1000..1000));
+            let _ = d.insert(p);
+        }
+        d.validate();
+    }
+
+    #[test]
+    fn collinear_and_grid_points() {
+        // degenerate configurations: co-circular lattice points
+        let mut d = Delaunay::new();
+        for x in 0..8 {
+            for y in 0..8 {
+                d.insert(GridPoint::new(x * 64, y * 64)).expect("fresh");
+            }
+        }
+        d.validate();
+        assert_eq!(d.len(), 64);
+    }
+
+    #[test]
+    fn incremental_validity_at_each_step() {
+        let mut rng = seeded(2);
+        let mut d = Delaunay::new();
+        for i in 0..60 {
+            let p = GridPoint::new(rng.gen_range(-500..500), rng.gen_range(-500..500));
+            let _ = d.insert(p);
+            if i % 10 == 9 {
+                d.validate();
+            }
+        }
+    }
+
+    #[test]
+    fn link_is_closed_walk() {
+        let mut rng = seeded(3);
+        let mut d = Delaunay::new();
+        let mut ids = Vec::new();
+        for _ in 0..80 {
+            let p = GridPoint::new(rng.gen_range(-800..800), rng.gen_range(-800..800));
+            if let Ok(v) = d.insert(p) {
+                ids.push(v);
+            }
+        }
+        for &v in &ids {
+            let link = d.link(v);
+            assert!(link.len() >= 3);
+            // neighbors distinct
+            let mut s = link.clone();
+            s.sort_unstable();
+            s.dedup();
+            assert_eq!(s.len(), link.len());
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Convex polygon utilities (f64). Voronoi cells are convex; the
+//! Gabber-Galil maps are affine shears, so images of cells are convex
+//! too — intersection testing reduces to the separating axis theorem.
+//!
+//! Floating point is used only here, for *measurement* (areas) and for
+//! the conservative cell-overlap tests of the expander discretisation;
+//! every combinatorial structure underneath (Delaunay/Voronoi) is
+//! exact.
+
+/// Signed area (shoelace); positive for counter-clockwise polygons.
+pub fn signed_area(poly: &[(f64, f64)]) -> f64 {
+    let n = poly.len();
+    let mut s = 0.0;
+    for i in 0..n {
+        let (x0, y0) = poly[i];
+        let (x1, y1) = poly[(i + 1) % n];
+        s += x0 * y1 - x1 * y0;
+    }
+    s / 2.0
+}
+
+/// Absolute area.
+pub fn area(poly: &[(f64, f64)]) -> f64 {
+    signed_area(poly).abs()
+}
+
+/// Centroid of a (non-degenerate) polygon.
+pub fn centroid(poly: &[(f64, f64)]) -> (f64, f64) {
+    let a = signed_area(poly);
+    let n = poly.len();
+    let (mut cx, mut cy) = (0.0, 0.0);
+    for i in 0..n {
+        let (x0, y0) = poly[i];
+        let (x1, y1) = poly[(i + 1) % n];
+        let w = x0 * y1 - x1 * y0;
+        cx += (x0 + x1) * w;
+        cy += (y0 + y1) * w;
+    }
+    (cx / (6.0 * a), cy / (6.0 * a))
+}
+
+/// Do two convex polygons intersect (with `eps` slack: touching within
+/// `eps` counts as intersecting)? Separating axis theorem over both
+/// polygons' edge normals.
+pub fn convex_intersect(a: &[(f64, f64)], b: &[(f64, f64)], eps: f64) -> bool {
+    !has_separating_axis(a, b, eps) && !has_separating_axis(b, a, eps)
+}
+
+fn has_separating_axis(a: &[(f64, f64)], b: &[(f64, f64)], eps: f64) -> bool {
+    let n = a.len();
+    for i in 0..n {
+        let (x0, y0) = a[i];
+        let (x1, y1) = a[(i + 1) % n];
+        // outward normal of edge (for either orientation we just test
+        // both sides via min/max projections)
+        let (nx, ny) = (y1 - y0, x0 - x1);
+        let (mut amin, mut amax) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(x, y) in a {
+            let p = nx * x + ny * y;
+            amin = amin.min(p);
+            amax = amax.max(p);
+        }
+        let (mut bmin, mut bmax) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(x, y) in b {
+            let p = nx * x + ny * y;
+            bmin = bmin.min(p);
+            bmax = bmax.max(p);
+        }
+        let scale = (nx * nx + ny * ny).sqrt().max(f64::MIN_POSITIVE);
+        if amax < bmin - eps * scale || bmax < amin - eps * scale {
+            return true;
+        }
+    }
+    false
+}
+
+/// Apply an affine map `(x, y) ↦ (m00·x + m01·y + tx, m10·x + m11·y + ty)`
+/// to every vertex.
+pub fn affine(poly: &[(f64, f64)], m: [f64; 4], t: (f64, f64)) -> Vec<(f64, f64)> {
+    poly.iter().map(|&(x, y)| (m[0] * x + m[1] * y + t.0, m[2] * x + m[3] * y + t.1)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_square() -> Vec<(f64, f64)> {
+        vec![(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)]
+    }
+
+    #[test]
+    fn area_of_square() {
+        assert!((area(&unit_square()) - 1.0).abs() < 1e-12);
+        assert!((signed_area(&unit_square()) - 1.0).abs() < 1e-12); // ccw
+    }
+
+    #[test]
+    fn centroid_of_square() {
+        let (cx, cy) = centroid(&unit_square());
+        assert!((cx - 0.5).abs() < 1e-12 && (cy - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_squares_do_not_intersect() {
+        let a = unit_square();
+        let b = affine(&a, [1.0, 0.0, 0.0, 1.0], (2.5, 0.0));
+        assert!(!convex_intersect(&a, &b, 1e-9));
+    }
+
+    #[test]
+    fn overlapping_squares_intersect() {
+        let a = unit_square();
+        let b = affine(&a, [1.0, 0.0, 0.0, 1.0], (0.5, 0.5));
+        assert!(convex_intersect(&a, &b, 1e-9));
+    }
+
+    #[test]
+    fn touching_squares_intersect_with_eps() {
+        let a = unit_square();
+        let b = affine(&a, [1.0, 0.0, 0.0, 1.0], (1.0 + 1e-12, 0.0));
+        assert!(convex_intersect(&a, &b, 1e-9));
+        assert!(!convex_intersect(&a, &b, 0.0));
+    }
+
+    #[test]
+    fn rotated_configurations() {
+        // diamond inside square
+        let a = unit_square();
+        let d = vec![(0.5, -0.2), (1.2, 0.5), (0.5, 1.2), (-0.2, 0.5)];
+        assert!(convex_intersect(&a, &d, 0.0));
+        // diamond far away
+        let d2 = affine(&d, [1.0, 0.0, 0.0, 1.0], (5.0, 5.0));
+        assert!(!convex_intersect(&a, &d2, 0.0));
+    }
+
+    #[test]
+    fn shear_preserves_area() {
+        // the Gabber-Galil maps are measure preserving
+        let a = unit_square();
+        let sheared = affine(&a, [1.0, 1.0, 0.0, 1.0], (0.0, 0.0));
+        assert!((area(&sheared) - 1.0).abs() < 1e-12);
+    }
+}

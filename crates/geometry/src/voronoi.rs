@@ -1,0 +1,239 @@
+//! Voronoi diagrams on the unit torus (Definition 6 of the paper).
+//!
+//! Each generator is replicated into the 3×3 block of neighbouring
+//! periods (*ghosts*) and the whole set is triangulated in the plane;
+//! the Delaunay structure around each generator's **center copy** then
+//! equals the torus Delaunay structure whenever every Voronoi cell fits
+//! within one period — true for any point set with ≥ 2 distinct
+//! points in general position and vastly so for the `Θ(1/n)`-area cells
+//! the smooth constructions produce.
+//!
+//! The dual gives each torus Voronoi cell as a convex polygon
+//! (circumcenters of the triangles around the center copy), and cell
+//! adjacency as the Delaunay link — the paper's "entrance of a new
+//! generator affects only the cells adjacent to it".
+
+use crate::delaunay::Delaunay;
+use crate::polygon;
+use crate::predicates::{circumcenter, GridPoint, GRID};
+
+/// A Voronoi diagram of generators on the unit torus.
+pub struct TorusVoronoi {
+    /// Generators in grid coordinates (center copies), deduplicated.
+    generators: Vec<GridPoint>,
+    delaunay: Delaunay,
+    /// Delaunay vertex index of each generator's center copy.
+    center_vertex: Vec<usize>,
+    /// Map from Delaunay vertex to generator index (ghosts included).
+    owner: Vec<usize>,
+}
+
+impl TorusVoronoi {
+    /// Build from unit-square coordinates (duplicates after grid
+    /// rounding are dropped). Needs at least 2 distinct generators.
+    pub fn build(points: &[(f64, f64)]) -> Self {
+        let mut gens: Vec<GridPoint> = points
+            .iter()
+            .map(|&(x, y)| {
+                assert!((0.0..1.0).contains(&x) && (0.0..1.0).contains(&y));
+                let g = GridPoint::from_unit(x, y);
+                // wrap rounding artifacts back into [0, GRID)
+                GridPoint::new(g.x.rem_euclid(GRID), g.y.rem_euclid(GRID))
+            })
+            .collect();
+        gens.sort_by_key(|g| (g.x, g.y));
+        gens.dedup();
+        assert!(gens.len() >= 2, "torus Voronoi needs ≥ 2 distinct generators");
+        Self::build_grid(gens)
+    }
+
+    /// Build from already-gridded generators (distinct, in `[0,GRID)²`).
+    pub fn build_grid(gens: Vec<GridPoint>) -> Self {
+        let mut delaunay = Delaunay::new();
+        let mut center_vertex = vec![usize::MAX; gens.len()];
+        let mut owner = vec![usize::MAX; 4]; // super vertices own nothing
+        // insert center copies first (better walk locality), then ghosts
+        for (i, g) in gens.iter().enumerate() {
+            let v = delaunay.insert(*g).expect("generators are distinct");
+            center_vertex[i] = v;
+            owner.push(i);
+            debug_assert_eq!(owner.len() - 1, v);
+        }
+        for dx in -1i64..=1 {
+            for dy in -1i64..=1 {
+                if dx == 0 && dy == 0 {
+                    continue;
+                }
+                for (i, g) in gens.iter().enumerate() {
+                    let v = delaunay
+                        .insert(g.shifted(dx, dy))
+                        .expect("ghost copies are distinct");
+                    owner.push(i);
+                    debug_assert_eq!(owner.len() - 1, v);
+                }
+            }
+        }
+        TorusVoronoi { generators: gens, delaunay, center_vertex, owner }
+    }
+
+    /// Number of generators.
+    pub fn len(&self) -> usize {
+        self.generators.len()
+    }
+
+    /// True iff there are no generators (never; ≥ 2 by construction).
+    pub fn is_empty(&self) -> bool {
+        self.generators.is_empty()
+    }
+
+    /// Generator `i` in unit coordinates.
+    pub fn generator(&self, i: usize) -> (f64, f64) {
+        self.generators[i].to_unit()
+    }
+
+    /// The underlying triangulation (tests, rendering).
+    pub fn delaunay(&self) -> &Delaunay {
+        &self.delaunay
+    }
+
+    /// Torus Voronoi neighbors of generator `i`: the generators whose
+    /// cells share a boundary with cell `i` (the Delaunay link of the
+    /// center copy, mapped through ghost ownership). Sorted, deduped;
+    /// never contains `i` unless the cell wraps onto itself (n = 2 can
+    /// neighbor its own ghost — reported once).
+    pub fn neighbors(&self, i: usize) -> Vec<usize> {
+        let v = self.center_vertex[i];
+        let mut out: Vec<usize> = self
+            .delaunay
+            .link(v)
+            .into_iter()
+            .filter(|&u| !self.delaunay.is_super(u))
+            .map(|u| self.owner[u])
+            .filter(|&g| g != i)
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The Voronoi cell of generator `i` as a convex polygon in *grid*
+    /// coordinates, counter-clockwise, unwrapped around the generator
+    /// (vertices may exceed one period; reduce mod `GRID` to draw).
+    pub fn cell(&self, i: usize) -> Vec<(f64, f64)> {
+        let v = self.center_vertex[i];
+        self.delaunay
+            .triangles_around(v)
+            .into_iter()
+            .map(|t| {
+                let [a, b, c] = self.delaunay.triangle(t);
+                circumcenter(self.delaunay.point(a), self.delaunay.point(b), self.delaunay.point(c))
+            })
+            .collect()
+    }
+
+    /// Cell area as a fraction of the torus (sums to 1 over all cells).
+    pub fn cell_area(&self, i: usize) -> f64 {
+        polygon::area(&self.cell(i)) / (GRID as f64 * GRID as f64)
+    }
+
+    /// The 2D smoothness of the diagram in the paper's cell-area sense:
+    /// `max area / min area` (a convenient scalar; Definition 7's
+    /// rectangle form is checked separately by the expander crate).
+    pub fn area_smoothness(&self) -> f64 {
+        let areas: Vec<f64> = (0..self.len()).map(|i| self.cell_area(i)).collect();
+        let min = areas.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = areas.iter().cloned().fold(0.0, f64::max);
+        max / min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cd_core::rng::seeded;
+    use rand::Rng;
+
+    fn lattice(k: usize) -> Vec<(f64, f64)> {
+        let mut pts = Vec::new();
+        for i in 0..k {
+            for j in 0..k {
+                pts.push((i as f64 / k as f64 + 0.013, j as f64 / k as f64 + 0.017));
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn lattice_cells_are_uniform() {
+        let v = TorusVoronoi::build(&lattice(4));
+        assert_eq!(v.len(), 16);
+        let expect = 1.0 / 16.0;
+        for i in 0..v.len() {
+            let a = v.cell_area(i);
+            assert!((a - expect).abs() < 1e-6, "cell {i} area {a} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn areas_tile_the_torus() {
+        let mut rng = seeded(1);
+        let pts: Vec<(f64, f64)> = (0..64).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+        let v = TorusVoronoi::build(&pts);
+        let total: f64 = (0..v.len()).map(|i| v.cell_area(i)).sum();
+        assert!((total - 1.0).abs() < 1e-6, "areas sum to {total}");
+    }
+
+    #[test]
+    fn neighbor_symmetry() {
+        let mut rng = seeded(2);
+        let pts: Vec<(f64, f64)> = (0..50).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+        let v = TorusVoronoi::build(&pts);
+        for i in 0..v.len() {
+            for j in v.neighbors(i) {
+                assert!(
+                    v.neighbors(j).contains(&i),
+                    "asymmetric Voronoi adjacency {i} ↔ {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lattice_neighbors_are_grid_adjacent() {
+        let v = TorusVoronoi::build(&lattice(4));
+        // every lattice cell has ≥ 4 neighbors (the 4-adjacent cells,
+        // plus possibly diagonal ties broken by the triangulation)
+        for i in 0..v.len() {
+            let nb = v.neighbors(i);
+            assert!(nb.len() >= 4, "cell {i} has only {} neighbors", nb.len());
+            assert!(nb.len() <= 8);
+        }
+    }
+
+    #[test]
+    fn average_degree_is_six(){
+        // Euler's formula: planar triangulation ⇒ average Delaunay
+        // degree ≈ 6 (the paper quotes exactly this).
+        let mut rng = seeded(3);
+        let pts: Vec<(f64, f64)> = (0..128).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+        let v = TorusVoronoi::build(&pts);
+        let total: usize = (0..v.len()).map(|i| v.neighbors(i).len()).sum();
+        let avg = total as f64 / v.len() as f64;
+        assert!((avg - 6.0).abs() < 0.7, "average degree {avg}");
+    }
+
+    #[test]
+    fn two_generators_have_each_other() {
+        let v = TorusVoronoi::build(&[(0.1, 0.1), (0.6, 0.6)]);
+        assert_eq!(v.neighbors(0), vec![1]);
+        assert_eq!(v.neighbors(1), vec![0]);
+    }
+
+    #[test]
+    fn delaunay_structure_valid_after_build() {
+        let mut rng = seeded(4);
+        let pts: Vec<(f64, f64)> = (0..40).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+        let v = TorusVoronoi::build(&pts);
+        v.delaunay().validate();
+    }
+}

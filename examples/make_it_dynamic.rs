@@ -1,0 +1,62 @@
+//! "Make any static network dynamic" (Section 7): take a classic
+//! interconnection topology — here a torus running a distributed
+//! averaging computation — and run it over a dynamic server population
+//! via the Φ emulation, with the Theorem 7.1 overheads printed.
+//!
+//! ```sh
+//! cargo run --release --example make_it_dynamic
+//! ```
+
+use continuous_discrete::balance::IdStrategy;
+use continuous_discrete::core::pointset::PointSet;
+use continuous_discrete::core::rng::seeded;
+use continuous_discrete::emulation::{Emulation, GraphFamily};
+
+fn main() {
+    let mut rng = seeded(21);
+
+    // 1. A dynamic population: 300 servers choose smooth identifiers
+    //    with the Multiple Choice algorithm (Section 4).
+    let ring = IdStrategy::MultipleChoice { t: 3 }.build_ring(300, &mut rng);
+    let hosts = PointSet::new(ring.iter().collect());
+    println!("{} servers, smoothness ρ = {:.1}", hosts.len(), hosts.smoothness());
+
+    // 2. Emulate a 512-node torus over them.
+    let emu = Emulation::with_default_k(GraphFamily::Torus, hosts);
+    let s = emu.stats();
+    println!(
+        "emulating a {}-node torus: guests/host ≤ {}, host degree ≤ {}, guest edges/host edge ≤ {}",
+        1u64 << emu.k,
+        s.max_guests_per_host,
+        s.max_host_degree,
+        s.max_guest_edges_per_host_edge
+    );
+    println!(
+        "(Theorem 7.1 bounds: ρ+1 = {:.1}, ρ·d = {:.1}, ρ² = {:.1})",
+        s.rho + 1.0,
+        s.rho * 4.0,
+        s.rho * s.rho
+    );
+
+    // 3. Run a guest computation in real time: iterative averaging
+    //    (discrete heat diffusion) on the emulated torus.
+    let n_guest = 1usize << emu.k;
+    let mut states: Vec<f64> = (0..n_guest).map(|i| if i == 0 { 1000.0 } else { 0.0 }).collect();
+    let total: f64 = states.iter().sum();
+    for round in 0..200 {
+        states = emu.step(&states, |_, own, nbrs| {
+            let nsum: f64 = nbrs.iter().copied().sum();
+            (own + nsum) / (1.0 + nbrs.len() as f64)
+        });
+        if round % 50 == 49 {
+            let max = states.iter().cloned().fold(0.0, f64::max);
+            let min = states.iter().cloned().fold(f64::INFINITY, f64::min);
+            println!("round {:3}: spread max−min = {:.4}", round + 1, max - min);
+        }
+    }
+    let end_total: f64 = states.iter().sum();
+    println!(
+        "heat diffused to equilibrium (mass {total:.0} → {end_total:.0}); \
+         every round ran at constant slowdown on the dynamic hosts"
+    );
+}

@@ -1,0 +1,69 @@
+//! Quickstart: build a Distance Halving DHT, store and retrieve items,
+//! let servers join and leave, and watch the guarantees hold.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use bytes::Bytes;
+use continuous_discrete::core::pointset::PointSet;
+use continuous_discrete::core::rng::seeded;
+use continuous_discrete::core::Point;
+use continuous_discrete::dht::storage::Dht;
+use continuous_discrete::dht::DhNetwork;
+use rand::Rng;
+
+fn main() {
+    let mut rng = seeded(42);
+
+    // 1. Bootstrap a 64-server network with random identifier points.
+    let net = DhNetwork::new(&PointSet::random(64, &mut rng));
+    let mut dht = Dht::new(net, &mut rng);
+    println!("built a Distance Halving DHT with {} servers", dht.net.len());
+
+    // 2. Store a few items — each travels to the server covering its
+    //    hashed location via the Distance Halving Lookup.
+    for (key, value) in [(1u64, "alpha"), (2, "bravo"), (3, "charlie")] {
+        let from = dht.net.random_node(&mut rng);
+        let route = dht.put(from, key, Bytes::from(value), &mut rng);
+        println!(
+            "put key {key} ({value:?}) from {} → {} in {} hops",
+            from,
+            route.destination(),
+            route.hops()
+        );
+    }
+
+    // 3. Retrieve from a different server.
+    let from = dht.net.random_node(&mut rng);
+    let (route, value) = dht.get(from, 2, &mut rng);
+    println!(
+        "get key 2 from {} → {:?} in {} hops",
+        from,
+        value.expect("stored above"),
+        route.hops()
+    );
+
+    // 4. Churn: servers join (splitting a segment) and leave (merging).
+    for _ in 0..20 {
+        dht.net.join(Point(rng.gen()));
+    }
+    for _ in 0..10 {
+        let victim = dht.net.random_node(&mut rng);
+        dht.net.leave(victim);
+    }
+    dht.net.validate();
+    println!("after churn: {} servers; invariants hold", dht.net.len());
+
+    // 5. Items survive churn.
+    for key in [1u64, 2, 3] {
+        let from = dht.net.random_node(&mut rng);
+        let (_, value) = dht.get(from, key, &mut rng);
+        assert!(value.is_some(), "item {key} survived churn");
+    }
+    println!("all items survived churn");
+
+    // 6. Degrees stay constant (Theorem 2.1/2.2) and lookups logarithmic.
+    let (max_deg, avg_deg) = dht.net.degree_stats();
+    println!("degrees: max {max_deg}, average {avg_deg:.1} (paper: O(ρ) and ≤ 6 + ring)");
+}

@@ -1,0 +1,20 @@
+//! # continuous-discrete
+//!
+//! Facade crate for the Rust reproduction of Naor & Wieder,
+//! *“Novel Architectures for P2P Applications: the Continuous-Discrete
+//! Approach”* (SPAA 2003). Re-exports every subsystem crate under one
+//! roof so examples, integration tests and downstream users can depend
+//! on a single package.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+pub use cd_core as core;
+pub use cd_emulation as emulation;
+pub use cd_expander as expander;
+pub use cd_geometry as geometry;
+pub use dh_balance as balance;
+pub use dh_caching as caching;
+pub use dh_dht as dht;
+pub use dh_erasure as erasure;
+pub use dh_fault as fault;
+pub use p2p_baselines as baselines;
