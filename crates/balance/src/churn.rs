@@ -112,11 +112,14 @@ mod tests {
         // drifts upward under churn. (This is the failure the bucket
         // scheme exists to fix.)
         let mut rng = seeded(2);
-        let s = churn_trajectory(IdStrategy::MultipleChoice { t: 3 }, 512, 4000, 1000, &mut rng);
+        let s = churn_trajectory(IdStrategy::MultipleChoice { t: 3 }, 512, 8000, 1000, &mut rng);
+        let start_rho = s.first().expect("samples").rho;
         let end_rho = s.last().expect("samples").rho;
+        // The threshold is relative to the post-growth smoothness so the
+        // test is robust to the exact RNG stream.
         assert!(
-            end_rho > 4.0,
-            "expected smoothness to degrade under churn, got ρ = {end_rho}"
+            end_rho > start_rho * 1.3 && end_rho > 3.0,
+            "expected smoothness to degrade under churn, got ρ = {start_rho} → {end_rho}"
         );
     }
 }

@@ -13,6 +13,11 @@ pub trait LookupScheme {
     /// Number of nodes.
     fn len(&self) -> usize;
 
+    /// True iff the scheme has no nodes (never, in practice).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
     /// Out-degree (routing-table size) of a node — the *linkage*.
     fn degree_of(&self, node: usize) -> usize;
 

@@ -63,7 +63,7 @@ impl Viceroy {
         let mut probe = 0usize;
         while self.by_level[l].is_empty() {
             probe += 1;
-            l = if probe % 2 == 0 { l + probe } else { l.saturating_sub(probe) }
+            l = if probe.is_multiple_of(2) { l + probe } else { l.saturating_sub(probe) }
                 .clamp(1, self.levels as usize);
         }
         let list = &self.by_level[l];

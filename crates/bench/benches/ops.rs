@@ -9,7 +9,8 @@ use cd_core::point::Point;
 use cd_core::pointset::PointSet;
 use cd_core::rng::seeded;
 use dh_caching::CachedDht;
-use dh_dht::{DhNetwork, LookupKind};
+use dh_dht::lookup::Route;
+use dh_dht::{DhNetwork, LookupScratch};
 use p2p_baselines::chord::Chord;
 use p2p_baselines::LookupScheme;
 use rand::Rng;
@@ -31,6 +32,24 @@ fn bench_lookups(c: &mut Criterion) {
             b.iter(|| {
                 let from = net.random_node(&mut rng);
                 net.dh_lookup(from, Point(rng.gen()), &mut rng).hops()
+            })
+        });
+        // Allocation-free variants: reused Route + LookupScratch, so
+        // the numbers measure the protocol rather than the allocator.
+        let mut route = Route::empty();
+        group.bench_with_input(BenchmarkId::new("dh_fast_reused", n), &n, |b, _| {
+            b.iter(|| {
+                let from = net.random_node(&mut rng);
+                net.fast_lookup_into(from, Point(rng.gen()), &mut route);
+                route.hops()
+            })
+        });
+        let mut scratch = LookupScratch::new();
+        group.bench_with_input(BenchmarkId::new("dh_two_phase_reused", n), &n, |b, _| {
+            b.iter(|| {
+                let from = net.random_node(&mut rng);
+                net.dh_lookup_into(from, Point(rng.gen()), &mut rng, &mut scratch, &mut route);
+                route.hops()
             })
         });
         let chord = Chord::new(n, &mut rng);

@@ -21,7 +21,7 @@ fn main() {
             format!("{:.1}", s.smoothness),
             format!("{}", s.undirected_edges),
             format!("{}", 3 * n - 1),
-            format!("{}", s.undirected_edges <= 3 * n - 1),
+            format!("{}", s.undirected_edges < 3 * n),
         ]);
     }
     print!("{}", t.to_markdown());

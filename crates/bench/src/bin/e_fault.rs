@@ -29,7 +29,7 @@ fn main() {
         }
         let s = cd_core::stats::Summary::of_u64(lens);
         t.row(["mean path".into(), format!("{:.2}", s.mean), format!("≤ log n = {logn:.0}")]);
-        t.row(["max path".into(), format!("{:.0}", s.max), format!("log n + O(1)")]);
+        t.row(["max path".into(), format!("{:.0}", s.max), "log n + O(1)".to_string()]);
         t.row(["mean degree".into(), format!("{mean_deg:.1}"), "Θ(log n)".into()]);
         t.row(["max degree".into(), format!("{max_deg}"), "Θ(log n)".into()]);
         t.row(["mean coverage".into(), format!("{mean_cov:.1}"), "Θ(log n)".into()]);

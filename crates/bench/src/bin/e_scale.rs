@@ -1,0 +1,105 @@
+//! E-scale: the million-node scenario.
+//!
+//! Builds a large Distance Halving network with the one-sweep bulk
+//! constructor, then measures the three hot paths end to end:
+//!
+//! 1. **build** — `DhNetwork::new` over `n` random identifier points,
+//! 2. **lookups** — batched Fast and Distance-Halving lookups through
+//!    reused scratch buffers ([`DhNetwork::lookup_many`]),
+//! 3. **churn** — join/leave pairs through the incremental table
+//!    maintenance.
+//!
+//! Records are appended to `BENCH_ops.json` (JSON lines; override the
+//! path with the `BENCH_JSON` environment variable).
+//!
+//! ```sh
+//! cargo run --release --bin e_scale            # n = 1,000,000
+//! cargo run --release --bin e_scale -- 10000   # CI smoke size
+//! ```
+
+use cd_bench::bench_json::{self, Record};
+use cd_bench::{section, MASTER_SEED};
+use cd_core::point::Point;
+use cd_core::pointset::PointSet;
+use cd_core::rng::seeded;
+use dh_dht::{DhNetwork, LookupKind, NodeId};
+use rand::Rng;
+use std::time::Instant;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(1_000_000);
+    let lookups: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(200_000);
+    let churn_ops: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(50_000);
+    let mut rng = seeded(MASTER_SEED ^ 0x00E5_CA1E);
+
+    section(&format!("e_scale: n = {n} servers"));
+
+    // 1. Build.
+    let t0 = Instant::now();
+    let points = PointSet::random(n, &mut rng);
+    let points_secs = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let mut net = DhNetwork::new(&points);
+    let build_secs = t0.elapsed().as_secs_f64();
+    let (max_deg, avg_deg) = net.degree_stats();
+    println!("- identifier draw: {points_secs:.2} s");
+    println!("- bulk build: {build_secs:.2} s ({:.0} nodes/s)", n as f64 / build_secs);
+    println!("- degrees: max {max_deg}, mean {avg_deg:.2}");
+    if n <= 65_536 {
+        net.validate();
+        println!("- validate(): ok");
+    }
+
+    // 2. Lookup throughput (reused buffers, single-threaded).
+    let queries: Vec<(NodeId, Point)> =
+        (0..lookups).map(|_| (net.random_node(&mut rng), Point(rng.gen()))).collect();
+    let t0 = Instant::now();
+    let fast_hops = net.lookup_many(LookupKind::Fast, &queries, &mut rng, |_, _| {});
+    let fast_secs = t0.elapsed().as_secs_f64();
+    let fast_rate = lookups as f64 / fast_secs;
+    println!(
+        "- fast lookup: {lookups} lookups in {fast_secs:.2} s = {fast_rate:.0}/s ({:.1} hops mean)",
+        fast_hops as f64 / lookups as f64
+    );
+    let dh_queries = &queries[..lookups / 4];
+    let t0 = Instant::now();
+    let dh_hops = net.lookup_many(LookupKind::DistanceHalving, dh_queries, &mut rng, |_, _| {});
+    let dh_secs = t0.elapsed().as_secs_f64();
+    let dh_rate = dh_queries.len() as f64 / dh_secs;
+    println!(
+        "- dh lookup: {} lookups in {dh_secs:.2} s = {dh_rate:.0}/s ({:.1} hops mean)",
+        dh_queries.len(),
+        dh_hops as f64 / dh_queries.len() as f64
+    );
+
+    // 3. Churn throughput: join/leave pairs (each pair = 2 ops).
+    let t0 = Instant::now();
+    let mut done = 0usize;
+    while done < churn_ops {
+        if let Some(id) = net.join(Point(rng.gen())) {
+            net.leave(id);
+            done += 2;
+        }
+    }
+    let churn_secs = t0.elapsed().as_secs_f64();
+    let churn_rate = done as f64 / churn_secs;
+    println!("- churn: {done} ops in {churn_secs:.2} s = {churn_rate:.0} ops/s");
+
+    let path = std::env::var("BENCH_JSON").unwrap_or_else(|_| "BENCH_ops.json".to_string());
+    let records = [
+        Record::new("e_scale/build", n, build_secs * 1e9 / n as f64),
+        Record::new("e_scale/fast_lookup", n, 1e9 / fast_rate),
+        Record::new("e_scale/dh_lookup", n, 1e9 / dh_rate),
+        Record::new("e_scale/churn", n, 1e9 / churn_rate),
+    ];
+    match bench_json::append(&path, &records) {
+        Ok(()) => println!("\nappended {} records to {path}", records.len()),
+        Err(e) => eprintln!("\nfailed to write {path}: {e}"),
+    }
+
+    // The scale targets this harness exists to hold the line on.
+    if n >= 1_000_000 {
+        assert!(fast_rate >= 100_000.0, "fast lookup rate {fast_rate:.0}/s below 100k/s target");
+    }
+}

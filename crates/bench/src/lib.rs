@@ -34,3 +34,68 @@ pub fn claim(paper: &str, measured: impl std::fmt::Display) {
     println!("- paper: {paper}");
     println!("  measured: {measured}");
 }
+
+pub mod bench_json {
+    //! Machine-readable benchmark records.
+    //!
+    //! `BENCH_ops.json` is a JSON-lines file (one record per line) so
+    //! every PR can *append* its numbers and the perf trajectory stays
+    //! diffable. Each line is `{"bench": <name>, "n": <size>,
+    //! "ns_per_op": <mean>}`.
+
+    use std::io::Write;
+
+    /// One benchmark measurement.
+    #[derive(Clone, Debug)]
+    pub struct Record {
+        /// Benchmark name, e.g. `"churn/join_leave"`.
+        pub bench: String,
+        /// Problem size (server count).
+        pub n: usize,
+        /// Mean wall-clock nanoseconds per operation.
+        pub ns_per_op: f64,
+    }
+
+    impl Record {
+        /// Build a record.
+        pub fn new(bench: impl Into<String>, n: usize, ns_per_op: f64) -> Self {
+            Record { bench: bench.into(), n, ns_per_op }
+        }
+
+        /// The record as a single JSON line.
+        pub fn to_json(&self) -> String {
+            let mut name = String::with_capacity(self.bench.len());
+            for c in self.bench.chars() {
+                match c {
+                    '"' => name.push_str("\\\""),
+                    '\\' => name.push_str("\\\\"),
+                    c if (c as u32) < 0x20 => name.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => name.push(c),
+                }
+            }
+            format!(
+                "{{\"bench\": \"{name}\", \"n\": {}, \"ns_per_op\": {:.1}}}",
+                self.n, self.ns_per_op
+            )
+        }
+    }
+
+    /// Append records to a JSON-lines file (created if missing).
+    pub fn append(path: &str, records: &[Record]) -> std::io::Result<()> {
+        let mut file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+        for r in records {
+            writeln!(file, "{}", r.to_json())?;
+        }
+        Ok(())
+    }
+
+    /// Overwrite a JSON-lines file with the given records.
+    pub fn write(path: &str, records: &[Record]) -> std::io::Result<()> {
+        let mut out = String::new();
+        for r in records {
+            out.push_str(&r.to_json());
+            out.push('\n');
+        }
+        std::fs::write(path, out)
+    }
+}

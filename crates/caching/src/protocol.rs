@@ -63,6 +63,10 @@ pub struct CachedDht {
     /// Per-server messages handled this epoch (slab-indexed), including
     /// routing, replication and update messages.
     messages: Vec<u64>,
+    /// Reusable two-sided walk (digit buffer) for the serve path.
+    walk: TwoSidedWalk,
+    /// Reusable phase-2 trace buffer for the serve path.
+    trace: Vec<Point>,
 }
 
 impl CachedDht {
@@ -79,6 +83,8 @@ impl CachedDht {
             trees: HashMap::new(),
             supplies: vec![0; cap],
             messages: vec![0; cap],
+            walk: TwoSidedWalk::new(Point(0), Point(0), 2),
+            trace: Vec::new(),
         }
     }
 
@@ -107,7 +113,12 @@ impl CachedDht {
         let y = self.hash.point(item);
         self.trees.entry(item).or_insert_with(|| ActiveTree::new(y));
         let x = self.net.node(from).x;
-        let mut walk = TwoSidedWalk::new(x, y, 2);
+        // Take the reusable walk/trace buffers out of self so the
+        // serve path can borrow the rest of the state mutably; restored
+        // below (the std::mem dance keeps the hot path allocation-free).
+        let mut walk = std::mem::replace(&mut self.walk, TwoSidedWalk::new(Point(0), Point(0), 2));
+        let mut trace = std::mem::take(&mut self.trace);
+        walk.reset(x, y, 2);
         let mut cur = from;
         let mut hops = 0usize;
         self.charge(from, 1);
@@ -135,8 +146,9 @@ impl CachedDht {
             cur = next;
         }
         // phase 2: climb q_t … q_0 = y, serve at the first active node
-        let trace = walk.target_backtrace();
+        walk.target_backtrace_into(&mut trace);
         let t = trace.len() - 1;
+        let mut served = None;
         for (idx, &q) in trace.iter().enumerate() {
             if idx > 0 {
                 let next = self
@@ -175,10 +187,13 @@ impl CachedDht {
                     self.supplies.resize(idx_by + 1, 0);
                 }
                 self.supplies[idx_by] += 1;
-                return Served { at: q, level, by: cur, hops, entered_at: t as u32 };
+                served = Some(Served { at: q, level, by: cur, hops, entered_at: t as u32 });
+                break;
             }
         }
-        unreachable!("the root of an active tree is always active");
+        self.walk = walk;
+        self.trace = trace;
+        served.expect("the root of an active tree is always active")
     }
 
     /// Propagate a content change from the owner down the active tree

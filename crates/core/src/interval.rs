@@ -185,6 +185,14 @@ impl Interval {
         Interval { start: self.start.backward_delta(delta), len }
     }
 
+    /// The same arc extended by `slack` units (capped at the full
+    /// circle). Used by the discrete edge derivation to absorb the
+    /// fixed-point flooring of the forward maps in the backward image.
+    #[inline]
+    pub fn widened(&self, slack: u128) -> Interval {
+        Interval { start: self.start, len: (self.len + slack).min(FULL) }
+    }
+
     /// Map each non-wrapping piece through a monotone map, exactly:
     /// the image of the quantized arc `{a, …, a+L−1}` under a
     /// nondecreasing `f` is contained in `[f(a), f(a+L−1)]`, and for the

@@ -37,9 +37,11 @@ impl PointSet {
         points.sort_unstable();
         points.dedup();
         // Collisions have probability ~n²/2⁶⁴ — refill in the
-        // vanishingly unlikely case.
+        // vanishingly unlikely case. Draw the whole shortfall before
+        // re-sorting so a refill round is O(n log n), not O(n²).
         while points.len() < n {
-            points.push(Point(rng.gen()));
+            let missing = n - points.len();
+            points.extend((0..missing).map(|_| Point(rng.gen())));
             points.sort_unstable();
             points.dedup();
         }

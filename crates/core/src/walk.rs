@@ -96,6 +96,18 @@ impl TwoSidedWalk {
         TwoSidedWalk { delta, source: x, target: y, origin: y, digits: Vec::new() }
     }
 
+    /// Re-arm this walk for a fresh lookup, reusing the digit buffer.
+    /// Together with [`Self::target_backtrace_into`] this makes the
+    /// per-lookup hot path allocation-free.
+    pub fn reset(&mut self, x: Point, y: Point, delta: u32) {
+        assert!(delta >= 2);
+        self.delta = delta;
+        self.source = x;
+        self.target = y;
+        self.origin = y;
+        self.digits.clear();
+    }
+
     /// Current source-side point `p_t`.
     #[inline]
     pub fn source(&self) -> Point {
@@ -149,16 +161,24 @@ impl TwoSidedWalk {
     /// recomputed as `w(τ_k, y)` from the recorded digits, making the
     /// trace exact and its endpoint identically `y`.
     pub fn target_backtrace(&self) -> Vec<Point> {
-        let t = self.digits.len();
-        let mut prefix_walks = Vec::with_capacity(t + 1);
+        let mut out = Vec::new();
+        self.target_backtrace_into(&mut out);
+        out
+    }
+
+    /// [`Self::target_backtrace`] into a caller-owned buffer (cleared
+    /// first) — the allocation-free variant used by lookup scratch
+    /// state.
+    pub fn target_backtrace_into(&self, out: &mut Vec<Point>) {
+        out.clear();
+        out.reserve(self.digits.len() + 1);
         let mut cur = self.origin_target();
-        prefix_walks.push(cur);
+        out.push(cur);
         for &d in &self.digits {
             cur = cur.child(d, self.delta);
-            prefix_walks.push(cur);
+            out.push(cur);
         }
-        prefix_walks.reverse();
-        prefix_walks
+        out.reverse();
     }
 
     /// The original target `y = q_0`, recovered exactly by re-walking

@@ -132,7 +132,7 @@ mod tests {
             let ps = PointSet::evenly_spaced(n);
             let stats = graph_stats(&ps, 2);
             assert!(
-                stats.undirected_edges <= 3 * n - 1,
+                stats.undirected_edges < 3 * n,
                 "n={n}: {} edges > 3n−1",
                 stats.undirected_edges
             );
@@ -147,7 +147,7 @@ mod tests {
                 let ps = PointSet::random(n, &mut rng);
                 let stats = graph_stats(&ps, 2);
                 assert!(
-                    stats.undirected_edges <= 3 * n - 1,
+                    stats.undirected_edges < 3 * n,
                     "n={n}: {} edges > 3n−1 (ρ={:.1})",
                     stats.undirected_edges,
                     stats.smoothness

@@ -31,6 +31,6 @@ pub mod metrics;
 pub mod network;
 pub mod storage;
 
-pub use lookup::{LookupKind, Route};
+pub use lookup::{LookupKind, LookupScratch, Route};
 pub use metrics::LoadCounters;
 pub use network::{DhNetwork, NodeId};

@@ -56,6 +56,14 @@ impl LoadCounters {
         Summary::of_u64(self.live_loads(net))
     }
 
+    /// Zero every counter so the allocation (one cache line per slab
+    /// slot — significant at large n) is reused across batches.
+    pub fn reset(&self) {
+        for c in &self.counts {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+
     /// Total messages charged.
     pub fn total(&self) -> u64 {
         self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()

@@ -24,6 +24,28 @@
 //! Join and leave maintain the tables incrementally: the set of nodes
 //! whose tables can change is `{split/absorbing node} ∪ watchers`,
 //! where `watchers(X)` is the reverse index of neighbor tables.
+//!
+//! # Hot-path architecture
+//!
+//! The paper's promise is that churn touches only `O(ρ + ∆)` servers
+//! and lookups take `O(log_∆ n)` hops; this module keeps the *constant
+//! factors* of both paths small:
+//!
+//! * **O(1) ring.** Ring successor/predecessor pointers are slab
+//!   arrays ([`DhNetwork::succ`]/`pred`) maintained in O(1) on
+//!   join/leave. The sorted `registry` survives only for *point*
+//!   queries ([`DhNetwork::cover_of`]); an arc-coverage query is one
+//!   O(log n) registry seek plus O(k) pointer chasing.
+//! * **Incremental tables.** Neighbor tables are kept sorted by
+//!   segment start, so the per-hop routing primitive
+//!   ([`NodeState::neighbor_covering`]) is a binary search, and table
+//!   rebuilds diff old vs. new state with a single sort-merge pass
+//!   over scratch buffers owned by the network — no per-event
+//!   allocation, no O(degree²) scans.
+//! * **Bulk construction.** [`DhNetwork::with_delta`] derives all
+//!   tables with one sweep over the sorted identifier array instead of
+//!   `n` independent oracle rebuilds, which is what makes the
+//!   million-node `e_scale` scenario build in seconds.
 
 use cd_core::interval::Interval;
 use cd_core::point::Point;
@@ -32,6 +54,7 @@ use cd_core::Point as CPoint;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
+use std::mem;
 
 /// A stable handle to a live server (slab index).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
@@ -72,7 +95,7 @@ pub struct NodeState {
     pub x: Point,
     /// The owned segment `s(x_i)`.
     pub segment: Interval,
-    /// The neighbor table (excluding self).
+    /// The neighbor table (excluding self), sorted by segment start.
     pub neighbors: Vec<Neighbor>,
     /// Reverse index: nodes whose tables list this node.
     pub watchers: HashSet<NodeId>,
@@ -88,8 +111,24 @@ impl NodeState {
     }
 
     /// Find a table entry covering `p` (self excluded).
+    ///
+    /// The table is sorted by segment start and segments of distinct
+    /// live servers are disjoint, so this is a binary search with two
+    /// candidate probes: the entry with the greatest start `≤ p`, and —
+    /// because exactly one segment of the network wraps through `0`,
+    /// and that segment has the greatest start of all — the last entry.
     pub fn neighbor_covering(&self, p: Point) -> Option<NodeId> {
-        self.neighbors.iter().find(|nb| nb.segment.contains(p)).map(|nb| nb.id)
+        let nbs = &self.neighbors;
+        let last = nbs.last()?;
+        let idx = nbs.partition_point(|nb| nb.segment.start().bits() <= p.bits());
+        let cand = if idx > 0 { &nbs[idx - 1] } else { last };
+        if cand.segment.contains(p) {
+            return Some(cand.id);
+        }
+        if last.segment.contains(p) {
+            return Some(last.id);
+        }
+        None
     }
 
     /// Degree (table size).
@@ -113,17 +152,38 @@ pub struct JoinCost {
     pub state_changes: usize,
 }
 
+/// Reusable buffers for the churn machinery, owned by the network so
+/// that join/leave allocate nothing in the steady state.
+#[derive(Default)]
+struct ChurnScratch {
+    /// Freshly derived neighbor ids (sorted by identifier point).
+    ids: Vec<NodeId>,
+    /// Previous table (id, segment-start key), in table order.
+    old: Vec<(u64, NodeId)>,
+    /// Nodes whose tables must be rebuilt by the current operation.
+    affected: Vec<NodeId>,
+    /// Item keys migrating between servers.
+    moved_keys: Vec<u64>,
+}
+
 /// The discrete Distance Halving network.
 pub struct DhNetwork {
     delta: u32,
     nodes: Vec<Option<NodeState>>,
     free: Vec<u32>,
-    /// Sorted map from identifier-point bits to node.
+    /// Sorted map from identifier-point bits to node; used only for
+    /// *point* queries (`cover_of` and join collision checks).
     registry: BTreeMap<u64, NodeId>,
     /// Live node ids, unordered, for O(1) random sampling.
     live: Vec<NodeId>,
     /// Position of each node in `live` (slab-indexed).
     live_pos: Vec<u32>,
+    /// Ring successor of each node (slab-indexed) — O(1) topology.
+    succ: Vec<NodeId>,
+    /// Ring predecessor of each node (slab-indexed).
+    pred: Vec<NodeId>,
+    /// Reusable churn buffers.
+    scratch: ChurnScratch,
 }
 
 impl DhNetwork {
@@ -134,35 +194,99 @@ impl DhNetwork {
     }
 
     /// Build a degree-∆ network (Section 2.3) from identifier points.
+    ///
+    /// Tables are derived in one sweep over the sorted identifier
+    /// array: each arc query is a binary search on a flat `u64` slice
+    /// plus a forward walk, instead of `n` independent rebuilds probing
+    /// the `BTreeMap` oracle. Node `i` is the `i`-th point in sorted
+    /// order, so ring pointers are index arithmetic.
     pub fn with_delta(points: &PointSet, delta: u32) -> Self {
         assert!(delta >= 2, "∆ must be ≥ 2");
         let n = points.len();
-        let mut net = DhNetwork {
-            delta,
-            nodes: Vec::with_capacity(n),
-            free: Vec::new(),
-            registry: BTreeMap::new(),
-            live: Vec::with_capacity(n),
-            live_pos: Vec::with_capacity(n),
+        let bits: Vec<u64> = points.points().iter().map(|p| p.bits()).collect();
+        // cover(b): index of the segment containing the point `b` —
+        // greatest i with bits[i] ≤ b, wrapping to the last segment.
+        let cover = |b: u64| -> usize {
+            match bits.binary_search(&b) {
+                Ok(i) => i,
+                Err(0) => n - 1,
+                Err(i) => i - 1,
+            }
         };
+        // Collect the indices whose segments intersect `q`, exactly as
+        // `covers_of_arc` does on the live network.
+        let collect = |q: &Interval, out: &mut Vec<u32>| {
+            let first = cover(q.start().bits());
+            out.push(first as u32);
+            let mut cur = (first + 1) % n;
+            while cur != first && q.contains(CPoint(bits[cur])) {
+                out.push(cur as u32);
+                cur = (cur + 1) % n;
+            }
+        };
+        // One sweep: derive every node's sorted neighbor id list into a
+        // flat CSR layout (offsets + ids) with one scratch buffer.
+        let mut flat: Vec<u32> = Vec::with_capacity(n * (delta as usize + 4));
+        let mut offs: Vec<usize> = Vec::with_capacity(n + 1);
+        offs.push(0);
+        let mut ids: Vec<u32> = Vec::new();
         for i in 0..n {
-            let id = NodeId(i as u32);
-            net.nodes.push(Some(NodeState {
-                id,
+            ids.clear();
+            let seg = points.segment(i);
+            for d in 0..delta {
+                for piece in seg.image_child(d, delta).into_iter().flatten() {
+                    collect(&piece, &mut ids);
+                }
+            }
+            collect(&seg.image_backward_delta(delta).widened(delta as u128), &mut ids);
+            ids.push(((i + 1) % n) as u32);
+            ids.push(((i + n - 1) % n) as u32);
+            ids.sort_unstable();
+            ids.dedup();
+            if let Ok(pos) = ids.binary_search(&(i as u32)) {
+                ids.remove(pos);
+            }
+            flat.extend_from_slice(&ids);
+            offs.push(flat.len());
+        }
+        // Materialize node state. Index order is identifier order, so
+        // the id lists are already sorted by segment start.
+        let mut nodes: Vec<Option<NodeState>> = Vec::with_capacity(n);
+        for i in 0..n {
+            let neighbors: Vec<Neighbor> = flat[offs[i]..offs[i + 1]]
+                .iter()
+                .map(|&j| Neighbor { id: NodeId(j), segment: points.segment(j as usize) })
+                .collect();
+            nodes.push(Some(NodeState {
+                id: NodeId(i as u32),
                 x: points.point(i),
                 segment: points.segment(i),
-                neighbors: Vec::new(),
+                neighbors,
                 watchers: HashSet::new(),
                 items: HashMap::new(),
             }));
-            net.registry.insert(points.point(i).bits(), id);
-            net.live.push(id);
-            net.live_pos.push(i as u32);
         }
+        // Reverse index in one pass over the CSR lists.
         for i in 0..n {
-            net.rebuild_table(NodeId(i as u32));
+            for &j in &flat[offs[i]..offs[i + 1]] {
+                nodes[j as usize]
+                    .as_mut()
+                    .expect("slab full at build")
+                    .watchers
+                    .insert(NodeId(i as u32));
+            }
         }
-        net
+        DhNetwork {
+            delta,
+            nodes,
+            free: Vec::new(),
+            registry: bits.iter().enumerate().map(|(i, &b)| (b, NodeId(i as u32))).collect(),
+            live: (0..n as u32).map(NodeId).collect(),
+            live_pos: (0..n as u32).collect(),
+            succ: (0..n).map(|i| NodeId(((i + 1) % n) as u32)).collect(),
+            pred: (0..n).map(|i| NodeId(((i + n - 1) % n) as u32)).collect(),
+            scratch: ChurnScratch::default(),
+        }
     }
 
     /// The degree parameter ∆.
@@ -214,6 +338,18 @@ impl DhNetwork {
         self.node_mut(id)
     }
 
+    /// The ring successor of a live node — O(1).
+    #[inline]
+    pub fn ring_succ(&self, id: NodeId) -> NodeId {
+        self.succ[id.0 as usize]
+    }
+
+    /// The ring predecessor of a live node — O(1).
+    #[inline]
+    pub fn ring_pred(&self, id: NodeId) -> NodeId {
+        self.pred[id.0 as usize]
+    }
+
     /// The node covering point `p` (global oracle — used by tests,
     /// neighbor derivation and experiment setup, never by routing).
     pub fn cover_of(&self, p: Point) -> NodeId {
@@ -255,27 +391,21 @@ impl DhNetwork {
     // Neighbor derivation
     // ------------------------------------------------------------------
 
-    /// All nodes whose segments intersect the arc `q` (oracle query on
-    /// the registry; stands in for the paper's assumption that segment
-    /// boundaries of adjacent cells are known at derivation time).
-    fn covers_of_arc(&self, q: &Interval) -> Vec<NodeId> {
-        let mut out = Vec::new();
+    /// Append all nodes whose segments intersect the arc `q`: one
+    /// registry seek for the arc start, then O(k) ring-pointer chasing.
+    fn covers_of_arc_into(&self, q: &Interval, out: &mut Vec<NodeId>) {
         let first = self.cover_of(q.start());
         out.push(first);
-        // walk successors while their points lie inside q
-        let mut cur = self.node(first).x;
-        loop {
-            let (x, id) = self.successor(cur);
-            if id == first || !q.contains(x) {
-                break;
-            }
-            out.push(id);
-            cur = x;
+        let mut cur = self.succ[first.0 as usize];
+        while cur != first && q.contains(self.node(cur).x) {
+            out.push(cur);
+            cur = self.succ[cur.0 as usize];
         }
-        out
     }
 
-    /// The live node whose point strictly follows `x` on the ring.
+    /// The live node whose point strictly follows `x` on the ring
+    /// (registry walk — validation/tests only; protocol paths use
+    /// [`Self::ring_succ`]).
     fn successor(&self, x: Point) -> (Point, NodeId) {
         use std::ops::Bound::{Excluded, Unbounded};
         if let Some((&bits, &id)) = self.registry.range((Excluded(x.bits()), Unbounded)).next() {
@@ -286,7 +416,8 @@ impl DhNetwork {
         }
     }
 
-    /// The live node whose point strictly precedes `x` on the ring.
+    /// The live node whose point strictly precedes `x` on the ring
+    /// (registry walk — validation/tests only).
     fn predecessor(&self, x: Point) -> (Point, NodeId) {
         if let Some((&bits, &id)) = self.registry.range(..x.bits()).next_back() {
             (CPoint(bits), id)
@@ -296,50 +427,100 @@ impl DhNetwork {
         }
     }
 
-    /// Derive the neighbor id set for a segment (excluding `myself`).
-    fn derive_ids(&self, seg: &Interval, myself: NodeId) -> Vec<NodeId> {
-        let mut ids: HashSet<NodeId> = HashSet::new();
+    /// Derive the neighbor id set for the segment of live node `myself`
+    /// into `out`, sorted by identifier point (= table order).
+    fn derive_into(&self, seg: &Interval, myself: NodeId, out: &mut Vec<NodeId>) {
+        out.clear();
         // forward images
         for d in 0..self.delta {
             for piece in seg.image_child(d, self.delta).into_iter().flatten() {
-                ids.extend(self.covers_of_arc(&piece));
+                self.covers_of_arc_into(&piece, out);
             }
         }
         // backward image with ∆ ulps of slack (see module docs)
-        let b = seg.image_backward_delta(self.delta);
-        let widened = Interval::new(b.start(), (b.len() + self.delta as u128).min(cd_core::interval::FULL));
-        ids.extend(self.covers_of_arc(&widened));
+        let widened = seg.image_backward_delta(self.delta).widened(self.delta as u128);
+        self.covers_of_arc_into(&widened, out);
         // ring edges
-        ids.insert(self.successor(seg.start()).1);
-        ids.insert(self.predecessor(seg.start()).1);
-        ids.remove(&myself);
-        let mut v: Vec<NodeId> = ids.into_iter().collect();
-        v.sort_unstable();
-        v
+        out.push(self.succ[myself.0 as usize]);
+        out.push(self.pred[myself.0 as usize]);
+        out.sort_unstable_by_key(|id| self.node(*id).x.bits());
+        out.dedup();
+        out.retain(|&id| id != myself);
     }
 
     /// Recompute one node's table from its current segment, updating
-    /// the reverse index.
+    /// the reverse index with a sort-merge diff over the old table.
+    /// Steady-state allocation-free: all intermediates live in
+    /// [`ChurnScratch`].
     fn rebuild_table(&mut self, id: NodeId) {
+        let mut ids = mem::take(&mut self.scratch.ids);
+        let mut old = mem::take(&mut self.scratch.old);
         let seg = self.node(id).segment;
-        let new_ids = self.derive_ids(&seg, id);
-        let entries: Vec<Neighbor> =
-            new_ids.iter().map(|&nb| Neighbor { id: nb, segment: self.node(nb).segment }).collect();
-        let old_ids: Vec<NodeId> = self.node(id).neighbors.iter().map(|nb| nb.id).collect();
-        for old in &old_ids {
-            if !new_ids.contains(old) {
-                // the old neighbor may have just left the network
-                if let Some(n) = self.nodes[old.0 as usize].as_mut() {
-                    n.watchers.remove(&id);
+        self.derive_into(&seg, id, &mut ids);
+        // The old table is sorted by stored segment start; identifier
+        // points never change while a node is alive (and a departed
+        // neighbor's key survives in its stored segment), so the stored
+        // start is a stable merge key.
+        old.clear();
+        old.extend(self.node(id).neighbors.iter().map(|nb| (nb.segment.start().bits(), nb.id)));
+        // Sort-merge diff: walk both sorted sequences once, updating
+        // the reverse index for insertions and removals.
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < ids.len() || j < old.len() {
+            let new_key = ids.get(i).map(|&nb| self.node(nb).x.bits());
+            match (new_key, old.get(j).copied()) {
+                (Some(nk), Some((ok, oid))) if nk == ok => {
+                    if ids[i] != oid {
+                        // slot reuse: a node left and another joined at
+                        // the same identifier point
+                        if let Some(n) = self.nodes[oid.0 as usize].as_mut() {
+                            n.watchers.remove(&id);
+                        }
+                        let added = ids[i];
+                        self.node_mut(added).watchers.insert(id);
+                    }
+                    i += 1;
+                    j += 1;
                 }
+                (Some(nk), Some((ok, _))) if nk < ok => {
+                    let added = ids[i];
+                    self.node_mut(added).watchers.insert(id);
+                    i += 1;
+                }
+                (Some(_), None) => {
+                    let added = ids[i];
+                    self.node_mut(added).watchers.insert(id);
+                    i += 1;
+                }
+                (_, Some((_, oid))) => {
+                    // the old neighbor may have just left the network
+                    if let Some(n) = self.nodes[oid.0 as usize].as_mut() {
+                        n.watchers.remove(&id);
+                    }
+                    j += 1;
+                }
+                (None, None) => unreachable!("loop condition"),
             }
         }
-        for new in &new_ids {
-            if !old_ids.contains(new) {
-                self.node_mut(*new).watchers.insert(id);
-            }
+        // Rewrite the table in place, reusing its allocation.
+        let mut table = mem::take(&mut self.node_mut(id).neighbors);
+        table.clear();
+        table.extend(ids.iter().map(|&nb| Neighbor { id: nb, segment: self.node(nb).segment }));
+        self.node_mut(id).neighbors = table;
+        self.scratch.ids = ids;
+        self.scratch.old = old;
+    }
+
+    /// Rebuild the tables listed in `scratch.affected` (deduplicated).
+    fn rebuild_affected(&mut self) {
+        let mut affected = mem::take(&mut self.scratch.affected);
+        affected.sort_unstable();
+        affected.dedup();
+        for &a in &affected {
+            self.rebuild_table(a);
         }
-        self.node_mut(id).neighbors = entries;
+        affected.clear();
+        self.scratch.affected = affected;
     }
 
     // ------------------------------------------------------------------
@@ -385,32 +566,44 @@ impl DhNetwork {
                     items: HashMap::new(),
                 }));
                 self.live_pos.push(0);
+                self.succ.push(id);
+                self.pred.push(id);
                 id
             }
         };
         self.registry.insert(x.bits(), id);
         self.live_pos[id.0 as usize] = self.live.len() as u32;
         self.live.push(id);
+        // splice into the ring: old → id → old's former successor
+        let after = self.succ[old.0 as usize];
+        self.succ[old.0 as usize] = id;
+        self.pred[id.0 as usize] = old;
+        self.succ[id.0 as usize] = after;
+        self.pred[after.0 as usize] = id;
         self.node_mut(old).segment = keep;
         // transfer items that now belong to the new node
-        let moved: Vec<u64> = self
-            .node(old)
-            .items
-            .iter()
-            .filter(|(_, it)| give.contains(it.point))
-            .map(|(&k, _)| k)
-            .collect();
-        for k in moved {
+        let mut moved = mem::take(&mut self.scratch.moved_keys);
+        moved.clear();
+        moved.extend(
+            self.node(old)
+                .items
+                .iter()
+                .filter(|(_, it)| give.contains(it.point))
+                .map(|(&k, _)| k),
+        );
+        for &k in &moved {
             let it = self.node_mut(old).items.remove(&k).expect("item vanished");
             self.node_mut(id).items.insert(k, it);
         }
+        self.scratch.moved_keys = moved;
         // rebuild affected tables: new, old, and everyone watching old
-        let mut affected: HashSet<NodeId> = self.node(old).watchers.iter().copied().collect();
-        affected.insert(old);
-        affected.insert(id);
-        for a in affected {
-            self.rebuild_table(a);
-        }
+        let mut affected = mem::take(&mut self.scratch.affected);
+        affected.clear();
+        affected.extend(self.node(old).watchers.iter().copied());
+        affected.push(old);
+        affected.push(id);
+        self.scratch.affected = affected;
+        self.rebuild_affected();
         Some(id)
     }
 
@@ -450,37 +643,47 @@ impl DhNetwork {
         assert!(self.live.len() > 1, "cannot remove the last server");
         let x = self.node(id).x;
         let seg = self.node(id).segment;
-        let (_, pred) = self.predecessor(x);
+        let pred = self.pred[id.0 as usize];
         debug_assert_ne!(pred, id);
         // affected set, computed before mutation
-        let mut affected: HashSet<NodeId> = self.node(id).watchers.iter().copied().collect();
+        let mut affected = mem::take(&mut self.scratch.affected);
+        affected.clear();
+        affected.extend(self.node(id).watchers.iter().copied());
         affected.extend(self.node(pred).watchers.iter().copied());
-        affected.insert(pred);
-        affected.remove(&id);
-        // detach: remove from tables' reverse index
-        let my_neighbors: Vec<NodeId> = self.node(id).neighbors.iter().map(|nb| nb.id).collect();
-        for nb in my_neighbors {
+        affected.push(pred);
+        affected.retain(|&a| a != id);
+        self.scratch.affected = affected;
+        // detach: remove from tables' reverse index (scratch.ids is
+        // free here — rebuilds happen only at the end of leave)
+        let mut detach = mem::take(&mut self.scratch.ids);
+        detach.clear();
+        detach.extend(self.node(id).neighbors.iter().map(|nb| nb.id));
+        for &nb in &detach {
             self.node_mut(nb).watchers.remove(&id);
         }
+        self.scratch.ids = detach;
         // pred absorbs segment + items
         let pred_seg = self.node(pred).segment;
-        let merged = Interval::new(pred_seg.start(), (pred_seg.len() + seg.len()).min(cd_core::interval::FULL));
+        let merged =
+            Interval::new(pred_seg.start(), (pred_seg.len() + seg.len()).min(cd_core::interval::FULL));
         self.node_mut(pred).segment = merged;
         let items: Vec<(u64, StoredItem)> = self.node_mut(id).items.drain().collect();
         self.node_mut(pred).items.extend(items);
+        // unsplice the ring
+        let after = self.succ[id.0 as usize];
+        self.succ[pred.0 as usize] = after;
+        self.pred[after.0 as usize] = pred;
         // unregister
         self.registry.remove(&x.bits());
         let pos = self.live_pos[id.0 as usize] as usize;
         self.live.swap_remove(pos);
         if pos < self.live.len() {
-            let moved = self.live[pos];
-            self.live_pos[moved.0 as usize] = pos as u32;
+            let moved_id = self.live[pos];
+            self.live_pos[moved_id.0 as usize] = pos as u32;
         }
         self.nodes[id.0 as usize] = None;
         self.free.push(id.0);
-        for a in affected {
-            self.rebuild_table(a);
-        }
+        self.rebuild_affected();
     }
 
     // ------------------------------------------------------------------
@@ -488,31 +691,50 @@ impl DhNetwork {
     // ------------------------------------------------------------------
 
     /// Check global invariants (used by tests after churn):
-    /// segments tile the circle, registry agrees with node state,
-    /// tables match fresh derivation, reverse index is consistent.
+    /// segments tile the circle, registry and ring pointers agree with
+    /// node state, tables match fresh derivation and are sorted, the
+    /// reverse index is consistent.
     pub fn validate(&self) {
-        // segments tile
+        // segments tile; ring pointers agree with the registry order
         let mut total: u128 = 0;
         for &id in &self.live {
             let n = self.node(id);
             assert_eq!(n.segment.start(), n.x, "segment must start at x");
-            let (sx, _) = self.successor(n.x);
+            let (sx, s_id) = self.successor(n.x);
             assert_eq!(n.segment.end(), sx, "segment must end at successor");
+            assert_eq!(
+                self.succ[id.0 as usize], s_id,
+                "ring successor pointer of {id} disagrees with registry"
+            );
+            let (_, p_id) = self.predecessor(n.x);
+            assert_eq!(
+                self.pred[id.0 as usize], p_id,
+                "ring predecessor pointer of {id} disagrees with registry"
+            );
+            assert_eq!(
+                self.pred[self.succ[id.0 as usize].0 as usize],
+                id,
+                "ring pointers of {id} are not mutually inverse"
+            );
             total += n.segment.len();
         }
         assert_eq!(total, cd_core::interval::FULL, "segments must tile the circle");
-        // tables match derivation, watchers consistent
+        // tables match derivation, stay sorted, watchers consistent
+        let mut fresh: Vec<NodeId> = Vec::new();
         for &id in &self.live {
-            let fresh = self.derive_ids(&self.node(id).segment, id);
-            let actual: Vec<NodeId> = {
-                let mut v: Vec<NodeId> = self.node(id).neighbors.iter().map(|nb| nb.id).collect();
-                v.sort_unstable();
-                v
-            };
+            self.derive_into(&self.node(id).segment, id, &mut fresh);
+            let actual: Vec<NodeId> = self.node(id).neighbors.iter().map(|nb| nb.id).collect();
             assert_eq!(actual, fresh, "stale table on {id}");
+            for w in self.node(id).neighbors.windows(2) {
+                assert!(
+                    w[0].segment.start().bits() < w[1].segment.start().bits(),
+                    "table of {id} is not sorted by segment start"
+                );
+            }
             for nb in &self.node(id).neighbors {
                 assert_eq!(
-                    nb.segment, self.node(nb.id).segment,
+                    nb.segment,
+                    self.node(nb.id).segment,
                     "stale segment info for {} in table of {id}",
                     nb.id
                 );
@@ -578,6 +800,43 @@ mod tests {
     }
 
     #[test]
+    fn neighbor_covering_matches_linear_scan() {
+        let mut rng = seeded(35);
+        let net = DhNetwork::new(&PointSet::random(120, &mut rng));
+        for &id in net.live() {
+            let state = net.node(id);
+            for _ in 0..50 {
+                let p = CPoint(rng.gen());
+                let linear = state.neighbors.iter().find(|nb| nb.segment.contains(p)).map(|nb| nb.id);
+                assert_eq!(state.neighbor_covering(p), linear);
+            }
+            // and every neighbor's own start point must be found
+            for nb in &state.neighbors {
+                assert_eq!(state.neighbor_covering(nb.segment.start()), Some(nb.id));
+            }
+        }
+    }
+
+    #[test]
+    fn ring_pointers_are_o1_and_correct() {
+        let mut rng = seeded(36);
+        let mut net = DhNetwork::new(&PointSet::random(64, &mut rng));
+        for _ in 0..200 {
+            if net.len() > 2 && rng.gen_bool(0.5) {
+                let v = net.random_node(&mut rng);
+                net.leave(v);
+            } else {
+                net.join(CPoint(rng.gen()));
+            }
+            let a = net.random_node(&mut rng);
+            let s = net.ring_succ(a);
+            assert_eq!(net.ring_pred(s), a);
+            assert_eq!(net.node(a).segment.end(), net.node(s).x);
+        }
+        net.validate();
+    }
+
+    #[test]
     fn join_splits_segment() {
         let mut rng = seeded(6);
         let mut net = DhNetwork::new(&PointSet::random(10, &mut rng));
@@ -598,7 +857,7 @@ mod tests {
         let mut net = DhNetwork::new(&PointSet::random(10, &mut rng));
         let victim = net.random_node(&mut rng);
         let seg = net.node(victim).segment;
-        let (_, pred) = net.predecessor(net.node(victim).x);
+        let pred = net.ring_pred(victim);
         let pred_seg = net.node(pred).segment;
         net.leave(victim);
         assert_eq!(net.len(), 9);
@@ -679,5 +938,30 @@ mod tests {
         let net = DhNetwork::new(&PointSet::evenly_spaced(512));
         let (_, avg) = net.degree_stats();
         assert!(avg <= 8.0, "average degree {avg} too large for a smooth set");
+    }
+
+    #[test]
+    fn bulk_build_matches_incremental_joins() {
+        // The one-sweep constructor must produce exactly the network
+        // that incremental joins starting from a two-node ring produce.
+        let mut rng = seeded(37);
+        let ps = PointSet::random(80, &mut rng);
+        let bulk = DhNetwork::new(&ps);
+        let seed_points = PointSet::new(vec![ps.point(0), ps.point(1)]);
+        let mut grown = DhNetwork::new(&seed_points);
+        for i in 2..ps.len() {
+            grown.join(ps.point(i)).expect("distinct points");
+        }
+        grown.validate();
+        assert_eq!(bulk.len(), grown.len());
+        for &id in bulk.live() {
+            let b = bulk.node(id);
+            let g = grown.node(grown.cover_of(b.x));
+            assert_eq!(b.x, g.x);
+            assert_eq!(b.segment, g.segment);
+            let b_pts: Vec<u64> = b.neighbors.iter().map(|nb| nb.segment.start().bits()).collect();
+            let g_pts: Vec<u64> = g.neighbors.iter().map(|nb| nb.segment.start().bits()).collect();
+            assert_eq!(b_pts, g_pts, "tables differ at x={:?}", b.x);
+        }
     }
 }

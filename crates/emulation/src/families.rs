@@ -59,7 +59,7 @@ impl GraphFamily {
             }
             GraphFamily::ShuffleExchange => vec![u ^ 1, rot_l(u), rot_r(u)],
             GraphFamily::Torus => {
-                assert!(k % 2 == 0, "torus needs even k");
+                assert!(k.is_multiple_of(2), "torus needs even k");
                 let side = 1u64 << (k / 2);
                 let (x, y) = (u / side, u % side);
                 vec![

@@ -73,8 +73,8 @@ pub fn decode(shares: &[Share], k: usize) -> Option<Vec<u8>> {
         mat.swap(col, pivot);
         rhs.swap(col, pivot);
         let inv = f.inv(mat[col][col]);
-        for j in 0..k {
-            mat[col][j] = f.mul(mat[col][j], inv);
+        for m in mat[col].iter_mut() {
+            *m = f.mul(*m, inv);
         }
         for b in rhs[col].iter_mut() {
             *b = f.mul(*b, inv);
@@ -84,14 +84,18 @@ pub fn decode(shares: &[Share], k: usize) -> Option<Vec<u8>> {
                 continue;
             }
             let factor = mat[r][col];
-            for j in 0..k {
-                let v = f.mul(factor, mat[col][j]);
-                mat[r][j] = f.add(mat[r][j], v);
+            let pivot_mat = std::mem::take(&mut mat[col]);
+            for (dst, &src) in mat[r].iter_mut().zip(pivot_mat.iter()) {
+                *dst = f.add(*dst, f.mul(factor, src));
             }
-            for b in 0..shard_len {
-                let v = f.mul(factor, rhs[col][b]);
-                rhs[r][b] = f.add(rhs[r][b], v);
+            mat[col] = pivot_mat;
+            // eliminate into row r of the rhs; rows col and r are
+            // distinct, so take the pivot row out to split the borrow
+            let pivot_row = std::mem::take(&mut rhs[col]);
+            for (dst, &src) in rhs[r].iter_mut().zip(pivot_row.iter()) {
+                *dst = f.add(*dst, f.mul(factor, src));
             }
+            rhs[col] = pivot_row;
         }
     }
     // reassemble and strip the length trailer
@@ -164,7 +168,7 @@ mod tests {
         let data = b"replica".to_vec();
         let shares = encode(&data, 1, 4);
         for s in &shares {
-            assert_eq!(decode(&[s.clone()], 1).expect("single share"), data);
+            assert_eq!(decode(std::slice::from_ref(s), 1).expect("single share"), data);
         }
     }
 

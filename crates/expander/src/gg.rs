@@ -81,12 +81,11 @@ impl GgExpander {
                     }
                     let shift = (icx + dx - cjx, icy + dy - cjy);
                     let cand = affine(&cells[j], [1.0, 0.0, 0.0, 1.0], shift);
-                    if convex_intersect(&image, &cand, 1.0) {
-                        if i != j {
+                    if convex_intersect(&image, &cand, 1.0)
+                        && i != j {
                             gg_adj[i].insert(j);
                             gg_adj[j].insert(i); // continuous edges are undirected
                         }
-                    }
                 }
             }
         }
@@ -220,7 +219,7 @@ mod tests {
         let x = GgExpander::build(&pts);
         let (max, _) = x.degree_stats();
         // random sets have ρ = ω(1): degrees grow but stay moderate
-        assert!(max >= 4 && max <= 80, "max degree {max}");
+        assert!((4..=80).contains(&max), "max degree {max}");
         let r = analyze(&x.full_adjacency(), 500, 12);
         assert!(r.gap > 0.02, "gap {}", r.gap);
     }

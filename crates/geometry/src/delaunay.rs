@@ -319,7 +319,7 @@ impl Delaunay {
                 let nt = &self.tris[n as usize];
                 assert!(nt.alive, "adjacency into dead triangle");
                 assert!(
-                    nt.adj.iter().any(|&x| x == ti as u32),
+                    nt.adj.contains(&(ti as u32)),
                     "asymmetric adjacency {ti} → {n}"
                 );
             }

@@ -1,0 +1,170 @@
+//! Offline shim exposing the subset of the `criterion` API this
+//! workspace's benches use — and actually timing the closures, so
+//! `cargo bench` produces real numbers without registry access.
+//!
+//! Each `Bencher::iter` call warms up briefly, then measures batches
+//! until the group's measurement time is spent, reporting the mean
+//! ns/iteration. If the `CRITERION_JSON` environment variable names a
+//! file, a `{"bench": ..., "ns_per_op": ...}` JSON line is appended per
+//! benchmark — this is how `BENCH_ops.json` trajectories are recorded.
+
+#![deny(unsafe_code)]
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Entry point handed to `criterion_group!` functions.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+            measurement: Duration::from_secs(1),
+        }
+    }
+
+    /// Benchmark a single function outside a group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, Duration::from_secs(1), &mut f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup {
+    name: String,
+    #[allow(dead_code)]
+    sample_size: usize,
+    measurement: Duration,
+}
+
+impl BenchmarkGroup {
+    /// Set the sample count (kept for API compatibility; the shim's
+    /// batching is time-driven).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Set the per-benchmark measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Benchmark `f` with an input value under a parameterized id.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&label, self.measurement, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Benchmark `f` under a plain name.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, name);
+        run_one(&label, self.measurement, &mut f);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// A `name/parameter` benchmark id.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a parameter.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{function_name}/{parameter}") }
+    }
+}
+
+/// Times closures handed to it by a benchmark function.
+pub struct Bencher {
+    measurement: Duration,
+    ns_per_iter: Option<f64>,
+}
+
+impl Bencher {
+    /// Measure `f`, storing the mean wall-clock time per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup: estimate the cost of one iteration.
+        let warmup_budget = self.measurement.min(Duration::from_millis(200));
+        let start = Instant::now();
+        let mut warm_iters = 0u64;
+        while start.elapsed() < warmup_budget || warm_iters < 3 {
+            std::hint::black_box(f());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let est_ns = (start.elapsed().as_nanos() as f64 / warm_iters as f64).max(0.5);
+        // Measure: batches sized to ~10ms, until the budget is spent.
+        let batch = ((10_000_000.0 / est_ns) as u64).clamp(1, 10_000_000);
+        let budget = self.measurement / 2;
+        let mut total_iters = 0u64;
+        let timed = Instant::now();
+        while timed.elapsed() < budget {
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            total_iters += batch;
+        }
+        self.ns_per_iter = Some(timed.elapsed().as_nanos() as f64 / total_iters as f64);
+    }
+}
+
+fn run_one(label: &str, measurement: Duration, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { measurement, ns_per_iter: None };
+    f(&mut b);
+    let ns = b.ns_per_iter.unwrap_or(f64::NAN);
+    println!("{label:<40} time: [{} per iter]", human(ns));
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+            let _ = writeln!(file, "{{\"bench\": \"{label}\", \"ns_per_op\": {ns:.1}}}");
+        }
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    }
+}
+
+/// Group benchmark functions into a runnable set.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

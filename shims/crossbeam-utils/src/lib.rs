@@ -1,0 +1,39 @@
+//! Offline shim for the subset of `crossbeam-utils` this workspace
+//! uses: [`CachePadded`].
+
+#![deny(unsafe_code)]
+
+use std::ops::{Deref, DerefMut};
+
+/// Pads and aligns a value to 128 bytes so adjacent values never share
+/// a cache line (the common sectored-prefetch granularity).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Pad `value`.
+    pub const fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+
+    /// Unwrap.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}

@@ -1,0 +1,42 @@
+//! Offline shim for the subset of `rayon` this workspace uses:
+//! `into_par_iter()` / `par_iter()` mapped onto *sequential* std
+//! iterators. Call sites keep rayon's shape (and the per-index
+//! sub-seeding that makes results thread-count independent), so
+//! swapping the real rayon back in is a manifest change only.
+//!
+//! Sequential execution is deterministic by construction, which the
+//! repository's seeded experiments rely on anyway.
+
+#![deny(unsafe_code)]
+
+pub mod prelude {
+    //! Glob-import surface matching `rayon::prelude::*`.
+
+    /// Sequential stand-in for `rayon::iter::IntoParallelIterator`.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Iterate "in parallel" (sequentially, in this shim).
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<T: IntoIterator> IntoParallelIterator for T {}
+
+    /// Sequential stand-in for `rayon::iter::IntoParallelRefIterator`.
+    pub trait IntoParallelRefIterator<T> {
+        /// Iterate over references "in parallel" (sequentially here).
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+    }
+
+    impl<T> IntoParallelRefIterator<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+    }
+
+    impl<T> IntoParallelRefIterator<T> for Vec<T> {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.as_slice().iter()
+        }
+    }
+}

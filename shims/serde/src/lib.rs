@@ -1,0 +1,16 @@
+//! Offline shim for the subset of `serde` this workspace uses: the
+//! `Serialize`/`Deserialize` *derives* as marker-trait impls. No code
+//! in the repository serializes through serde at runtime (JSON output
+//! is hand-rolled in `cd_bench`), so empty marker traits satisfy every
+//! use site while keeping the door open for a real serde swap-in when
+//! the build environment has registry access.
+
+#![deny(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize {}

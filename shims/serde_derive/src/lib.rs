@@ -1,0 +1,52 @@
+//! Derive macros for the local `serde` shim: emit empty marker-trait
+//! impls. Written against the bare `proc_macro` API (no syn/quote —
+//! the build environment is offline).
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// The identifier following the `struct`/`enum` keyword, plus `true`
+/// when a generic parameter list follows it.
+fn type_name(input: TokenStream) -> (String, bool) {
+    let mut iter = input.into_iter();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" {
+                match iter.next() {
+                    Some(TokenTree::Ident(name)) => {
+                        let generic = matches!(
+                            iter.next(),
+                            Some(TokenTree::Punct(p)) if p.as_char() == '<'
+                        );
+                        return (name.to_string(), generic);
+                    }
+                    other => panic!("serde shim derive: expected type name, got {other:?}"),
+                }
+            }
+        }
+    }
+    panic!("serde shim derive: no struct/enum found in input");
+}
+
+fn marker_impl(input: TokenStream, trait_name: &str) -> TokenStream {
+    let (name, generic) = type_name(input);
+    assert!(
+        !generic,
+        "serde shim derive: generic type {name} unsupported (add real serde to use this)"
+    );
+    format!("impl ::serde::{trait_name} for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Derive the `Serialize` marker.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Serialize")
+}
+
+/// Derive the `Deserialize` marker.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Deserialize")
+}

@@ -18,9 +18,9 @@ fn voronoi_feeds_expander_consistently() {
     assert_eq!(x.len(), n);
     // full adjacency must contain the Voronoi adjacency
     let full = x.full_adjacency();
-    for i in 0..n {
+    for (i, adj) in full.iter().enumerate() {
         for j in x.voronoi().neighbors(i) {
-            assert!(full[i].contains(&j), "Voronoi edge {i}↔{j} missing from network");
+            assert!(adj.contains(&j), "Voronoi edge {i}↔{j} missing from network");
         }
     }
     let r = analyze(&full, 300, 5);
