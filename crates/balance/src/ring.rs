@@ -119,7 +119,7 @@ impl Ring {
     }
 
     /// Estimate `log₂ n` from the distance to the predecessor of `p`
-    /// (the paper's §6.2 estimator, after [Viceroy]): w.h.p.
+    /// (the paper’s §6.2 estimator, after Viceroy): w.h.p.
     /// `log n − log log n − 1 ≤ log(1/d) ≤ 3 log n`.
     pub fn estimate_log_n(&self, p: Point) -> f64 {
         let pred = self.predecessor(p);

@@ -1,6 +1,6 @@
 //! Koorde (Kaashoek-Karger, IPTPS 2003): the *direct* De Bruijn
 //! emulation the paper contrasts with its continuous-discrete one
-//! (§1.1 credits [18] and notes such constructions have `O(log n)`
+//! (§1.1 credits \[18\] and notes such constructions have `O(log n)`
 //! *maximum* degree despite constant average degree — ablation A2).
 //!
 //! Each node `m` keeps its ring successor and a De Bruijn pointer to

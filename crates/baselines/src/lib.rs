@@ -8,15 +8,15 @@
 //!
 //! | scheme | paper row | path | congestion | linkage |
 //! |---|---|---|---|---|
-//! | [`chord::Chord`] | Chord [45] | log n | (log n)/n | log n |
-//! | [`plaxton::Plaxton`] | Tapestry [48] | log n | (log n)/n | log n |
-//! | [`can::Can`] | CAN [41] | d·n^(1/d) | d·n^(1/d−1) | d |
-//! | [`kleinberg::SmallWorld`] | Small Worlds [22] | log² n | (log² n)/n | O(1) |
-//! | [`viceroy::Viceroy`] | Viceroy [29] | log n | (log n)/n | O(1) |
+//! | [`chord::Chord`] | Chord \[45\] | log n | (log n)/n | log n |
+//! | [`plaxton::Plaxton`] | Tapestry \[48\] | log n | (log n)/n | log n |
+//! | [`can::Can`] | CAN \[41\] | d·n^(1/d) | d·n^(1/d−1) | d |
+//! | [`kleinberg::SmallWorld`] | Small Worlds \[22\] | log² n | (log² n)/n | O(1) |
+//! | [`viceroy::Viceroy`] | Viceroy \[29\] | log n | (log n)/n | O(1) |
 //! | `dh-dht` (∆ = 2 … √n) | Distance Halving | log_∆ n | (log_∆ n)/n | O(∆) |
 //!
 //! [`koorde::Koorde`] (direct De Bruijn emulation, Kaashoek-Karger) is
-//! included for the ablation the paper draws against [12][18]: direct
+//! included for the ablation the paper draws against \[12\]\[18\]: direct
 //! emulations have constant *average* degree but `O(log n)` *maximum*
 //! in-degree, where the continuous-discrete construction keeps the
 //! maximum constant (given smoothness).

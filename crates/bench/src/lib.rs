@@ -41,7 +41,10 @@ pub mod bench_json {
     //! `BENCH_ops.json` is a JSON-lines file (one record per line) so
     //! every PR can *append* its numbers and the perf trajectory stays
     //! diffable. Each line is `{"bench": <name>, "n": <size>,
-    //! "ns_per_op": <mean>}`.
+    //! "ns_per_op": <mean>}`; records measured through the wire
+    //! protocol additionally carry `"msgs_per_op"` and
+    //! `"bytes_per_op"` (mean messages/bytes per operation, all
+    //! retransmissions charged).
 
     use std::io::Write;
 
@@ -54,12 +57,24 @@ pub mod bench_json {
         pub n: usize,
         /// Mean wall-clock nanoseconds per operation.
         pub ns_per_op: f64,
+        /// Mean messages per operation (wire-protocol benches only).
+        pub msgs_per_op: Option<f64>,
+        /// Mean modeled bytes per operation (wire-protocol benches
+        /// only).
+        pub bytes_per_op: Option<f64>,
     }
 
     impl Record {
         /// Build a record.
         pub fn new(bench: impl Into<String>, n: usize, ns_per_op: f64) -> Self {
-            Record { bench: bench.into(), n, ns_per_op }
+            Record { bench: bench.into(), n, ns_per_op, msgs_per_op: None, bytes_per_op: None }
+        }
+
+        /// Attach per-operation message/byte accounting.
+        pub fn with_msgs(mut self, msgs_per_op: f64, bytes_per_op: f64) -> Self {
+            self.msgs_per_op = Some(msgs_per_op);
+            self.bytes_per_op = Some(bytes_per_op);
+            self
         }
 
         /// The record as a single JSON line.
@@ -73,10 +88,18 @@ pub mod bench_json {
                     c => name.push(c),
                 }
             }
-            format!(
-                "{{\"bench\": \"{name}\", \"n\": {}, \"ns_per_op\": {:.1}}}",
+            let mut line = format!(
+                "{{\"bench\": \"{name}\", \"n\": {}, \"ns_per_op\": {:.1}",
                 self.n, self.ns_per_op
-            )
+            );
+            if let Some(m) = self.msgs_per_op {
+                line.push_str(&format!(", \"msgs_per_op\": {m:.2}"));
+            }
+            if let Some(b) = self.bytes_per_op {
+                line.push_str(&format!(", \"bytes_per_op\": {b:.1}"));
+            }
+            line.push('}');
+            line
         }
     }
 

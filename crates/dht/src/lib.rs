@@ -14,7 +14,10 @@
 //!   Theorem 2.1/2.2 experiments and the De Bruijn isomorphism check,
 //! * [`metrics`] + [`driver`] — congestion accounting
 //!   (cache-padded atomic counters) and rayon-parallel workload
-//!   drivers for the congestion/permutation-routing experiments.
+//!   drivers for the congestion/permutation-routing experiments,
+//! * [`proto`] — the network on the `dh_proto` wire API: the
+//!   [`dh_proto::Topology`] impl, message-driven lookup batches over
+//!   any transport, and churn as wire traffic.
 //!
 //! Routing uses **only local state**: every hop moves along an entry of
 //! the current node's own neighbor table, and the implementation
@@ -29,8 +32,10 @@ pub mod driver;
 pub mod lookup;
 pub mod metrics;
 pub mod network;
+pub mod proto;
 pub mod storage;
 
 pub use lookup::{LookupKind, LookupScratch, Route};
 pub use metrics::LoadCounters;
 pub use network::{DhNetwork, NodeId};
+pub use proto::{join_over, leave_over, lookups_over, MsgBatch};

@@ -35,6 +35,29 @@ pub enum LookupKind {
     DistanceHalving,
 }
 
+impl std::str::FromStr for LookupKind {
+    type Err = String;
+
+    /// Parse the CLI spelling used by every `e_*` harness binary:
+    /// `fast` or `dh` (also accepts `distance-halving`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "fast" => Ok(LookupKind::Fast),
+            "dh" | "distance-halving" => Ok(LookupKind::DistanceHalving),
+            other => Err(format!("unknown lookup kind {other:?} (expected `fast` or `dh`)")),
+        }
+    }
+}
+
+impl std::fmt::Display for LookupKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            LookupKind::Fast => "fast",
+            LookupKind::DistanceHalving => "dh",
+        })
+    }
+}
+
 /// A completed lookup route. `nodes[0]` is the source server and
 /// `nodes.last()` the server covering the target; `points[k]` is the
 /// continuous-graph position of the message when held by `nodes[k]`.

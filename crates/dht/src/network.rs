@@ -32,7 +32,7 @@
 //! factors* of both paths small:
 //!
 //! * **O(1) ring.** Ring successor/predecessor pointers are slab
-//!   arrays ([`DhNetwork::succ`]/`pred`) maintained in O(1) on
+//!   arrays (`DhNetwork::succ`/`pred`) maintained in O(1) on
 //!   join/leave. The sorted `registry` survives only for *point*
 //!   queries ([`DhNetwork::cover_of`]); an arc-coverage query is one
 //!   O(log n) registry seek plus O(k) pointer chasing.
@@ -51,20 +51,13 @@ use cd_core::interval::Interval;
 use cd_core::point::Point;
 use cd_core::pointset::PointSet;
 use cd_core::Point as CPoint;
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap, HashSet};
-use std::fmt;
 use std::mem;
 
-/// A stable handle to a live server (slab index).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
-pub struct NodeId(pub u32);
-
-impl fmt::Display for NodeId {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "V{}", self.0)
-    }
-}
+// The server handle now lives in the wire-protocol crate (every layer
+// from the transports up names servers with it); re-exported here so
+// `dh_dht::NodeId` remains the same type it always was.
+pub use dh_proto::NodeId;
 
 /// A neighbor-table entry: the neighbor and the segment it covered
 /// when the entry was derived (kept current by the churn protocol).

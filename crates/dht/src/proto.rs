@@ -1,0 +1,368 @@
+//! The Distance Halving network on the wire-protocol API.
+//!
+//! [`DhNetwork`] implements [`Topology`], so every routed operation
+//! can run through `dh_proto`'s deterministic event engine over any
+//! transport. Under [`dh_proto::Inline`] the engine executes exactly
+//! the synchronous hop sequence (see `tests/proto_equiv.rs` — routes
+//! are property-tested bit-identical to [`DhNetwork::lookup`]); under
+//! [`dh_proto::Sim`] the same protocols acquire latency, loss,
+//! duplication and reordering, plus per-operation message/byte
+//! accounting that nothing in the synchronous path can express.
+//!
+//! This module also drives **churn through messages**:
+//! [`join_over`]/[`leave_over`] run the paper's Join/Leave algorithms
+//! as wire traffic (lookup steps, a `JoinSplit`/`LeaveMerge` RPC, one
+//! `NeighborDiff` per affected watcher) while the verified incremental
+//! table maintenance of [`DhNetwork`] applies the state transition —
+//! the message layer prices what the state layer does.
+
+use crate::lookup::{LookupKind, Route};
+use crate::metrics::LoadCounters;
+use crate::network::{DhNetwork, NodeId};
+use cd_core::interval::Interval;
+use cd_core::point::Point;
+use cd_core::rng::{splitmix64, sub_rng};
+use cd_core::stats::Summary;
+use dh_proto::engine::{Engine, Path, RetryPolicy, Topology};
+use dh_proto::transport::Transport;
+use dh_proto::wire::{Action, RouteKind, Wire};
+use rand::Rng;
+
+impl Topology for DhNetwork {
+    fn delta(&self) -> u32 {
+        DhNetwork::delta(self)
+    }
+
+    fn segment_of(&self, n: NodeId) -> Interval {
+        self.node(n).segment
+    }
+
+    fn local_cover(&self, cur: NodeId, p: Point) -> Option<NodeId> {
+        DhNetwork::local_cover(self, cur, p)
+    }
+}
+
+/// The wire-level spelling of a [`LookupKind`].
+pub fn route_kind(kind: LookupKind) -> RouteKind {
+    match kind {
+        LookupKind::Fast => RouteKind::Fast,
+        LookupKind::DistanceHalving => RouteKind::DistanceHalving,
+    }
+}
+
+/// Reinterpret an engine [`Path`] as the lookup layer's [`Route`]
+/// (same fields, same collapse semantics).
+pub fn path_to_route(path: Path) -> Route {
+    Route { nodes: path.nodes, points: path.points, phase2_start: path.phase2_start }
+}
+
+/// Result of a message-driven lookup batch: the synchronous driver's
+/// metrics plus everything only a transport can measure.
+pub struct MsgBatch {
+    /// Hops of each completed lookup.
+    pub path_lengths: Summary,
+    /// Per-live-server loads (servers that handled each message).
+    pub loads: Summary,
+    /// Max load over servers.
+    pub max_load: u64,
+    /// Lookups submitted.
+    pub lookups: usize,
+    /// Lookups that completed.
+    pub completed: usize,
+    /// Lookups abandoned after retry exhaustion.
+    pub failed: usize,
+    /// Total messages handed to the transport (all attempts).
+    pub msgs: u64,
+    /// Total modeled bytes.
+    pub bytes: u64,
+    /// Messages the transport lost.
+    pub dropped: u64,
+    /// End-to-end op restarts.
+    pub retries: u64,
+    /// Engine time by which the last lookup completed.
+    pub makespan: u64,
+}
+
+impl MsgBatch {
+    /// Mean messages per completed lookup (all attempts charged).
+    pub fn msgs_per_op(&self) -> f64 {
+        self.msgs as f64 / self.completed.max(1) as f64
+    }
+
+    /// Mean bytes per completed lookup.
+    pub fn bytes_per_op(&self) -> f64 {
+        self.bytes as f64 / self.completed.max(1) as f64
+    }
+}
+
+/// Run `m` random lookups (the workload of Definition 3 / Theorems
+/// 2.7, 2.9) through the event engine over `transport`, one submission
+/// every `spacing` ticks. The `(from, target)` pairs are derived from
+/// `seed` exactly like [`crate::driver::random_lookups`]'s; per-op
+/// digits come from the engine's own sub-streams, so the whole batch
+/// is a pure function of `(seed, transport)`.
+pub fn lookups_over<T: Transport>(
+    net: &DhNetwork,
+    kind: LookupKind,
+    m: usize,
+    seed: u64,
+    transport: T,
+    retry: RetryPolicy,
+    spacing: u64,
+) -> (MsgBatch, T) {
+    let mut eng = Engine::new(net, transport, splitmix64(seed ^ 0x0E6E)).with_retry(retry);
+    let ops: Vec<_> = (0..m)
+        .map(|i| {
+            let mut rng = sub_rng(seed, i as u64);
+            let from = net.random_node(&mut rng);
+            let target = Point(rng.gen());
+            eng.submit_at(i as u64 * spacing, route_kind(kind), from, target, Action::Locate)
+        })
+        .collect();
+    eng.run();
+    let counters = LoadCounters::for_network(net);
+    let mut lengths: Vec<u64> = Vec::with_capacity(m);
+    let mut completed = 0usize;
+    let mut makespan = 0u64;
+    for &op in &ops {
+        let out = eng.outcome(op);
+        if out.ok {
+            completed += 1;
+            lengths.push(out.path.hops() as u64);
+            makespan = makespan.max(out.completed_at.unwrap_or(0));
+            for &n in &out.path.nodes {
+                counters.add(n, 1);
+            }
+        }
+    }
+    let stats = eng.stats;
+    let batch = MsgBatch {
+        path_lengths: Summary::of_u64(lengths),
+        loads: counters.summary(net),
+        max_load: counters.max_load(net),
+        lookups: m,
+        completed,
+        failed: m - completed,
+        msgs: stats.msgs,
+        bytes: stats.bytes,
+        dropped: stats.dropped,
+        retries: stats.retries,
+        makespan,
+    };
+    (batch, eng.into_transport())
+}
+
+/// Message cost of one churn operation driven through the engine.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ChurnMsgCost {
+    /// Messages of the initial lookup (Join step 2; 0 for Leave).
+    pub lookup_msgs: u64,
+    /// The `JoinSplit`/`LeaveMerge` RPC plus one `NeighborDiff` per
+    /// server whose table the operation rebuilt.
+    pub notify_msgs: u64,
+    /// Total modeled bytes of all of the above.
+    pub bytes: u64,
+    /// Attempts the lookup needed (lossy transports).
+    pub attempts: u32,
+}
+
+/// Algorithm Join (§2.1) as wire traffic: route a lookup for `x` from
+/// `host`, send `JoinSplit` to the covering server, apply the verified
+/// split ([`DhNetwork::join`]), then send one `NeighborDiff` to every
+/// server whose table changed. Returns `None` on identifier collision
+/// or if the lookup failed on a lossy transport (caller may retry with
+/// a fresh seed).
+pub fn join_over<T: Transport>(
+    net: &mut DhNetwork,
+    host: NodeId,
+    x: Point,
+    kind: LookupKind,
+    seed: u64,
+    transport: &mut T,
+    retry: RetryPolicy,
+) -> Option<(NodeId, ChurnMsgCost)> {
+    if net.node(net.cover_of(x)).x == x {
+        return None; // identifier collision
+    }
+    let mut cost = ChurnMsgCost::default();
+    // step 2: lookup x from the host
+    let dest = {
+        let mut eng = Engine::new(&*net, &mut *transport, seed).with_retry(retry);
+        let op = eng.submit(route_kind(kind), host, x, Action::Locate);
+        eng.run();
+        let out = eng.outcome(op);
+        cost.lookup_msgs = out.msgs;
+        cost.bytes += out.bytes;
+        cost.attempts = out.attempts;
+        if !out.ok {
+            return None;
+        }
+        // step 3: ask the cover to split (the joiner speaks through its
+        // host until it is spliced into the ring)
+        eng.send(host, out.dest.expect("completed"), Wire::JoinSplit { x });
+        cost.notify_msgs += 1;
+        cost.bytes += Wire::JoinSplit { x }.wire_bytes();
+        eng.run();
+        out.dest.expect("completed")
+    };
+    // the affected set: the split node's watchers (their tables are
+    // rebuilt), known locally at `dest` via its reverse index
+    let watchers: Vec<NodeId> = net.node(dest).watchers.iter().copied().collect();
+    let id = net.join(x)?;
+    // step 4: the split node informs every affected server; the joiner
+    // receives its freshly derived table
+    let mut eng = Engine::new(&*net, &mut *transport, splitmix64(seed ^ 0x301F));
+    for &w in &watchers {
+        let msg = Wire::NeighborDiff { entries: 1 };
+        cost.notify_msgs += 1;
+        cost.bytes += msg.wire_bytes();
+        eng.send(dest, w, msg);
+    }
+    let table = Wire::NeighborDiff { entries: net.node(id).degree() as u32 };
+    cost.notify_msgs += 1;
+    cost.bytes += table.wire_bytes();
+    eng.send(dest, id, table);
+    eng.run();
+    Some((id, cost))
+}
+
+/// The simple Leave (§2.1) as wire traffic: `LeaveMerge` hands the
+/// segment and items to the ring predecessor, then the departing
+/// server and the predecessor notify every watcher whose table must be
+/// rebuilt. The verified [`DhNetwork::leave`] applies the state
+/// transition.
+pub fn leave_over<T: Transport>(
+    net: &mut DhNetwork,
+    id: NodeId,
+    transport: &mut T,
+    seed: u64,
+) -> ChurnMsgCost {
+    let pred = net.ring_pred(id);
+    let mut cost = ChurnMsgCost::default();
+    let mut notify: Vec<(NodeId, NodeId)> = Vec::new();
+    for &w in &net.node(id).watchers {
+        if w != id {
+            notify.push((id, w));
+        }
+    }
+    for &w in &net.node(pred).watchers {
+        if w != id {
+            notify.push((pred, w));
+        }
+    }
+    {
+        let mut eng = Engine::new(&*net, &mut *transport, seed);
+        let merge = Wire::LeaveMerge { items: net.node(id).items.len() as u32 };
+        cost.notify_msgs += 1;
+        cost.bytes += merge.wire_bytes();
+        eng.send(id, pred, merge);
+        for &(src, dst) in &notify {
+            let msg = Wire::NeighborDiff { entries: 1 };
+            cost.notify_msgs += 1;
+            cost.bytes += msg.wire_bytes();
+            eng.send(src, dst, msg);
+        }
+        eng.run();
+    }
+    net.leave(id);
+    cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cd_core::pointset::PointSet;
+    use cd_core::rng::seeded;
+    use dh_proto::transport::{Inline, Recorder, Sim};
+
+    #[test]
+    fn topology_view_matches_network_state() {
+        let mut rng = seeded(50);
+        let net = DhNetwork::new(&PointSet::random(64, &mut rng));
+        for &id in net.live() {
+            assert_eq!(Topology::segment_of(&net, id), net.node(id).segment);
+            for _ in 0..20 {
+                let p = Point(rng.gen());
+                assert_eq!(Topology::local_cover(&net, id, p), net.local_cover(id, p));
+            }
+        }
+        assert_eq!(Topology::delta(&net), net.delta());
+    }
+
+    #[test]
+    fn lookups_over_inline_cost_equals_hops() {
+        let mut rng = seeded(51);
+        let net = DhNetwork::new(&PointSet::random(128, &mut rng));
+        for kind in [LookupKind::Fast, LookupKind::DistanceHalving] {
+            let (batch, _) =
+                lookups_over(&net, kind, 200, 0xBA7C, Inline, RetryPolicy::default(), 0);
+            assert_eq!(batch.completed, 200);
+            assert_eq!(batch.failed, 0);
+            assert_eq!(batch.retries, 0);
+            // under Inline every hop is exactly one message
+            assert_eq!(batch.msgs as f64, batch.path_lengths.mean * 200.0);
+        }
+    }
+
+    #[test]
+    fn churn_over_messages_preserves_invariants_and_locality() {
+        let mut rng = seeded(52);
+        let mut net = DhNetwork::new(&PointSet::random(64, &mut rng));
+        let mut transport = Inline;
+        let mut joined: Vec<NodeId> = Vec::new();
+        for i in 0..120u64 {
+            if net.len() > 8 && rng.gen_bool(0.45) {
+                let v = net.random_node(&mut rng);
+                let cost = leave_over(&mut net, v, &mut transport, i);
+                assert!(cost.notify_msgs >= 1);
+                joined.retain(|&j| j != v);
+            } else {
+                let host = net.random_node(&mut rng);
+                let x = Point(rng.gen());
+                if let Some((id, cost)) = join_over(
+                    &mut net,
+                    host,
+                    x,
+                    LookupKind::DistanceHalving,
+                    i,
+                    &mut transport,
+                    RetryPolicy::default(),
+                ) {
+                    assert!(net.node(id).covers(x));
+                    // join must stay local: O(degree) notifications
+                    assert!(
+                        cost.notify_msgs <= 64,
+                        "{} notifications — join must be local",
+                        cost.notify_msgs
+                    );
+                    assert!(cost.lookup_msgs <= 40);
+                    joined.push(id);
+                }
+            }
+        }
+        net.validate();
+    }
+
+    #[test]
+    fn sim_batch_is_deterministic() {
+        let mut rng = seeded(53);
+        let net = DhNetwork::new(&PointSet::random(256, &mut rng));
+        let run = || {
+            let sim = Recorder::new(Sim::new(77).with_drop(0.01).with_dup(0.01));
+            let (batch, rec) = lookups_over(
+                &net,
+                LookupKind::DistanceHalving,
+                300,
+                0x5EED,
+                sim,
+                RetryPolicy { timeout: 2_000, max_attempts: 8 },
+                3,
+            );
+            (batch.msgs, batch.bytes, batch.retries, batch.completed, rec.trace.fingerprint())
+        };
+        assert_eq!(run(), run(), "same seed must reproduce the batch exactly");
+        let (msgs, _, _, completed, _) = run();
+        assert_eq!(completed, 300);
+        assert!(msgs > 0);
+    }
+}

@@ -2,11 +2,23 @@
 //! items are hashed into `I` by a k-wise independent function chosen at
 //! system construction (Section 2.1, “Mapping the data items to
 //! servers”), stored at the covering server, and located by lookup.
+//!
+//! Since the protocol-API redesign every storage operation is a routed
+//! RPC ([`dh_proto::Wire`]): the direct-call entry points
+//! ([`Dht::put`]/[`Dht::get`]/[`Dht::remove`]) are thin wrappers that
+//! drive the RPC through the event engine over the zero-overhead
+//! [`Inline`] transport, and the `*_over` variants run the identical
+//! protocol over any transport — storage under latency, loss and
+//! duplication is the same code path, not a parallel driver.
 
 use crate::lookup::{LookupKind, Route};
 use crate::network::{DhNetwork, NodeId, StoredItem};
+use crate::proto::{path_to_route, route_kind};
 use bytes::Bytes;
 use cd_core::hashing::KWiseHash;
+use dh_proto::engine::{Engine, OpOutcome, RetryPolicy};
+use dh_proto::transport::{Inline, Transport};
+use dh_proto::wire::Action;
 use rand::Rng;
 
 /// The DHT storage layer: a network plus the global hash function
@@ -28,34 +40,115 @@ impl Dht {
         Dht { hash: KWiseHash::new(k, rng), net, kind: LookupKind::DistanceHalving }
     }
 
+    /// Route one storage RPC through the engine over `transport` and
+    /// return its outcome. The whole run is a pure function of `seed`
+    /// and the transport's state.
+    fn dispatch<T: Transport>(
+        &self,
+        from: NodeId,
+        action: Action,
+        point: cd_core::point::Point,
+        transport: T,
+        seed: u64,
+        retry: RetryPolicy,
+    ) -> OpOutcome {
+        let mut eng = Engine::new(&self.net, transport, seed).with_retry(retry);
+        let op = eng.submit(route_kind(self.kind), from, point, action);
+        eng.run();
+        eng.outcome(op)
+    }
+
     /// Store an item, routing from `from` to the responsible server.
     /// Returns the route taken.
     pub fn put(&mut self, from: NodeId, key: u64, value: Bytes, rng: &mut impl Rng) -> Route {
+        let (out, stored) = self.put_over(from, key, value, Inline, rng.gen(), RetryPolicy::default());
+        debug_assert!(stored, "Inline transport cannot fail a put");
+        path_to_route(out.path)
+    }
+
+    /// [`Self::put`] over an arbitrary transport: the `Put` RPC is
+    /// routed hop by hop and applied at the covering server if the
+    /// route completes within the retry budget — and arrived with its
+    /// integrity intact (a payload corrupted by false message
+    /// injection is rejected at the destination, mirroring the read
+    /// path). Returns the op outcome and whether the item was stored.
+    pub fn put_over<T: Transport>(
+        &mut self,
+        from: NodeId,
+        key: u64,
+        value: Bytes,
+        transport: T,
+        seed: u64,
+        retry: RetryPolicy,
+    ) -> (OpOutcome, bool) {
         let point = self.hash.point(key);
-        let route = self.net.lookup(self.kind, from, point, rng);
-        let dest = route.destination();
-        let items = &mut self.net.node_state_mut(dest).items;
-        items.insert(key, StoredItem { point, value });
-        route
+        let action = Action::Put { key, len: value.len() as u32 };
+        let out = self.dispatch(from, action, point, transport, seed, retry);
+        let stored = out.ok && !out.corrupt;
+        if stored {
+            let dest = out.dest.expect("completed");
+            self.net.node_state_mut(dest).items.insert(key, StoredItem { point, value });
+        }
+        (out, stored)
     }
 
     /// Retrieve an item, routing from `from`. Returns the route and the
     /// value if present.
     pub fn get(&self, from: NodeId, key: u64, rng: &mut impl Rng) -> (Route, Option<Bytes>) {
+        let (out, value) = self.get_over(from, key, Inline, rng.gen(), RetryPolicy::default());
+        (path_to_route(out.path), value)
+    }
+
+    /// [`Self::get`] over an arbitrary transport. A `None` value means
+    /// the item is absent, the route failed, or — under false message
+    /// injection — the response arrived without integrity.
+    pub fn get_over<T: Transport>(
+        &self,
+        from: NodeId,
+        key: u64,
+        transport: T,
+        seed: u64,
+        retry: RetryPolicy,
+    ) -> (OpOutcome, Option<Bytes>) {
         let point = self.hash.point(key);
-        let route = self.net.lookup(self.kind, from, point, rng);
-        let dest = route.destination();
-        let value = self.net.node(dest).items.get(&key).map(|it| it.value.clone());
-        (route, value)
+        let out = self.dispatch(from, Action::Get { key }, point, transport, seed, retry);
+        let value = match out.dest {
+            Some(dest) if !out.corrupt => {
+                self.net.node(dest).items.get(&key).map(|it| it.value.clone())
+            }
+            _ => None,
+        };
+        (out, value)
     }
 
     /// Remove an item (routes like `get`).
     pub fn remove(&mut self, from: NodeId, key: u64, rng: &mut impl Rng) -> (Route, Option<Bytes>) {
+        let (out, value) = self.remove_over(from, key, Inline, rng.gen(), RetryPolicy::default());
+        debug_assert!(out.ok, "Inline transport cannot fail a remove");
+        (path_to_route(out.path), value)
+    }
+
+    /// [`Self::remove`] over an arbitrary transport: the item is
+    /// deleted only if the route completed within the retry budget and
+    /// the request arrived uncorrupted (a liar-mangled delete must not
+    /// destroy data).
+    pub fn remove_over<T: Transport>(
+        &mut self,
+        from: NodeId,
+        key: u64,
+        transport: T,
+        seed: u64,
+        retry: RetryPolicy,
+    ) -> (OpOutcome, Option<Bytes>) {
         let point = self.hash.point(key);
-        let route = self.net.lookup(self.kind, from, point, rng);
-        let dest = route.destination();
-        let value = self.net.node_state_mut(dest).items.remove(&key).map(|it| it.value);
-        (route, value)
+        let out = self.dispatch(from, Action::Remove { key }, point, transport, seed, retry);
+        let value = match out.dest {
+            Some(dest) if !out.corrupt => {
+                self.net.node_state_mut(dest).items.remove(&key).map(|it| it.value)
+            }
+            _ => None,
+        };
+        (out, value)
     }
 }
 
@@ -65,6 +158,8 @@ mod tests {
     use cd_core::pointset::PointSet;
     use cd_core::rng::seeded;
     use cd_core::Point as CPoint;
+    use dh_proto::transport::Sim;
+    use dh_proto::{FaultModel, Faulty};
     use rand::Rng;
 
     #[test]
@@ -134,5 +229,85 @@ mod tests {
         assert_eq!(removed, Some(Bytes::from_static(b"x")));
         let (_, got) = dht.get(from, 7, &mut rng);
         assert_eq!(got, None);
+    }
+
+    #[test]
+    fn storage_survives_a_lossy_transport() {
+        let mut rng = seeded(34);
+        let net = DhNetwork::new(&PointSet::random(64, &mut rng));
+        let mut dht = Dht::new(net, &mut rng);
+        let retry = RetryPolicy { timeout: 2_000, max_attempts: 10 };
+        let mut stored = 0usize;
+        let mut fetched = 0usize;
+        for key in 0..60u64 {
+            let from = dht.net.random_node(&mut rng);
+            let sim = Sim::new(key ^ 0xA0).with_drop(0.05);
+            let (out, ok) =
+                dht.put_over(from, key, Bytes::from(vec![key as u8; 16]), sim, key, retry);
+            assert!(out.attempts >= 1);
+            if ok {
+                stored += 1;
+                let sim = Sim::new(key ^ 0xB1).with_drop(0.05);
+                let (_, got) = dht.get_over(from, key, sim, key ^ 1, retry);
+                if got == Some(Bytes::from(vec![key as u8; 16])) {
+                    fetched += 1;
+                }
+            }
+        }
+        assert!(stored >= 55, "only {stored}/60 puts survived 5% loss with retries");
+        assert!(fetched >= stored - 3, "only {fetched}/{stored} gets succeeded");
+    }
+
+    #[test]
+    fn injection_voids_put_and_remove_integrity() {
+        let mut rng = seeded(36);
+        let net = DhNetwork::new(&PointSet::random(64, &mut rng));
+        let mut dht = Dht::new(net, &mut rng);
+        let from = dht.net.random_node(&mut rng);
+        dht.put(from, 4, Bytes::from_static(b"keep"), &mut rng);
+        let mut liars = Faulty::new(Inline, FaultModel::FalseMessageInjection);
+        for &id in dht.net.live() {
+            liars.fail(id);
+        }
+        // a corrupted put must not be stored
+        let (out, stored) =
+            dht.put_over(from, 5, Bytes::from_static(b"evil"), liars, 91, RetryPolicy::default());
+        if out.msgs > 0 {
+            assert!(out.corrupt);
+            assert!(!stored, "a corrupted write must be rejected");
+            let (_, got) = dht.get(from, 5, &mut rng);
+            assert_eq!(got, None);
+        }
+        // a corrupted remove must not destroy data
+        let mut liars = Faulty::new(Inline, FaultModel::FalseMessageInjection);
+        for &id in dht.net.live() {
+            liars.fail(id);
+        }
+        let (out, removed) = dht.remove_over(from, 4, liars, 92, RetryPolicy::default());
+        if out.msgs > 0 {
+            assert_eq!(removed, None, "a liar-mangled delete must not be honored");
+            let (_, got) = dht.get(from, 4, &mut rng);
+            assert_eq!(got, Some(Bytes::from_static(b"keep")));
+        }
+    }
+
+    #[test]
+    fn injection_voids_get_integrity() {
+        let mut rng = seeded(35);
+        let net = DhNetwork::new(&PointSet::random(64, &mut rng));
+        let mut dht = Dht::new(net, &mut rng);
+        let from = dht.net.random_node(&mut rng);
+        dht.put(from, 9, Bytes::from_static(b"honest"), &mut rng);
+        // every server lies: any multi-hop get loses integrity
+        let mut faulty = Faulty::new(Inline, FaultModel::FalseMessageInjection);
+        for &id in dht.net.live() {
+            faulty.fail(id);
+        }
+        let (out, got) = dht.get_over(from, 9, faulty, 77, RetryPolicy::default());
+        assert!(out.ok, "liars still route");
+        if out.msgs > 0 {
+            assert!(out.corrupt);
+            assert_eq!(got, None, "a corrupted response must not be trusted");
+        }
     }
 }

@@ -20,6 +20,16 @@
 //! The crate also wires in `dh-erasure` (§6.2's suggestion): instead of
 //! full replicas, covers can hold Reed-Solomon shares, any
 //! `k`-of-`m` of which reconstruct the item.
+//!
+//! Since the protocol-API redesign, the two failure models themselves
+//! ([`FaultModel`]) live in `dh_proto` and are implemented as
+//! *transport behaviors* (`dh_proto::Faulty` drops a fail-stopped
+//! server's traffic or corrupts a liar's payloads under any inner
+//! transport), so the plain Distance Halving DHT can be driven under
+//! both adversaries through the same event engine. What remains here
+//! is what genuinely is not a transport: the §6 *overlapping
+//! discretisation* — a different topology with Θ(log n)-fold coverage
+//! — and its Simple/Majority lookups.
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]

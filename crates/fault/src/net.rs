@@ -20,15 +20,12 @@ use std::collections::HashSet;
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct OverlapNodeId(pub u32);
 
-/// Which failure model is active.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum FaultModel {
-    /// Failed servers do not respond at all.
-    FailStop,
-    /// Failed servers respond with corrupted payloads but follow the
-    /// routing protocol otherwise (§6's false message injection).
-    FalseMessageInjection,
-}
+// Since the protocol-API redesign the failure models are transport
+// behaviors (`dh_proto::Faulty` wraps any transport with them for the
+// plain DH network); this crate re-exports the shared vocabulary and
+// keeps the §6 *overlapping discretisation*, which is a genuinely
+// different topology rather than a failure mode.
+pub use dh_proto::FaultModel;
 
 /// One server.
 #[derive(Clone, Debug)]

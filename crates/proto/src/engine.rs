@@ -1,0 +1,888 @@
+//! The deterministic discrete-event runtime.
+//!
+//! An [`Engine`] drives per-node protocol state machines over any
+//! [`Topology`] and any [`crate::transport::Transport`]. Time is a
+//! `u64` tick counter; events (message deliveries, retry timers) live
+//! in a priority queue ordered by `(time, sequence-number)`, so runs
+//! are exactly reproducible. Per-op randomness (the Distance Halving
+//! Lookup's digit string) comes from `sub_rng(engine_seed, op)`,
+//! independent of how ops interleave.
+//!
+//! Every hop decision uses **only the current node's own table**
+//! ([`Topology::local_cover`]) — the engine never consults a global
+//! oracle, so what it executes is the paper's local protocol, message
+//! by message. Local steps (the message position moves but stays on
+//! the same server) cost nothing; a message is sent exactly when the
+//! hop crosses to another server, which is why the `Inline` transport
+//! reproduces `DhNetwork::lookup` routes bit for bit.
+//!
+//! Loss is survived end-to-end: each send arms a progress timer
+//! stamped with the op's `(attempt, step)`; if the op has not advanced
+//! when the timer fires, the origin restarts the operation (fresh
+//! digits, same target) up to [`RetryPolicy::max_attempts`] times.
+//! Duplicated or reordered deliveries and retransmissions from
+//! abandoned attempts are recognised by their stamps and ignored.
+
+use crate::node::NodeId;
+use crate::transport::{Delivery, Transport};
+use crate::wire::{Action, Envelope, OpId, RouteKind, Wire};
+use cd_core::interval::Interval;
+use cd_core::point::Point;
+use cd_core::rng::sub_rng;
+use cd_core::walk::{prefix_walk_delta, walk_budget, TwoSidedWalk};
+use rand::rngs::StdRng;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// The local view a protocol needs from an overlay: the degree
+/// parameter, each server's own segment, and the server's routing
+/// primitive (its own table, nothing global). `dh_dht` implements this
+/// for `DhNetwork`.
+pub trait Topology {
+    /// The degree parameter ∆ of the continuous graph.
+    fn delta(&self) -> u32;
+    /// The segment owned by `n` (starts at `n`'s identifier point).
+    fn segment_of(&self, n: NodeId) -> Interval;
+    /// The node covering `p` *as visible from `cur`*: `cur` itself if
+    /// its segment covers `p`, otherwise the entry of `cur`'s own
+    /// neighbor table covering `p`, otherwise `None`.
+    fn local_cover(&self, cur: NodeId, p: Point) -> Option<NodeId>;
+}
+
+/// The wire-level view of a route: servers visited (consecutive
+/// duplicates collapsed) and the continuous position of the message at
+/// each. Field-for-field the same record as `dh_dht::Route`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Path {
+    /// Servers visited, in order.
+    pub nodes: Vec<NodeId>,
+    /// Continuous position of the message at each visited server.
+    pub points: Vec<Point>,
+    /// Index into `nodes` where phase 2 began (DH routing only).
+    pub phase2_start: Option<usize>,
+}
+
+impl Path {
+    fn reset(&mut self, source: NodeId, at: Point) {
+        self.nodes.clear();
+        self.points.clear();
+        self.phase2_start = None;
+        self.nodes.push(source);
+        self.points.push(at);
+    }
+
+    fn push(&mut self, node: NodeId, at: Point) {
+        if *self.nodes.last().expect("path never empty") != node {
+            self.nodes.push(node);
+            self.points.push(at);
+        } else {
+            *self.points.last_mut().expect("path never empty") = at;
+        }
+    }
+
+    /// Number of hops (messages sent on the successful attempt).
+    pub fn hops(&self) -> usize {
+        self.nodes.len().saturating_sub(1)
+    }
+
+    /// The server the route ended at.
+    pub fn destination(&self) -> NodeId {
+        *self.nodes.last().expect("path never empty")
+    }
+}
+
+/// End-to-end retransmission policy.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Ticks without progress before the origin restarts the op.
+    pub timeout: u64,
+    /// Attempts (including the first) before the op is abandoned.
+    pub max_attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { timeout: 512, max_attempts: 5 }
+    }
+}
+
+/// Global counters of one engine run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Messages handed to the transport.
+    pub msgs: u64,
+    /// Modeled bytes handed to the transport.
+    pub bytes: u64,
+    /// Deliveries that reached a receiver.
+    pub delivered: u64,
+    /// Sends the transport lost entirely.
+    pub dropped: u64,
+    /// Extra arrivals beyond the first (duplication).
+    pub duplicated: u64,
+    /// Deliveries ignored because their `(attempt, step)` stamp was
+    /// stale (old attempt, duplicate, or reordered-behind).
+    pub stale: u64,
+    /// Op restarts triggered by progress timeouts.
+    pub retries: u64,
+    /// Ops that completed.
+    pub completed: u64,
+    /// Ops abandoned after `max_attempts`.
+    pub failed: u64,
+}
+
+/// The final record of one operation.
+#[derive(Clone, Debug)]
+pub struct OpOutcome {
+    /// What the op did at its destination.
+    pub action: Action,
+    /// Did it complete (false ⇒ retry budget exhausted)?
+    pub ok: bool,
+    /// The server that answered (when `ok`).
+    pub dest: Option<NodeId>,
+    /// The route of the successful attempt.
+    pub path: Path,
+    /// Messages sent for this op, all attempts included.
+    pub msgs: u64,
+    /// Bytes sent for this op, all attempts included.
+    pub bytes: u64,
+    /// Attempts used (1 = succeeded first try).
+    pub attempts: u32,
+    /// Completion time on the engine clock.
+    pub completed_at: Option<u64>,
+    /// Whether any delivery the successful attempt consumed was
+    /// corrupted in flight (false message injection).
+    pub corrupt: bool,
+    /// For `CacheServe`: the path-tree level that served the request.
+    pub serve_level: Option<u32>,
+    /// For `CacheServe`: the tree node (continuous point) that served.
+    pub serve_at: Option<Point>,
+    /// DH routing: the path-tree level at which phase 2 entered the
+    /// climb (the trace length − 1).
+    pub entered_at: Option<u32>,
+}
+
+/// Per-op routing machine state.
+enum Machine {
+    /// Waiting for its start event.
+    Pending,
+    /// Fast Lookup backward walk: current position, hops remaining.
+    Fast { p: Point, remaining: u32 },
+    /// Fast Lookup ring correction toward the true cover.
+    FastRing,
+    /// DH lookup phase 1 (forward along `p_t`).
+    Dh1,
+    /// DH lookup phase 2 (retrace `q_t … q_0`); `idx` indexes `trace`.
+    Dh2 { idx: usize },
+    /// Completed.
+    Done,
+    /// Abandoned after retry exhaustion.
+    Failed,
+}
+
+struct Op {
+    kind: RouteKind,
+    action: Action,
+    from: NodeId,
+    target: Point,
+    rng: StdRng,
+    machine: Machine,
+    cur: NodeId,
+    attempt: u32,
+    step: u32,
+    /// Fast Lookup plan: walk start and length (computed once).
+    plan: Option<(Point, u32)>,
+    walk: TwoSidedWalk,
+    trace: Vec<Point>,
+    path: Path,
+    msgs: u64,
+    bytes: u64,
+    corrupt: bool,
+    completed_at: Option<u64>,
+    serve_level: Option<u32>,
+    serve_at: Option<Point>,
+    entered_at: Option<u32>,
+}
+
+enum EventKind {
+    Start { op: OpId },
+    Deliver { env: Envelope },
+    Timer { op: OpId, attempt: u32, step: u32 },
+}
+
+struct Event {
+    at: u64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq)
+        // pops first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// The deterministic event-driven runtime. See the module docs.
+pub struct Engine<'g, G: Topology, T: Transport> {
+    net: &'g G,
+    transport: T,
+    seed: u64,
+    clock: u64,
+    seq: u64,
+    queue: BinaryHeap<Event>,
+    ops: Vec<Op>,
+    /// Retransmission policy for routed ops.
+    pub retry: RetryPolicy,
+    /// Global counters.
+    pub stats: EngineStats,
+    plan_buf: Vec<Delivery>,
+}
+
+impl<'g, G: Topology, T: Transport> Engine<'g, G, T> {
+    /// A fresh engine at tick 0 over `net` and `transport`, with all
+    /// per-op randomness derived from `seed`.
+    pub fn new(net: &'g G, transport: T, seed: u64) -> Self {
+        Engine {
+            net,
+            transport,
+            seed,
+            clock: 0,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            ops: Vec::new(),
+            retry: RetryPolicy::default(),
+            stats: EngineStats::default(),
+            plan_buf: Vec::new(),
+        }
+    }
+
+    /// Set the retransmission policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// The current engine time.
+    pub fn now(&self) -> u64 {
+        self.clock
+    }
+
+    /// Give back the transport (e.g. to read a recorded trace).
+    pub fn into_transport(self) -> T {
+        self.transport
+    }
+
+    /// Submit an operation starting now. Returns its handle.
+    pub fn submit(&mut self, kind: RouteKind, from: NodeId, target: Point, action: Action) -> OpId {
+        self.submit_at(self.clock, kind, from, target, action)
+    }
+
+    /// Submit an operation whose origin starts acting at time `t`
+    /// (staggered arrivals).
+    pub fn submit_at(
+        &mut self,
+        t: u64,
+        kind: RouteKind,
+        from: NodeId,
+        target: Point,
+        action: Action,
+    ) -> OpId {
+        let id = self.ops.len() as OpId;
+        self.ops.push(Op {
+            kind,
+            action,
+            from,
+            target,
+            rng: sub_rng(self.seed, u64::from(id)),
+            machine: Machine::Pending,
+            cur: from,
+            attempt: 1,
+            step: 0,
+            plan: None,
+            walk: TwoSidedWalk::new(Point(0), Point(0), 2),
+            trace: Vec::new(),
+            path: Path::default(),
+            msgs: 0,
+            bytes: 0,
+            corrupt: false,
+            completed_at: None,
+            serve_level: None,
+            serve_at: None,
+            entered_at: None,
+        });
+        let at = t.max(self.clock);
+        self.push_event(at, EventKind::Start { op: id });
+        id
+    }
+
+    /// Send a bare (non-routed) protocol message — churn notifications
+    /// and the like. Counted and traced like any other send; delivery
+    /// has no state machine to drive.
+    pub fn send(&mut self, src: NodeId, dst: NodeId, msg: Wire) {
+        let env = Envelope { src, dst, msg, corrupt: false };
+        self.dispatch(env);
+    }
+
+    /// Run to quiescence with no cache layer attached.
+    pub fn run(&mut self) {
+        self.run_with(|_, _, _, _| false);
+    }
+
+    /// Run to quiescence. `serve(node, item, point, level)` is
+    /// consulted at every path-tree node a `CacheServe` op visits on
+    /// its phase-2 climb (entry node included); returning `true`
+    /// serves the request there and completes the op. The climb's root
+    /// (level 0) completes the op regardless, mirroring "the root is
+    /// always active".
+    pub fn run_with(&mut self, mut serve: impl FnMut(NodeId, u64, Point, u32) -> bool) {
+        while let Some(ev) = self.queue.pop() {
+            debug_assert!(ev.at >= self.clock, "time went backwards");
+            self.clock = ev.at;
+            match ev.kind {
+                EventKind::Start { op } => {
+                    self.start_op(op);
+                    self.advance(op, &mut serve);
+                }
+                EventKind::Deliver { env } => self.deliver(env, &mut serve),
+                EventKind::Timer { op, attempt, step } => self.timer(op, attempt, step, &mut serve),
+            }
+        }
+    }
+
+    /// The outcome of a submitted op (meaningful after [`Self::run`]).
+    pub fn outcome(&self, id: OpId) -> OpOutcome {
+        let op = &self.ops[id as usize];
+        let ok = matches!(op.machine, Machine::Done);
+        OpOutcome {
+            action: op.action,
+            ok,
+            dest: ok.then(|| op.path.destination()),
+            path: op.path.clone(),
+            msgs: op.msgs,
+            bytes: op.bytes,
+            attempts: op.attempt,
+            completed_at: op.completed_at,
+            corrupt: op.corrupt,
+            serve_level: op.serve_level,
+            serve_at: op.serve_at,
+            entered_at: op.entered_at,
+        }
+    }
+
+    /// Number of submitted ops.
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    // ------------------------------------------------------------------
+    // internals
+    // ------------------------------------------------------------------
+
+    fn push_event(&mut self, at: u64, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Event { at, seq, kind });
+    }
+
+    /// Hand `env` to the transport and schedule its arrivals.
+    fn dispatch(&mut self, env: Envelope) {
+        self.stats.msgs += 1;
+        self.stats.bytes += env.msg.wire_bytes();
+        let mut plan = std::mem::take(&mut self.plan_buf);
+        plan.clear();
+        self.transport.plan(self.clock, &env, &mut plan);
+        match plan.len() {
+            0 => self.stats.dropped += 1,
+            n => self.stats.duplicated += (n - 1) as u64,
+        }
+        for d in &plan {
+            debug_assert!(d.at >= self.clock, "transport scheduled into the past");
+            let env = Envelope { corrupt: env.corrupt || d.corrupt, ..env };
+            self.push_event(d.at, EventKind::Deliver { env });
+        }
+        self.plan_buf = plan;
+    }
+
+    /// Initialize an op's routing state at its origin (attempt 1 or a
+    /// retry): reset the path and plan/re-plan the walk.
+    fn start_op(&mut self, id: OpId) {
+        let delta = self.net.delta();
+        let op = &mut self.ops[id as usize];
+        op.cur = op.from;
+        let seg = self.net.segment_of(op.from);
+        match op.kind {
+            RouteKind::Fast => {
+                op.path.reset(op.from, seg.midpoint());
+                let (h, t) = *op.plan.get_or_insert_with(|| {
+                    // minimal t with w(σ(z)_t, target) ∈ s(V)
+                    let z = seg.midpoint();
+                    let budget = walk_budget(1, delta).max(2);
+                    let mut t = 0u32;
+                    let mut h = op.target;
+                    while !seg.contains(h) {
+                        t += 1;
+                        assert!(
+                            (t as usize) <= budget,
+                            "Fast Lookup failed to land in own segment after {t} steps"
+                        );
+                        h = prefix_walk_delta(op.target, z, t as usize, delta);
+                    }
+                    (h, t)
+                });
+                // a 0-length walk is the local hit of fast_plan's early
+                // exit; the ring-correction state completes it in place
+                op.machine = if t == 0 && seg.contains(op.target) {
+                    Machine::FastRing
+                } else {
+                    Machine::Fast { p: h, remaining: t }
+                };
+            }
+            RouteKind::DistanceHalving => {
+                // the walk starts at the node's identifier point
+                let x = seg.start();
+                op.path.reset(op.from, x);
+                op.walk.reset(x, op.target, delta);
+                op.machine = Machine::Dh1;
+            }
+        }
+    }
+
+    /// Take local steps for `op` at its current node until it either
+    /// completes or must send a message (sent here), then return.
+    fn advance(&mut self, id: OpId, serve: &mut impl FnMut(NodeId, u64, Point, u32) -> bool) {
+        loop {
+            let op = &mut self.ops[id as usize];
+            let cur = op.cur;
+            match op.machine {
+                Machine::Pending | Machine::Done | Machine::Failed => return,
+                Machine::Fast { p, remaining } => {
+                    if remaining == 0 {
+                        op.machine = Machine::FastRing;
+                        continue;
+                    }
+                    let next_p = p.backward_delta(self.net.delta());
+                    op.machine = Machine::Fast { p: next_p, remaining: remaining - 1 };
+                    if self.hop(id, next_p) {
+                        return; // message in flight
+                    }
+                }
+                Machine::FastRing => {
+                    let seg = self.net.segment_of(cur);
+                    if seg.contains(op.target) {
+                        op.path.push(cur, op.target);
+                        self.complete(id);
+                        return;
+                    }
+                    // fixed-point truncation correction along the ring
+                    let succ_start = seg.end();
+                    if self.hop(id, succ_start) {
+                        return;
+                    }
+                }
+                Machine::Dh1 => {
+                    let q = op.walk.target();
+                    match self.net.local_cover(cur, q) {
+                        Some(next) => {
+                            // phase 1 ends; the message (if any) carries
+                            // the phase-2 entry
+                            op.path.push(next, q);
+                            op.path.phase2_start = Some(op.path.nodes.len() - 1);
+                            op.walk.target_backtrace_into(&mut op.trace);
+                            op.entered_at = Some((op.trace.len() - 1) as u32);
+                            op.machine = Machine::Dh2 { idx: 0 };
+                            if next != cur {
+                                self.send_step(id, next, q);
+                                return;
+                            }
+                        }
+                        None => {
+                            assert!(
+                                op.walk.steps() < 130,
+                                "phase 1 failed to converge (∆ = {})",
+                                self.net.delta()
+                            );
+                            op.walk.step(&mut op.rng);
+                            let p = op.walk.source();
+                            if self.hop(id, p) {
+                                return;
+                            }
+                        }
+                    }
+                }
+                Machine::Dh2 { idx } => {
+                    // visit the current trace node (cache climbs serve
+                    // here), then hop to the next one
+                    let t = op.trace.len() - 1;
+                    let q = op.trace[idx];
+                    let level = (t - idx) as u32;
+                    if let Action::CacheServe { item } = op.action {
+                        // (a served op is completed on the spot, so this
+                        // branch never sees serve_level already set)
+                        if serve(cur, item, q, level) || level == 0 {
+                            op.serve_level = Some(level);
+                            op.serve_at = Some(q);
+                            self.complete(id);
+                            return;
+                        }
+                    }
+                    if idx == t {
+                        debug_assert!(self.net.segment_of(cur).contains(op.target));
+                        self.complete(id);
+                        return;
+                    }
+                    op.machine = Machine::Dh2 { idx: idx + 1 };
+                    let next_q = op.trace[idx + 1];
+                    if self.hop(id, next_q) {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Move `op`'s message to the node covering `p`, using only the
+    /// current node's own table. Returns `true` iff a message was sent
+    /// (the op then waits for its delivery); `false` means the
+    /// position moved but stayed on the same server.
+    fn hop(&mut self, id: OpId, p: Point) -> bool {
+        let op = &self.ops[id as usize];
+        let cur = op.cur;
+        let next = self.net.local_cover(cur, p).unwrap_or_else(|| {
+            panic!(
+                "missing discrete edge: {cur} (segment {:?}) has no table entry covering {:?}",
+                self.net.segment_of(cur),
+                p
+            )
+        });
+        self.ops[id as usize].path.push(next, p);
+        if next == cur {
+            return false;
+        }
+        self.send_step(id, next, p);
+        true
+    }
+
+    /// Emit the op's next `LookupStep` to `next` and arm the progress
+    /// timer.
+    fn send_step(&mut self, id: OpId, next: NodeId, at: Point) {
+        let op = &mut self.ops[id as usize];
+        op.step += 1;
+        let digits = match op.kind {
+            RouteKind::Fast => 0,
+            RouteKind::DistanceHalving => match op.machine {
+                // phase 2 deletes one digit of τ per hop
+                Machine::Dh2 { idx } => (op.trace.len() - 1 - idx) as u32,
+                _ => op.walk.steps() as u32,
+            },
+        };
+        let msg = Wire::LookupStep {
+            op: id,
+            attempt: op.attempt,
+            step: op.step,
+            at,
+            digits,
+            action: op.action,
+        };
+        op.msgs += 1;
+        op.bytes += msg.wire_bytes();
+        let (src, attempt, step) = (op.cur, op.attempt, op.step);
+        let timeout = self.retry.timeout;
+        self.dispatch(Envelope { src, dst: next, msg, corrupt: false });
+        self.push_event(self.clock + timeout, EventKind::Timer { op: id, attempt, step });
+    }
+
+    fn deliver(&mut self, env: Envelope, serve: &mut impl FnMut(NodeId, u64, Point, u32) -> bool) {
+        self.stats.delivered += 1;
+        let Wire::LookupStep { op: id, attempt, step, .. } = env.msg else {
+            return; // bare protocol message: accounted, no machine
+        };
+        // an id this engine never issued (a hand-crafted send) is
+        // ignored like any other stale traffic
+        let Some(op) = self.ops.get_mut(id as usize) else {
+            self.stats.stale += 1;
+            return;
+        };
+        if matches!(op.machine, Machine::Done | Machine::Failed)
+            || attempt != op.attempt
+            || step != op.step
+        {
+            self.stats.stale += 1;
+            return;
+        }
+        op.cur = env.dst;
+        op.corrupt |= env.corrupt;
+        self.advance(id, serve);
+    }
+
+    fn timer(
+        &mut self,
+        id: OpId,
+        attempt: u32,
+        step: u32,
+        serve: &mut impl FnMut(NodeId, u64, Point, u32) -> bool,
+    ) {
+        let op = &mut self.ops[id as usize];
+        if matches!(op.machine, Machine::Done | Machine::Failed)
+            || attempt != op.attempt
+            || step != op.step
+        {
+            return; // the op made progress since this timer was armed
+        }
+        if op.attempt >= self.retry.max_attempts {
+            op.machine = Machine::Failed;
+            self.stats.failed += 1;
+            return;
+        }
+        // end-to-end restart from the origin: new attempt stamp
+        // invalidates every in-flight message of the old one
+        op.attempt += 1;
+        op.step = 0;
+        op.corrupt = false;
+        op.serve_level = None;
+        op.serve_at = None;
+        op.entered_at = None;
+        self.stats.retries += 1;
+        self.start_op(id);
+        self.advance(id, serve);
+    }
+
+    fn complete(&mut self, id: OpId) {
+        let op = &mut self.ops[id as usize];
+        op.machine = Machine::Done;
+        op.completed_at = Some(self.clock);
+        self.stats.completed += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::{Inline, Recorder, Sim};
+    use crate::fault::{FaultModel, Faulty};
+    use cd_core::pointset::PointSet;
+
+    /// A complete-graph toy topology: every server's "table" covers the
+    /// whole circle, so `local_cover` always answers. Exercises the
+    /// engine core (timers, retries, stamps, accounting) without
+    /// depending on the Distance Halving discretisation — the
+    /// bit-identity tests against `DhNetwork` live in `dh_dht`.
+    struct Complete {
+        ps: PointSet,
+        delta: u32,
+    }
+
+    impl Complete {
+        fn new(n: usize, delta: u32) -> Self {
+            Complete { ps: PointSet::evenly_spaced(n), delta }
+        }
+
+        fn cover(&self, p: Point) -> NodeId {
+            let pts = self.ps.points();
+            let idx = pts.partition_point(|x| x.bits() <= p.bits());
+            NodeId(if idx == 0 { pts.len() as u32 - 1 } else { idx as u32 - 1 })
+        }
+    }
+
+    impl Topology for Complete {
+        fn delta(&self) -> u32 {
+            self.delta
+        }
+        fn segment_of(&self, n: NodeId) -> Interval {
+            self.ps.segment(n.0 as usize)
+        }
+        fn local_cover(&self, _cur: NodeId, p: Point) -> Option<NodeId> {
+            Some(self.cover(p))
+        }
+    }
+
+    fn submit_mixed(eng: &mut Engine<Complete, impl Transport>, n: u32) -> Vec<OpId> {
+        (0..n)
+            .map(|i| {
+                let kind =
+                    if i % 2 == 0 { RouteKind::Fast } else { RouteKind::DistanceHalving };
+                let from = NodeId(i % 16);
+                let target = Point(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(i) + 1));
+                eng.submit(kind, from, target, Action::Locate)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn inline_ops_complete_at_the_cover() {
+        let net = Complete::new(16, 2);
+        let mut eng = Engine::new(&net, Inline, 7);
+        let ops = submit_mixed(&mut eng, 40);
+        eng.run();
+        assert_eq!(eng.stats.failed, 0);
+        assert_eq!(eng.stats.completed, 40);
+        for id in ops {
+            let out = eng.outcome(id);
+            assert!(out.ok);
+            let dest = out.dest.expect("completed");
+            assert!(net.segment_of(dest).contains(
+                match out.action { Action::Locate => out.path.points[out.path.points.len() - 1], _ => unreachable!() }
+            ));
+            assert_eq!(out.attempts, 1);
+            assert_eq!(out.msgs as usize, out.path.hops());
+        }
+    }
+
+    #[test]
+    fn sim_same_seed_same_everything() {
+        let net = Complete::new(32, 2);
+        let run = || {
+            let mut eng =
+                Engine::new(&net, Recorder::new(Sim::new(3).with_drop(0.1).with_dup(0.1)), 11)
+                    .with_retry(RetryPolicy { timeout: 200, max_attempts: 10 });
+            let ops = submit_mixed(&mut eng, 60);
+            eng.run();
+            let outs: Vec<(bool, u64, u64, u32, Option<u64>)> = ops
+                .iter()
+                .map(|&id| {
+                    let o = eng.outcome(id);
+                    (o.ok, o.msgs, o.bytes, o.attempts, o.completed_at)
+                })
+                .collect();
+            let stats = eng.stats;
+            (outs, stats, eng.into_transport().into_trace().fingerprint())
+        };
+        let (a_out, a_stats, a_fp) = run();
+        let (b_out, b_stats, b_fp) = run();
+        assert_eq!(a_out, b_out);
+        assert_eq!(a_stats, b_stats);
+        assert_eq!(a_fp, b_fp, "same seed must give the identical event trace");
+    }
+
+    #[test]
+    fn drops_are_survived_by_retry() {
+        let net = Complete::new(16, 2);
+        let mut eng = Engine::new(&net, Sim::new(5).with_drop(0.3), 13)
+            .with_retry(RetryPolicy { timeout: 100, max_attempts: 12 });
+        let ops = submit_mixed(&mut eng, 30);
+        eng.run();
+        assert_eq!(eng.stats.failed, 0, "retry must absorb 30% loss on short routes");
+        assert!(eng.stats.retries > 0, "with 30% loss some op must have retried");
+        for id in ops {
+            assert!(eng.outcome(id).ok);
+        }
+    }
+
+    #[test]
+    fn duplicates_and_reordering_are_ignored_by_stamps() {
+        let net = Complete::new(16, 2);
+        let mut eng = Engine::new(&net, Sim::new(9).with_dup(0.5).with_latency(1, 20, 10), 17);
+        let ops = submit_mixed(&mut eng, 40);
+        eng.run();
+        assert!(eng.stats.duplicated > 0);
+        assert!(eng.stats.stale > 0, "duplicate arrivals must be discarded as stale");
+        assert_eq!(eng.stats.failed, 0);
+        for id in ops {
+            let o = eng.outcome(id);
+            assert!(o.ok);
+            assert_eq!(o.attempts, 1, "duplication alone must never trigger a retry");
+        }
+    }
+
+    #[test]
+    fn fail_stop_destination_exhausts_retries() {
+        let net = Complete::new(16, 2);
+        let target = Point(u64::MAX / 2 + 12345);
+        let dest = net.cover(target);
+        let mut faulty = Faulty::new(Inline, FaultModel::FailStop);
+        faulty.fail(dest);
+        let from = NodeId((dest.0 + 1) % 16);
+        let mut eng = Engine::new(&net, faulty, 19)
+            .with_retry(RetryPolicy { timeout: 50, max_attempts: 3 });
+        let op = eng.submit(RouteKind::Fast, from, target, Action::Locate);
+        eng.run();
+        let out = eng.outcome(op);
+        assert!(!out.ok, "a dead destination cannot answer");
+        assert_eq!(out.attempts, 3);
+        assert_eq!(eng.stats.failed, 1);
+        assert!(eng.stats.dropped >= 3);
+    }
+
+    #[test]
+    fn injection_marks_outcomes_corrupt() {
+        let net = Complete::new(16, 2);
+        let mut faulty = Faulty::new(Inline, FaultModel::FalseMessageInjection);
+        // fail every node: any route that sends at least one message
+        // must arrive corrupted
+        for i in 0..16 {
+            faulty.fail(NodeId(i));
+        }
+        let mut eng = Engine::new(&net, faulty, 23);
+        let ops = submit_mixed(&mut eng, 20);
+        eng.run();
+        for id in ops {
+            let o = eng.outcome(id);
+            assert!(o.ok, "liars keep routing");
+            assert_eq!(o.corrupt, o.msgs > 0, "message-free ops cannot be corrupted");
+        }
+    }
+
+    #[test]
+    fn bare_sends_are_accounted() {
+        let net = Complete::new(8, 2);
+        let mut eng = Engine::new(&net, Inline, 29);
+        eng.send(NodeId(0), NodeId(1), Wire::NeighborDiff { entries: 3 });
+        eng.send(NodeId(1), NodeId(2), Wire::JoinSplit { x: Point(5) });
+        eng.run();
+        assert_eq!(eng.stats.msgs, 2);
+        assert_eq!(eng.stats.delivered, 2);
+        assert_eq!(
+            eng.stats.bytes,
+            Wire::NeighborDiff { entries: 3 }.wire_bytes() + Wire::JoinSplit { x: Point(5) }.wire_bytes()
+        );
+    }
+
+    #[test]
+    fn hand_crafted_op_messages_are_ignored_not_fatal() {
+        let net = Complete::new(8, 2);
+        let mut eng = Engine::new(&net, Inline, 41);
+        // a LookupStep naming an op this engine never issued must be
+        // discarded like stale traffic, not crash the run
+        eng.send(
+            NodeId(0),
+            NodeId(1),
+            Wire::LookupStep {
+                op: 7,
+                attempt: 1,
+                step: 1,
+                at: Point(9),
+                digits: 0,
+                action: Action::Locate,
+            },
+        );
+        eng.run();
+        assert_eq!(eng.stats.stale, 1);
+        assert_eq!(eng.stats.delivered, 1);
+    }
+
+    #[test]
+    fn staggered_arrivals_respect_the_clock() {
+        let net = Complete::new(16, 2);
+        let mut eng = Engine::new(&net, Sim::new(31), 37);
+        let a = eng.submit_at(0, RouteKind::Fast, NodeId(0), Point(u64::MAX / 3), Action::Locate);
+        let b = eng.submit_at(500, RouteKind::Fast, NodeId(1), Point(u64::MAX / 5), Action::Locate);
+        eng.run();
+        let (oa, ob) = (eng.outcome(a), eng.outcome(b));
+        assert!(oa.ok && ob.ok);
+        if ob.msgs > 0 {
+            assert!(ob.completed_at.expect("done") >= 500);
+        }
+        assert!(oa.completed_at.expect("done") <= 500, "op a runs before b starts");
+    }
+}

@@ -1,0 +1,135 @@
+//! The §6 failure models as transport behaviors.
+//!
+//! The paper studies two adversaries: *fail-stop* (a failed server
+//! never responds) and *false message injection* (a failed server
+//! keeps routing but its payloads are corrupted). Both are properties
+//! of the communication substrate, not of the overlay topology — so
+//! here they are transport wrappers: [`Faulty`] turns any inner
+//! transport into a faulty one, and the same engine-driven protocols
+//! run against it unchanged. (`dh_fault` keeps the §6 *overlapping
+//! discretisation*, which is a genuinely different topology; its
+//! `FaultModel` is this one, re-exported.)
+
+use crate::node::NodeId;
+use crate::transport::{Delivery, Transport};
+use crate::wire::Envelope;
+use std::collections::HashSet;
+
+/// Which failure model is active.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultModel {
+    /// Failed servers do not respond at all.
+    FailStop,
+    /// Failed servers respond with corrupted payloads but follow the
+    /// routing protocol otherwise (§6's false message injection).
+    FalseMessageInjection,
+}
+
+/// Wraps a transport with a set of failed servers and a
+/// [`FaultModel`].
+///
+/// * Under [`FaultModel::FailStop`], every message **to or from** a
+///   failed server is silently lost (a crashed server neither sends
+///   nor receives); the engine's timeout/retry machinery sees exactly
+///   what a real peer would see.
+/// * Under [`FaultModel::FalseMessageInjection`], messages are
+///   delivered on schedule but anything *sent by* a failed server
+///   arrives with the `corrupt` flag set — routing survives, payload
+///   integrity does not, which is what majority filtering defends
+///   against.
+pub struct Faulty<T> {
+    inner: T,
+    /// The active failure semantics.
+    pub model: FaultModel,
+    /// The failed servers.
+    pub failed: HashSet<NodeId>,
+}
+
+impl<T: Transport> Faulty<T> {
+    /// Wrap `inner` with no failures yet.
+    pub fn new(inner: T, model: FaultModel) -> Self {
+        Faulty { inner, model, failed: HashSet::new() }
+    }
+
+    /// Mark a server failed.
+    pub fn fail(&mut self, id: NodeId) {
+        self.failed.insert(id);
+    }
+
+    /// Revive a server.
+    pub fn revive(&mut self, id: NodeId) {
+        self.failed.remove(&id);
+    }
+
+    /// Is `id` currently failed?
+    pub fn is_failed(&self, id: NodeId) -> bool {
+        self.failed.contains(&id)
+    }
+}
+
+impl<T: Transport> Transport for Faulty<T> {
+    fn plan(&mut self, now: u64, env: &Envelope, out: &mut Vec<Delivery>) {
+        match self.model {
+            FaultModel::FailStop => {
+                if self.failed.contains(&env.src) || self.failed.contains(&env.dst) {
+                    return; // dropped on the floor
+                }
+                self.inner.plan(now, env, out);
+            }
+            FaultModel::FalseMessageInjection => {
+                let start = out.len();
+                self.inner.plan(now, env, out);
+                if self.failed.contains(&env.src) {
+                    for d in &mut out[start..] {
+                        d.corrupt = true;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::Inline;
+    use crate::wire::Wire;
+    use cd_core::point::Point;
+
+    fn env(src: u32, dst: u32) -> Envelope {
+        Envelope {
+            src: NodeId(src),
+            dst: NodeId(dst),
+            msg: Wire::JoinSplit { x: Point(1) },
+            corrupt: false,
+        }
+    }
+
+    #[test]
+    fn fail_stop_drops_both_directions() {
+        let mut t = Faulty::new(Inline, FaultModel::FailStop);
+        t.fail(NodeId(5));
+        let mut out = Vec::new();
+        t.plan(0, &env(5, 1), &mut out);
+        t.plan(0, &env(1, 5), &mut out);
+        assert!(out.is_empty());
+        t.plan(0, &env(1, 2), &mut out);
+        assert_eq!(out.len(), 1);
+        t.revive(NodeId(5));
+        t.plan(0, &env(5, 1), &mut out);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn injection_delivers_but_corrupts() {
+        let mut t = Faulty::new(Inline, FaultModel::FalseMessageInjection);
+        t.fail(NodeId(3));
+        let mut out = Vec::new();
+        t.plan(0, &env(3, 1), &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].corrupt, "a liar's message must arrive corrupted");
+        out.clear();
+        t.plan(0, &env(1, 3), &mut out);
+        assert!(!out[0].corrupt, "messages *to* a liar are intact");
+    }
+}

@@ -1,0 +1,55 @@
+//! # dh-proto — the wire-level protocol API
+//!
+//! The paper's algorithms (§2.2, §6) are *local* protocols: every hop
+//! is a message from a server to an entry of its **own** neighbor
+//! table. This crate makes that explicit. It sits *below* the network
+//! crates and defines
+//!
+//! * [`wire::Wire`] — the typed RPC vocabulary of the Distance Halving
+//!   system (`LookupStep`, `JoinSplit`, `LeaveMerge`, `NeighborDiff`,
+//!   `Put`/`Get`/`Remove`, `CacheServe`), with per-message byte
+//!   accounting;
+//! * [`transport::Transport`] — the pluggable delivery substrate.
+//!   [`transport::Inline`] is zero-overhead direct dispatch (routes
+//!   bit-identical to the synchronous algorithms),
+//!   [`transport::Sim`] models per-link latency, loss, duplication and
+//!   reordering, [`transport::Recorder`]/[`transport::Replay`] capture
+//!   and replay delivery traces for debugging, and
+//!   [`fault::Faulty`] turns the §6 failure models (fail-stop, false
+//!   message injection) into transport behaviors;
+//! * [`engine::Engine`] — a deterministic discrete-event runtime
+//!   (seeded, priority-queue clock) that drives per-node protocol
+//!   state machines over any [`engine::Topology`]. Each hop decision
+//!   uses only the current node's own table, messages carry the op
+//!   header (attempt/step stamps make duplicates and stale attempts
+//!   harmless), and dropped messages are recovered by end-to-end
+//!   timeout + retry.
+//!
+//! `dh_dht` implements [`engine::Topology`] for its `DhNetwork` and
+//! re-exports [`NodeId`]; higher layers (`storage::Dht`, caching,
+//! fault experiments, the `e_msgs` harness) drive their operations
+//! through the engine and inherit latency/loss/accounting for free.
+//!
+//! # Determinism
+//!
+//! Everything is a pure function of the seeds: events are ordered by
+//! `(time, sequence-number)`, per-op randomness comes from
+//! `sub_rng(engine_seed, op)`, and transport randomness from the
+//! transport's own seed. Same seeds ⇒ identical event trace, message
+//! counts and outcomes, independent of platform (the workspace's
+//! vendored `rand` is integer-only and stream-stable).
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod engine;
+pub mod fault;
+pub mod node;
+pub mod transport;
+pub mod wire;
+
+pub use engine::{Engine, EngineStats, OpOutcome, Path, RetryPolicy, Topology};
+pub use fault::{FaultModel, Faulty};
+pub use node::NodeId;
+pub use transport::{Delivery, Inline, Recorder, Replay, Sim, Trace, Transport};
+pub use wire::{Envelope, OpId, Wire};

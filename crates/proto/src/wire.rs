@@ -1,0 +1,204 @@
+//! The typed RPC vocabulary of the Distance Halving system.
+//!
+//! Every message a server can receive is a [`Wire`] variant. Routing
+//! messages (`LookupStep` and the routed storage/cache RPCs) carry the
+//! op header — op id, attempt and step stamps — so duplicated or
+//! reordered deliveries and retransmissions from old attempts are
+//! recognised and ignored by the receiving state machine.
+//!
+//! [`Wire::wire_bytes`] is the byte-accounting model: a fixed header
+//! (op id + tag + src/dst + stamps) plus the variant payload. The
+//! Distance Halving Lookup's message header carries the digit string
+//! `τ` (the paper's phase-2 header, §2.2.2), so its size is charged
+//! per digit; `Put` is charged for the payload it carries.
+
+use crate::node::NodeId;
+use cd_core::point::Point;
+
+/// Identifies one submitted operation within an engine run.
+pub type OpId = u32;
+
+/// Which lookup algorithm a routed message follows. Mirrors
+/// `dh_dht::LookupKind` (which lives above this crate); the engine
+/// works with this wire-level copy and `dh_dht` converts.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RouteKind {
+    /// Fast Lookup (§2.2.1): deterministic shortest paths.
+    Fast,
+    /// Distance Halving Lookup (§2.2.2): randomized two-phase routing.
+    DistanceHalving,
+}
+
+/// What a routed message does once it reaches the server covering its
+/// target point.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Action {
+    /// Pure lookup: report the covering server.
+    Locate,
+    /// Store an item (`key`, payload of `len` bytes).
+    Put {
+        /// Item key.
+        key: u64,
+        /// Payload size in bytes (the engine models cost, the storage
+        /// layer holds the actual bytes).
+        len: u32,
+    },
+    /// Retrieve an item.
+    Get {
+        /// Item key.
+        key: u64,
+    },
+    /// Delete an item.
+    Remove {
+        /// Item key.
+        key: u64,
+    },
+    /// Serve a cached item on the phase-2 climb (§3.1): the request is
+    /// answered by the first server holding an active tree node on the
+    /// climb path.
+    CacheServe {
+        /// Item key.
+        item: u64,
+    },
+}
+
+/// A typed RPC between two servers.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Wire {
+    /// One hop of a routed operation. The header stamps (`attempt`,
+    /// `step`) let receivers discard duplicates and stale attempts;
+    /// `digits` is the length of the carried digit string `τ` (the DH
+    /// lookup header; 0 for Fast Lookup).
+    LookupStep {
+        /// The operation this hop belongs to.
+        op: OpId,
+        /// Retry attempt number (end-to-end retransmission).
+        attempt: u32,
+        /// Hop counter within the attempt.
+        step: u32,
+        /// The continuous point this hop targets.
+        at: Point,
+        /// Length of the digit string carried in the header.
+        digits: u32,
+        /// What to do at the destination.
+        action: Action,
+    },
+    /// Ask the server covering `x` to split its segment at `x`
+    /// (Algorithm Join step 3).
+    JoinSplit {
+        /// The joiner's chosen identifier point.
+        x: Point,
+    },
+    /// Hand the sender's segment and items to the ring predecessor
+    /// (simple Leave, §2.1).
+    LeaveMerge {
+        /// Number of stored items migrating with the segment.
+        items: u32,
+    },
+    /// Tell a watcher that the sender's segment changed so its table
+    /// entry must be refreshed (steps 4 of Join/Leave).
+    NeighborDiff {
+        /// Number of table entries the receiver must refresh.
+        entries: u32,
+    },
+}
+
+impl Wire {
+    /// Fixed per-message overhead: src/dst (8), tag (1), op id (4),
+    /// attempt + step stamps (8).
+    pub const HEADER_BYTES: u64 = 21;
+
+    /// Modeled size of this message on the wire.
+    pub fn wire_bytes(&self) -> u64 {
+        Self::HEADER_BYTES
+            + match self {
+                // target point + digit-string header (4 bits per digit
+                // covers ∆ ≤ 16) + action payload
+                Wire::LookupStep { digits, action, .. } => {
+                    8 + u64::from(*digits).div_ceil(2)
+                        + match action {
+                            Action::Locate => 0,
+                            Action::Put { len, .. } => 12 + u64::from(*len),
+                            Action::Get { .. } | Action::Remove { .. } => 8,
+                            Action::CacheServe { .. } => 8,
+                        }
+                }
+                Wire::JoinSplit { .. } => 8,
+                Wire::LeaveMerge { items } => 4 + 16 * u64::from(*items),
+                Wire::NeighborDiff { entries } => 4 + 12 * u64::from(*entries),
+            }
+    }
+
+    /// The op this message belongs to, if it is a routed op message.
+    pub fn op(&self) -> Option<OpId> {
+        match self {
+            Wire::LookupStep { op, .. } => Some(*op),
+            _ => None,
+        }
+    }
+
+    /// Short tag for traces and fingerprints.
+    pub fn tag(&self) -> u8 {
+        match self {
+            Wire::LookupStep { .. } => 0,
+            Wire::JoinSplit { .. } => 1,
+            Wire::LeaveMerge { .. } => 2,
+            Wire::NeighborDiff { .. } => 3,
+        }
+    }
+}
+
+/// A message in flight: sender, receiver and payload. The `corrupt`
+/// flag models §6's false message injection — a faulty transport
+/// delivers the message but the payload integrity is gone.
+#[derive(Clone, Copy, Debug)]
+pub struct Envelope {
+    /// Sending server.
+    pub src: NodeId,
+    /// Receiving server.
+    pub dst: NodeId,
+    /// The RPC.
+    pub msg: Wire,
+    /// Whether a faulty link corrupted the payload in flight.
+    pub corrupt: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_model_is_monotone_in_payload() {
+        let small = Wire::LookupStep {
+            op: 0,
+            attempt: 0,
+            step: 0,
+            at: Point(0),
+            digits: 0,
+            action: Action::Put { key: 1, len: 10 },
+        };
+        let big = Wire::LookupStep {
+            op: 0,
+            attempt: 0,
+            step: 0,
+            at: Point(0),
+            digits: 0,
+            action: Action::Put { key: 1, len: 100 },
+        };
+        assert!(big.wire_bytes() == small.wire_bytes() + 90);
+        assert!(small.wire_bytes() > Wire::HEADER_BYTES);
+    }
+
+    #[test]
+    fn dh_header_charges_digits() {
+        let mk = |digits| Wire::LookupStep {
+            op: 0,
+            attempt: 0,
+            step: 0,
+            at: Point(0),
+            digits,
+            action: Action::Locate,
+        };
+        assert!(mk(16).wire_bytes() > mk(0).wire_bytes());
+    }
+}

@@ -219,7 +219,7 @@ impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
 }
 
 pub mod collection {
-    //! Collection strategies (subset: [`vec`]).
+    //! Collection strategies (subset: [`vec()`]).
 
     use super::{Strategy, TestRng};
     use std::ops::Range;

@@ -17,4 +17,5 @@ pub use dh_caching as caching;
 pub use dh_dht as dht;
 pub use dh_erasure as erasure;
 pub use dh_fault as fault;
+pub use dh_proto as proto;
 pub use p2p_baselines as baselines;
