@@ -28,4 +28,4 @@ pub mod strategy;
 
 pub use bucket::BucketRing;
 pub use ring::Ring;
-pub use strategy::IdStrategy;
+pub use strategy::{IdStrategy, SegmentView};

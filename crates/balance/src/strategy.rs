@@ -2,8 +2,45 @@
 //! the bucket scheme's job, see [`crate::bucket`]).
 
 use crate::ring::Ring;
+use cd_core::interval::{Interval, FULL};
 use cd_core::point::Point;
 use rand::Rng;
+
+/// The segment queries the ID-selection algorithms need from their
+/// substrate — a bare [`Ring`] of identifiers during analysis, or a
+/// live overlay (`dh_dht::CdNetwork` implements this so joins can pick
+/// smooth identifiers on a running network via `join_with`).
+pub trait SegmentView {
+    /// Is the substrate empty (no identifiers yet)?
+    fn is_empty(&self) -> bool;
+    /// The segment covering `z`.
+    fn segment_of(&self, z: Point) -> Interval;
+    /// Local estimate of `log₂ n` around `z` (the §6.2 estimator: the
+    /// distance from the covering identifier to its predecessor).
+    fn estimate_log_n(&self, z: Point) -> f64;
+}
+
+impl SegmentView for Ring {
+    fn is_empty(&self) -> bool {
+        Ring::is_empty(self)
+    }
+
+    fn segment_of(&self, z: Point) -> Interval {
+        Ring::segment_of(self, z)
+    }
+
+    fn estimate_log_n(&self, z: Point) -> f64 {
+        Ring::estimate_log_n(self, self.covering_start(z))
+    }
+}
+
+/// Reference estimator for [`SegmentView::estimate_log_n`]: the
+/// identifier-to-predecessor distance `d` gives `log₂(1/d)`, within a
+/// multiplicative factor of `log₂ n` w.h.p. (Lemma 6.2 band).
+pub fn log_n_from_pred_distance(x: Point, pred: Point) -> f64 {
+    let d = x.offset_from(pred).max(1);
+    (FULL as f64 / d as f64).log2()
+}
 
 /// How a joining server chooses its identifier point.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -24,30 +61,31 @@ pub enum IdStrategy {
 }
 
 impl IdStrategy {
-    /// Choose an identifier for a server joining `ring`. The ring may
-    /// be empty (first server): a random point is returned.
+    /// Choose an identifier for a server joining the substrate (a bare
+    /// [`Ring`] or a live network). The substrate may be empty (first
+    /// server): a random point is returned.
     ///
-    /// `log n` is estimated from the ring itself via predecessor
+    /// `log n` is estimated from the substrate itself via predecessor
     /// distances (no global knowledge), as the paper prescribes; the
     /// estimate only needs to be within a multiplicative factor.
-    pub fn choose(&self, ring: &Ring, rng: &mut impl Rng) -> Point {
-        if ring.is_empty() {
+    pub fn choose(&self, view: &impl SegmentView, rng: &mut impl Rng) -> Point {
+        if view.is_empty() {
             return Point(rng.gen());
         }
         match *self {
             IdStrategy::SingleChoice => Point(rng.gen()),
             IdStrategy::ImprovedSingleChoice => {
                 let z = Point(rng.gen());
-                ring.segment_of(z).midpoint()
+                view.segment_of(z).midpoint()
             }
             IdStrategy::MultipleChoice { t } => {
                 let probe = Point(rng.gen());
-                let log_n = ring.estimate_log_n(ring.covering_start(probe)).max(1.0);
+                let log_n = view.estimate_log_n(probe).max(1.0);
                 let samples = (t as f64 * log_n).ceil() as usize;
-                let mut best = ring.segment_of(probe);
+                let mut best = view.segment_of(probe);
                 for _ in 1..samples.max(1) {
                     let z = Point(rng.gen());
-                    let seg = ring.segment_of(z);
+                    let seg = view.segment_of(z);
                     if seg.len() > best.len() {
                         best = seg;
                     }

@@ -26,6 +26,7 @@ fn main() {
             let bound = match kind {
                 LookupKind::Fast => logn + logrho + 2.0,
                 LookupKind::DistanceHalving => 2.0 * (logn + logrho) + 3.0,
+                LookupKind::Greedy => unreachable!("e_lookup sweeps the DH instance only"),
             };
             t.row([
                 format!("{n}"),

@@ -160,6 +160,7 @@ fn main() {
         let bound = match kind {
             LookupKind::Fast => logn + 2.0,
             LookupKind::DistanceHalving => 2.0 * logn + 14.0,
+            LookupKind::Greedy => unreachable!("e_msgs drives the DH instance only"),
         };
         assert!(
             inline_row.msgs_per_op <= bound,

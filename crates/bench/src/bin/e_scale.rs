@@ -43,6 +43,13 @@ fn main() {
         "both" => vec![LookupKind::Fast, LookupKind::DistanceHalving],
         s => vec![s.parse().unwrap_or_else(|e| panic!("{e}"))],
     };
+    // reject unsupported kinds before the (expensive) build: this
+    // harness drives the Distance Halving instance, which has no
+    // greedy routing (the cross-topology sweep is e_table1)
+    assert!(
+        !kinds.contains(&LookupKind::Greedy),
+        "e_scale drives the DH instance; `greedy` runs under e_table1"
+    );
     let mut rng = seeded(seed);
 
     section(&format!("e_scale: n = {n} servers (kinds: {kind_arg}, seed: {seed:#x})"));
@@ -73,7 +80,9 @@ fn main() {
         // the two-phase lookup is ~2× the hops; batch it smaller
         let batch = match kind {
             LookupKind::Fast => &queries[..],
+            // the two-phase lookup is ~2× the hops; batch it smaller
             LookupKind::DistanceHalving => &queries[..lookups / 4],
+            LookupKind::Greedy => unreachable!("rejected at argument parsing"),
         };
         let t0 = Instant::now();
         let hops = net.lookup_many(kind, batch, &mut rng, |_, _| {});

@@ -44,7 +44,9 @@ pub mod bench_json {
     //! "ns_per_op": <mean>}`; records measured through the wire
     //! protocol additionally carry `"msgs_per_op"` and
     //! `"bytes_per_op"` (mean messages/bytes per operation, all
-    //! retransmissions charged).
+    //! retransmissions charged), and records swept across overlay
+    //! instances carry `"topology"` (the instance label, e.g.
+    //! `"chord"` or `"debruijn8"`).
 
     use std::io::Write;
 
@@ -62,12 +64,35 @@ pub mod bench_json {
         /// Mean modeled bytes per operation (wire-protocol benches
         /// only).
         pub bytes_per_op: Option<f64>,
+        /// Overlay instance label (cross-topology benches only).
+        pub topology: Option<String>,
+    }
+
+    /// Escape a string for inclusion in a JSON value.
+    fn escape(s: &str) -> String {
+        let mut out = String::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
     }
 
     impl Record {
         /// Build a record.
         pub fn new(bench: impl Into<String>, n: usize, ns_per_op: f64) -> Self {
-            Record { bench: bench.into(), n, ns_per_op, msgs_per_op: None, bytes_per_op: None }
+            Record {
+                bench: bench.into(),
+                n,
+                ns_per_op,
+                msgs_per_op: None,
+                bytes_per_op: None,
+                topology: None,
+            }
         }
 
         /// Attach per-operation message/byte accounting.
@@ -77,17 +102,15 @@ pub mod bench_json {
             self
         }
 
+        /// Tag the record with the overlay instance it measured.
+        pub fn with_topology(mut self, topology: impl Into<String>) -> Self {
+            self.topology = Some(topology.into());
+            self
+        }
+
         /// The record as a single JSON line.
         pub fn to_json(&self) -> String {
-            let mut name = String::with_capacity(self.bench.len());
-            for c in self.bench.chars() {
-                match c {
-                    '"' => name.push_str("\\\""),
-                    '\\' => name.push_str("\\\\"),
-                    c if (c as u32) < 0x20 => name.push_str(&format!("\\u{:04x}", c as u32)),
-                    c => name.push(c),
-                }
-            }
+            let name = escape(&self.bench);
             let mut line = format!(
                 "{{\"bench\": \"{name}\", \"n\": {}, \"ns_per_op\": {:.1}",
                 self.n, self.ns_per_op
@@ -97,6 +120,9 @@ pub mod bench_json {
             }
             if let Some(b) = self.bytes_per_op {
                 line.push_str(&format!(", \"bytes_per_op\": {b:.1}"));
+            }
+            if let Some(t) = &self.topology {
+                line.push_str(&format!(", \"topology\": \"{}\"", escape(t)));
             }
             line.push('}');
             line

@@ -9,7 +9,8 @@ use crate::tree::ActiveTree;
 use cd_core::hashing::KWiseHash;
 use cd_core::point::Point;
 use cd_core::walk::TwoSidedWalk;
-use dh_dht::{DhNetwork, NodeId};
+use cd_core::graph::{ContinuousGraph, DistanceHalving};
+use dh_dht::{CdNetwork, NodeId};
 use dh_proto::engine::{Engine, OpOutcome};
 use dh_proto::transport::Transport;
 use dh_proto::wire::{Action, RouteKind};
@@ -78,17 +79,24 @@ pub struct EpochReport {
     pub cache_sizes: HashMap<NodeId, usize>,
 }
 
-/// A Distance Halving DHT with the dynamic caching protocol.
+/// A continuous-discrete DHT with the dynamic caching protocol.
 ///
 /// The protocol state (an [`ActiveTree`] per item) is held centrally
 /// for observability; every quantity a real deployment would hold
 /// per-server (active nodes, hit counters) is keyed by the continuous
 /// point the server covers, so the mapping server ↔ state is exactly
 /// the paper's.
-pub struct CachedDht {
-    /// The overlay network (degree 2; the caching protocol is defined
-    /// on the binary Distance Halving graph).
-    pub net: DhNetwork,
+///
+/// Generic over the continuous graph, but gated to **binary digit
+/// instances** (`∆ = 2` with digit routing): the protocol is built on
+/// the path tree — children of `z` are `ℓ(z)`/`r(z)` — and on the
+/// phase-2 climb of the two-phase lookup, structures only those
+/// graphs possess. `CdNetwork<DistanceHalving>` (the default) and
+/// `CdNetwork<DeBruijn>` at ∆ = 2 qualify; the Chord-like instance
+/// does not (its greedy routes have no leaf-to-root climb).
+pub struct CachedDht<G: ContinuousGraph = DistanceHalving> {
+    /// The overlay network (a binary digit instance).
+    pub net: CdNetwork<G>,
     /// The item-placement hash.
     pub hash: KWiseHash,
     /// The replication threshold `c` (typically Θ(log n)).
@@ -105,11 +113,14 @@ pub struct CachedDht {
     trace: Vec<Point>,
 }
 
-impl CachedDht {
-    /// Wrap a binary Distance Halving network. `threshold` is the
+impl<G: ContinuousGraph> CachedDht<G> {
+    /// Wrap a binary digit-instance network. `threshold` is the
     /// protocol's `c`; the paper assumes `c = Ω(log n)`.
-    pub fn new(net: DhNetwork, hash: KWiseHash, threshold: u64) -> Self {
-        assert_eq!(net.delta(), 2, "the caching protocol runs on the binary DH graph");
+    pub fn new(net: CdNetwork<G>, hash: KWiseHash, threshold: u64) -> Self {
+        assert!(
+            net.graph().digit_routing() && net.delta() == 2,
+            "the caching protocol runs on binary digit graphs (the ℓ/r path tree)"
+        );
         assert!(threshold >= 1);
         let cap = net.slab_len();
         CachedDht {
@@ -356,6 +367,7 @@ impl CachedDht {
 mod tests {
     use super::*;
     use cd_core::pointset::PointSet;
+    use dh_dht::DhNetwork;
     use cd_core::rng::seeded;
 
     fn setup(n: usize, c: u64, seed: u64) -> (CachedDht, rand::rngs::StdRng) {
@@ -416,6 +428,24 @@ mod tests {
         }
         assert!(served >= 195, "only {served}/200 served under 3% loss with retries");
         cache.tree(3).expect("tree").validate();
+    }
+
+    #[test]
+    fn binary_debruijn_instance_supports_caching() {
+        // the protocol gate admits any binary digit instance, not just
+        // the flagship type alias
+        use cd_core::pointset::PointSet;
+        let mut rng = seeded(0xDB);
+        let net = CdNetwork::build(cd_core::graph::DeBruijn::new(2), &PointSet::random(128, &mut rng));
+        let hash = KWiseHash::new(16, &mut rng);
+        let mut cache = CachedDht::new(net, hash, 4);
+        for _ in 0..120 {
+            let from = cache.net.random_node(&mut rng);
+            cache.request(from, 7, &mut rng);
+        }
+        let tree = cache.tree(7).expect("tree");
+        tree.validate();
+        assert!(tree.len() > 1, "tree must grow under load");
     }
 
     #[test]

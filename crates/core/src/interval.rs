@@ -193,6 +193,15 @@ impl Interval {
         Interval { start: self.start, len: (self.len + slack).min(FULL) }
     }
 
+    /// The arc shifted clockwise by `offset`, same length. Translation
+    /// is continuous on the circle, so the image is a single arc — this
+    /// is the image computation for graphs whose continuous edges are
+    /// translations (the Chord-like instance `y → y + 2⁻ⁱ` of §4).
+    #[inline]
+    pub fn translated(&self, offset: u64) -> Interval {
+        Interval { start: self.start.wrapping_add(offset), len: self.len }
+    }
+
     /// Map each non-wrapping piece through a monotone map, exactly:
     /// the image of the quantized arc `{a, …, a+L−1}` under a
     /// nondecreasing `f` is contained in `[f(a), f(a+L−1)]`, and for the

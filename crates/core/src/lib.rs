@@ -9,6 +9,13 @@
 //! k-wise independent hash families, smoothness of point sets, and the
 //! 2D torus with the Gabber-Galil expander maps.
 //!
+//! The recipe itself is a trait: [`graph::ContinuousGraph`] captures
+//! what a continuous graph must provide to be discretized (edge-image
+//! arcs, a routing strategy, hop/degree parameters), with the
+//! Distance Halving, base-∆ de Bruijn and §4 Chord-like instances
+//! in-tree; the discrete half (`dh_dht::CdNetwork<G>`) is generic
+//! over it.
+//!
 //! Everything here is *deterministic and exact*: a point is a `u64`
 //! interpreted as `bits / 2^64`, so the Distance Halving maps are bit
 //! shifts and the distance-halving property (Observation 2.3 of the
@@ -24,6 +31,7 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod graph;
 pub mod hashing;
 pub mod interval;
 pub mod point;
@@ -33,6 +41,7 @@ pub mod rng;
 pub mod stats;
 pub mod walk;
 
+pub use graph::{ChordLike, ContinuousGraph, DeBruijn, DistanceHalving};
 pub use interval::Interval;
 pub use point::Point;
 pub use point2::Point2;

@@ -9,7 +9,8 @@
 
 use crate::lookup::LookupKind;
 use crate::metrics::LoadCounters;
-use crate::network::{DhNetwork, NodeId};
+use crate::network::{CdNetwork, NodeId};
+use cd_core::graph::ContinuousGraph;
 use cd_core::point::Point;
 use cd_core::rng::sub_rng;
 use cd_core::stats::Summary;
@@ -30,8 +31,8 @@ pub struct BatchResult {
 
 /// Run `m` lookups from random servers to uniformly random points.
 /// This is the workload of Definition 3 / Theorems 2.7 and 2.9.
-pub fn random_lookups(
-    net: &DhNetwork,
+pub fn random_lookups<G: ContinuousGraph>(
+    net: &CdNetwork<G>,
     kind: LookupKind,
     m: usize,
     seed: u64,
@@ -60,8 +61,8 @@ pub fn random_lookups(
 /// supplied), and every server `V_i` simultaneously looks up a point in
 /// `s(V_{η(i)})`. Theorem 2.10: with the Distance Halving lookup each
 /// server handles `O(log n)` messages w.h.p.
-pub fn permutation_routing(
-    net: &DhNetwork,
+pub fn permutation_routing<G: ContinuousGraph>(
+    net: &CdNetwork<G>,
     kind: LookupKind,
     permutation: &[NodeId],
     seed: u64,
@@ -92,7 +93,7 @@ pub fn permutation_routing(
 }
 
 /// Sample a uniformly random permutation of the live servers.
-pub fn random_permutation(net: &DhNetwork, rng: &mut impl Rng) -> Vec<NodeId> {
+pub fn random_permutation<G: ContinuousGraph>(net: &CdNetwork<G>, rng: &mut impl Rng) -> Vec<NodeId> {
     let mut perm: Vec<NodeId> = net.live().to_vec();
     // Fisher-Yates
     for i in (1..perm.len()).rev() {
@@ -105,7 +106,7 @@ pub fn random_permutation(net: &DhNetwork, rng: &mut impl Rng) -> Vec<NodeId> {
 /// The *reversal* permutation: server at rank `i` targets rank
 /// `n−1−i`. A structured permutation exercising worst-case-style
 /// traffic patterns for the ablation A1.
-pub fn reversal_permutation(net: &DhNetwork) -> Vec<NodeId> {
+pub fn reversal_permutation<G: ContinuousGraph>(net: &CdNetwork<G>) -> Vec<NodeId> {
     let mut by_point: Vec<NodeId> = net.live().to_vec();
     by_point.sort_by_key(|&id| net.node(id).x);
     let n = by_point.len();
@@ -122,6 +123,7 @@ pub fn reversal_permutation(net: &DhNetwork) -> Vec<NodeId> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::network::DhNetwork;
     use cd_core::pointset::PointSet;
     use cd_core::rng::seeded;
 

@@ -1,15 +1,22 @@
-//! # dh-dht — the Distance Halving DHT
+//! # dh-dht — the continuous-discrete DHT
 //!
 //! The discrete half of the continuous-discrete construction
-//! (Section 2 of Naor & Wieder): `n` servers decompose the circle into
-//! segments `s(x_i) = [x_i, x_{i+1})`; two servers are connected iff
-//! their segments contain adjacent points of the continuous Distance
-//! Halving graph (plus ring edges). The crate provides
+//! (Section 2 of Naor & Wieder), generic over the continuous graph:
+//! `n` servers decompose the circle into segments
+//! `s(x_i) = [x_i, x_{i+1})`; two servers are connected iff their
+//! segments contain adjacent points of the chosen
+//! [`cd_core::graph::ContinuousGraph`] (plus ring edges). The crate
+//! provides
 //!
-//! * [`network::DhNetwork`] — the discrete graph with dynamic
-//!   join/leave, neighbor-table derivation and item storage,
+//! * [`network::CdNetwork`] — the discrete graph of **any** instance,
+//!   with dynamic join/leave, neighbor-table derivation and item
+//!   storage; [`network::DhNetwork`] = `CdNetwork<DistanceHalving>`
+//!   is the paper's flagship instance, and the Chord-like
+//!   (`CdNetwork<ChordLike>`) and base-∆ de Bruijn
+//!   (`CdNetwork<DeBruijn>`) instances of §4 run the same machinery,
 //! * [`lookup`] — Fast Lookup (§2.2.1) and Distance Halving Lookup
-//!   (§2.2.2), for any degree parameter ∆ (§2.3),
+//!   (§2.2.2) for digit instances of any degree ∆ (§2.3), and greedy
+//!   clockwise routing for the Chord-like instances,
 //! * [`analysis`] — exact edge/degree counting used by the
 //!   Theorem 2.1/2.2 experiments and the De Bruijn isomorphism check,
 //! * [`metrics`] + [`driver`] — congestion accounting
@@ -35,7 +42,8 @@ pub mod network;
 pub mod proto;
 pub mod storage;
 
+pub use cd_core::graph::ContinuousGraph;
 pub use lookup::{LookupKind, LookupScratch, Route};
 pub use metrics::LoadCounters;
-pub use network::{DhNetwork, NodeId};
+pub use network::{CdNetwork, ChordLike, DeBruijn, DhNetwork, DistanceHalving, NodeId};
 pub use proto::{join_over, leave_over, lookups_over, MsgBatch};

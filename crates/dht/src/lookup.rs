@@ -1,4 +1,8 @@
-//! The two lookup algorithms of Section 2.2, for any degree ∆.
+//! The lookup algorithms, generic over the continuous graph: the two
+//! digit-walk lookups of Section 2.2 (any degree ∆) for instances with
+//! [`ContinuousGraph::digit_routing`], and greedy clockwise routing
+//! (§4's Chord-like instances) for instances with
+//! [`ContinuousGraph::greedy_routing`].
 //!
 //! **Fast Lookup** (§2.2.1). To find `y` from server `V` with segment
 //! midpoint `z`: choose the minimal `t` with `w(σ(z)_t, y) ∈ s(V)`,
@@ -20,7 +24,8 @@
 //! workloads.
 
 use crate::metrics::LoadCounters;
-use crate::network::{DhNetwork, NodeId};
+use crate::network::{CdNetwork, NodeId};
+use cd_core::graph::ContinuousGraph;
 use cd_core::point::Point;
 use cd_core::walk::TwoSidedWalk;
 use rand::Rng;
@@ -28,23 +33,31 @@ use rand::Rng;
 /// Which lookup algorithm to run.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum LookupKind {
-    /// Fast Lookup (§2.2.1): shortest paths, deterministic.
+    /// Fast Lookup (§2.2.1): shortest paths, deterministic. Digit
+    /// instances only.
     Fast,
     /// Distance Halving Lookup (§2.2.2): randomized two-phase routing
-    /// with worst-case congestion guarantees.
+    /// with worst-case congestion guarantees. Digit instances only.
     DistanceHalving,
+    /// Greedy clockwise routing (§4): each hop applies the instance's
+    /// memoryless [`ContinuousGraph::greedy_step`]. Greedy instances
+    /// only.
+    Greedy,
 }
 
 impl std::str::FromStr for LookupKind {
     type Err = String;
 
     /// Parse the CLI spelling used by every `e_*` harness binary:
-    /// `fast` or `dh` (also accepts `distance-halving`).
+    /// `fast`, `dh` (also accepts `distance-halving`) or `greedy`.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         match s.to_ascii_lowercase().as_str() {
             "fast" => Ok(LookupKind::Fast),
             "dh" | "distance-halving" => Ok(LookupKind::DistanceHalving),
-            other => Err(format!("unknown lookup kind {other:?} (expected `fast` or `dh`)")),
+            "greedy" => Ok(LookupKind::Greedy),
+            other => {
+                Err(format!("unknown lookup kind {other:?} (expected `fast`, `dh` or `greedy`)"))
+            }
         }
     }
 }
@@ -54,6 +67,7 @@ impl std::fmt::Display for LookupKind {
         f.write_str(match self {
             LookupKind::Fast => "fast",
             LookupKind::DistanceHalving => "dh",
+            LookupKind::Greedy => "greedy",
         })
     }
 }
@@ -73,8 +87,8 @@ pub struct Route {
 
 impl Route {
     /// An empty route buffer for reuse with the `*_into` lookup
-    /// variants ([`DhNetwork::fast_lookup_into`],
-    /// [`DhNetwork::dh_lookup_into`]).
+    /// variants ([`CdNetwork::fast_lookup_into`],
+    /// [`CdNetwork::dh_lookup_into`]).
     pub fn empty() -> Self {
         Route { nodes: Vec::new(), points: Vec::new(), phase2_start: None }
     }
@@ -119,7 +133,7 @@ impl Route {
 /// Reusable per-lookup state: the two-sided walk's digit buffer and
 /// the phase-2 trace. Holding one of these (plus a [`Route`]) across
 /// lookups makes the hot path allocation-free — the criterion benches
-/// and the batched [`DhNetwork::lookup_many`] measure the protocol,
+/// and the batched [`CdNetwork::lookup_many`] measure the protocol,
 /// not the allocator.
 pub struct LookupScratch {
     walk: TwoSidedWalk,
@@ -139,7 +153,7 @@ impl Default for LookupScratch {
     }
 }
 
-impl DhNetwork {
+impl<G: ContinuousGraph> CdNetwork<G> {
     /// Move the message from `cur` to the node covering `p`, using only
     /// `cur`'s own neighbor table. Panics if the discrete edge implied
     /// by the continuous graph is missing (this would falsify the edge
@@ -172,6 +186,11 @@ impl DhNetwork {
     /// the lookup locally (returning `None`) or return the walk start
     /// `h` and the number of backward hops `t` still to make.
     fn fast_plan(&self, from: NodeId, target: Point, route: &mut Route) -> Option<(Point, usize)> {
+        assert!(
+            self.graph().digit_routing(),
+            "{} does not support the digit-walk lookups",
+            self.graph().name()
+        );
         let seg = self.node(from).segment;
         route.reset(from, seg.midpoint());
         if seg.contains(target) {
@@ -234,6 +253,11 @@ impl DhNetwork {
         scratch: &mut LookupScratch,
         route: &mut Route,
     ) {
+        assert!(
+            self.graph().digit_routing(),
+            "{} does not support the digit-walk lookups",
+            self.graph().name()
+        );
         let x = self.node(from).x;
         scratch.walk.reset(x, target, self.delta());
         let walk = &mut scratch.walk;
@@ -270,11 +294,64 @@ impl DhNetwork {
         debug_assert!(self.node(cur).covers(target));
     }
 
+    /// Greedy clockwise routing (§4) from server `from` to the server
+    /// covering `target`: each continuous step applies the instance's
+    /// [`ContinuousGraph::greedy_step`], each discrete hop follows the
+    /// table entry covering the new position. Deterministic; the walk
+    /// lands on the target exactly, so no ring correction is needed.
+    pub fn greedy_lookup(&self, from: NodeId, target: Point) -> Route {
+        let mut route = Route::empty();
+        self.greedy_lookup_into(from, target, &mut route);
+        route
+    }
+
+    /// [`Self::greedy_lookup`] into a caller-owned route buffer —
+    /// allocation-free once the buffer has warmed up.
+    pub fn greedy_lookup_into(&self, from: NodeId, target: Point, route: &mut Route) {
+        assert!(
+            self.graph().greedy_routing(),
+            "{} does not support greedy routing",
+            self.graph().name()
+        );
+        let x = self.node(from).x;
+        route.reset(from, x);
+        let mut cur = from;
+        let mut p = x;
+        let mut steps = 0usize;
+        while !self.node(cur).covers(target) {
+            // cur covers p but not the target, so p ≠ target and the
+            // step is well-defined; it clears at least one bit of the
+            // remaining clockwise distance, bounding the walk.
+            p = self.graph().greedy_step(p, target);
+            cur = self.hop(cur, p, route);
+            steps += 1;
+            assert!(steps <= 130, "greedy routing failed to converge (n = {})", self.len());
+        }
+        route.push(cur, target);
+    }
+
+    /// The instance's native lookup algorithm: the randomized two-phase
+    /// lookup for digit instances, greedy routing otherwise. This is
+    /// what `join_via_lookup` and the default storage path use.
+    pub fn native_kind(&self) -> LookupKind {
+        if self.graph().digit_routing() {
+            LookupKind::DistanceHalving
+        } else {
+            LookupKind::Greedy
+        }
+    }
+
+    /// Run the instance's native lookup (see [`Self::native_kind`]).
+    pub fn native_lookup(&self, from: NodeId, target: Point, rng: &mut impl Rng) -> Route {
+        self.lookup(self.native_kind(), from, target, rng)
+    }
+
     /// Run the chosen lookup algorithm.
     pub fn lookup(&self, kind: LookupKind, from: NodeId, target: Point, rng: &mut impl Rng) -> Route {
         match kind {
             LookupKind::Fast => self.fast_lookup(from, target),
             LookupKind::DistanceHalving => self.dh_lookup(from, target, rng),
+            LookupKind::Greedy => self.greedy_lookup(from, target),
         }
     }
 
@@ -291,6 +368,7 @@ impl DhNetwork {
         match kind {
             LookupKind::Fast => self.fast_lookup_into(from, target, route),
             LookupKind::DistanceHalving => self.dh_lookup_into(from, target, rng, scratch, route),
+            LookupKind::Greedy => self.greedy_lookup_into(from, target, route),
         }
     }
 
@@ -323,6 +401,16 @@ impl DhNetwork {
                 let mut total_hops = 0usize;
                 for (i, &(from, target)) in queries.iter().enumerate() {
                     self.dh_lookup_into(from, target, rng, &mut scratch, &mut route);
+                    total_hops += route.hops();
+                    visit(i, &route);
+                }
+                total_hops
+            }
+            LookupKind::Greedy => {
+                let mut route = Route::empty();
+                let mut total_hops = 0usize;
+                for (i, &(from, target)) in queries.iter().enumerate() {
+                    self.greedy_lookup_into(from, target, &mut route);
                     total_hops += route.hops();
                     visit(i, &route);
                 }
@@ -433,6 +521,7 @@ impl DhNetwork {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::network::DhNetwork;
     use cd_core::pointset::PointSet;
     use cd_core::rng::seeded;
     use cd_core::Point as CPoint;

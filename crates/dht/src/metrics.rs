@@ -8,7 +8,8 @@
 //! thousands of lookups can be charged concurrently from a rayon pool
 //! without false sharing or contention on a shared lock.
 
-use crate::network::{DhNetwork, NodeId};
+use crate::network::{CdNetwork, NodeId};
+use cd_core::graph::ContinuousGraph;
 use cd_core::stats::Summary;
 use crossbeam_utils::CachePadded;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -19,8 +20,8 @@ pub struct LoadCounters {
 }
 
 impl LoadCounters {
-    /// Counters sized for the given network.
-    pub fn for_network(net: &DhNetwork) -> Self {
+    /// Counters sized for the given network (any instance).
+    pub fn for_network<G: ContinuousGraph>(net: &CdNetwork<G>) -> Self {
         Self::with_capacity(net.slab_len())
     }
 
@@ -42,17 +43,17 @@ impl LoadCounters {
     }
 
     /// Load of every *live* server of `net`, in `net.live()` order.
-    pub fn live_loads(&self, net: &DhNetwork) -> Vec<u64> {
+    pub fn live_loads<G: ContinuousGraph>(&self, net: &CdNetwork<G>) -> Vec<u64> {
         net.live().iter().map(|&id| self.get(id)).collect()
     }
 
     /// The maximum load over live servers.
-    pub fn max_load(&self, net: &DhNetwork) -> u64 {
+    pub fn max_load<G: ContinuousGraph>(&self, net: &CdNetwork<G>) -> u64 {
         self.live_loads(net).into_iter().max().unwrap_or(0)
     }
 
     /// Summary statistics over live servers.
-    pub fn summary(&self, net: &DhNetwork) -> Summary {
+    pub fn summary<G: ContinuousGraph>(&self, net: &CdNetwork<G>) -> Summary {
         Summary::of_u64(self.live_loads(net))
     }
 
@@ -73,6 +74,7 @@ impl LoadCounters {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::network::DhNetwork;
     use cd_core::pointset::PointSet;
 
     #[test]

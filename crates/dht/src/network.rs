@@ -1,13 +1,24 @@
-//! The discrete Distance Halving graph `G_~x` with dynamic membership.
+//! The discrete graph `G_~x` of **any** continuous graph, with dynamic
+//! membership: [`CdNetwork<G>`] is the continuous-discrete recipe
+//! (Section 2) generic over a [`ContinuousGraph`], and
+//! [`DhNetwork`] = `CdNetwork<DistanceHalving>` is the paper's
+//! flagship instance.
 //!
 //! Each server `V_i` owns the segment `s(x_i) = [x_i, x_{i+1})`. The
 //! edge set is *derived* from the continuous graph: `V`'s neighbor
-//! table contains every server whose segment intersects
+//! table contains every server whose segment intersects an arc of
+//! `G::edge_arcs(s(V))`, plus the ring predecessor and successor. For
+//! the Distance Halving instance those arcs are
 //!
-//! * `f_d(s(V))` for `d = 0..∆`   (forward/children images),
+//! * `f_d(s(V))` for `d = 0..∆`   (forward/children images), and
 //! * `b_∆(s(V))` (+ ∆ ulps of slack to absorb fixed-point flooring of
-//!   the forward maps — see below), and
-//! * the ring predecessor and successor.
+//!   the forward maps — see below);
+//!
+//! for the Chord-like instance they are the `O(log n)` translated
+//! finger arcs `s(V) + 2⁻ⁱ`. Everything below the arc derivation —
+//! ring maintenance, incremental churn over reused scratch buffers,
+//! the one-sweep bulk builder, item migration, validation — is
+//! instance-independent and written once, here.
 //!
 //! Routing only ever moves a message from a node to a point covered by
 //! an entry of that node's **own** table:
@@ -47,12 +58,17 @@
 //!   `n` independent oracle rebuilds, which is what makes the
 //!   million-node `e_scale` scenario build in seconds.
 
+use cd_core::graph::ContinuousGraph;
 use cd_core::interval::Interval;
 use cd_core::point::Point;
 use cd_core::pointset::PointSet;
 use cd_core::Point as CPoint;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::mem;
+
+// The recipe's instances are part of this crate's vocabulary: a
+// network type is spelled `CdNetwork<ChordLike>` etc.
+pub use cd_core::graph::{ChordLike, DeBruijn, DistanceHalving};
 
 // The server handle now lives in the wire-protocol crate (every layer
 // from the transports up names servers with it); re-exported here so
@@ -157,11 +173,15 @@ struct ChurnScratch {
     affected: Vec<NodeId>,
     /// Item keys migrating between servers.
     moved_keys: Vec<u64>,
+    /// Continuous edge-image arcs of the segment being (re)derived.
+    arcs: Vec<Interval>,
 }
 
-/// The discrete Distance Halving network.
-pub struct DhNetwork {
-    delta: u32,
+/// The discrete network of a [`ContinuousGraph`] — the
+/// continuous-discrete recipe with dynamic membership, generic over
+/// the instance. See the module docs.
+pub struct CdNetwork<G: ContinuousGraph> {
+    graph: G,
     nodes: Vec<Option<NodeState>>,
     free: Vec<u32>,
     /// Sorted map from identifier-point bits to node; used only for
@@ -179,6 +199,10 @@ pub struct DhNetwork {
     scratch: ChurnScratch,
 }
 
+/// The discrete Distance Halving network — the flagship instance of
+/// the recipe, bit-identical to the pre-refactor dedicated type.
+pub type DhNetwork = CdNetwork<DistanceHalving>;
+
 impl DhNetwork {
     /// Build a degree-2 (binary De Bruijn) network from identifier
     /// points.
@@ -186,15 +210,23 @@ impl DhNetwork {
         Self::with_delta(points, 2)
     }
 
-    /// Build a degree-∆ network (Section 2.3) from identifier points.
+    /// Build a degree-∆ Distance Halving network (Section 2.3) from
+    /// identifier points.
+    pub fn with_delta(points: &PointSet, delta: u32) -> Self {
+        CdNetwork::build(DistanceHalving::with_delta(delta), points)
+    }
+}
+
+impl<G: ContinuousGraph> CdNetwork<G> {
+    /// Discretize `graph` over the identifier points (the recipe's
+    /// bulk constructor).
     ///
     /// Tables are derived in one sweep over the sorted identifier
     /// array: each arc query is a binary search on a flat `u64` slice
     /// plus a forward walk, instead of `n` independent rebuilds probing
     /// the `BTreeMap` oracle. Node `i` is the `i`-th point in sorted
     /// order, so ring pointers are index arithmetic.
-    pub fn with_delta(points: &PointSet, delta: u32) -> Self {
-        assert!(delta >= 2, "∆ must be ≥ 2");
+    pub fn build(graph: G, points: &PointSet) -> Self {
         let n = points.len();
         let bits: Vec<u64> = points.points().iter().map(|p| p.bits()).collect();
         // cover(b): index of the segment containing the point `b` —
@@ -219,19 +251,19 @@ impl DhNetwork {
         };
         // One sweep: derive every node's sorted neighbor id list into a
         // flat CSR layout (offsets + ids) with one scratch buffer.
-        let mut flat: Vec<u32> = Vec::with_capacity(n * (delta as usize + 4));
+        let mut flat: Vec<u32> = Vec::with_capacity(n * (graph.delta() as usize + 4));
         let mut offs: Vec<usize> = Vec::with_capacity(n + 1);
         offs.push(0);
         let mut ids: Vec<u32> = Vec::new();
+        let mut arcs: Vec<Interval> = Vec::new();
         for i in 0..n {
             ids.clear();
             let seg = points.segment(i);
-            for d in 0..delta {
-                for piece in seg.image_child(d, delta).into_iter().flatten() {
-                    collect(&piece, &mut ids);
-                }
+            arcs.clear();
+            graph.edge_arcs(&seg, &mut arcs);
+            for q in &arcs {
+                collect(q, &mut ids);
             }
-            collect(&seg.image_backward_delta(delta).widened(delta as u128), &mut ids);
             ids.push(((i + 1) % n) as u32);
             ids.push(((i + n - 1) % n) as u32);
             ids.sort_unstable();
@@ -269,8 +301,8 @@ impl DhNetwork {
                     .insert(NodeId(i as u32));
             }
         }
-        DhNetwork {
-            delta,
+        CdNetwork {
+            graph,
             nodes,
             free: Vec::new(),
             registry: bits.iter().enumerate().map(|(i, &b)| (b, NodeId(i as u32))).collect(),
@@ -282,10 +314,17 @@ impl DhNetwork {
         }
     }
 
-    /// The degree parameter ∆.
+    /// The continuous graph this network discretizes.
+    #[inline]
+    pub fn graph(&self) -> &G {
+        &self.graph
+    }
+
+    /// The digit base ∆ of the continuous graph (degree parameter for
+    /// the `f_d` family; unused by non-digit instances).
     #[inline]
     pub fn delta(&self) -> u32 {
-        self.delta
+        self.graph.delta()
     }
 
     /// Number of live servers.
@@ -421,18 +460,15 @@ impl DhNetwork {
     }
 
     /// Derive the neighbor id set for the segment of live node `myself`
-    /// into `out`, sorted by identifier point (= table order).
-    fn derive_into(&self, seg: &Interval, myself: NodeId, out: &mut Vec<NodeId>) {
+    /// into `out`, sorted by identifier point (= table order). `arcs`
+    /// is a reusable buffer for the continuous edge images.
+    fn derive_into(&self, seg: &Interval, myself: NodeId, out: &mut Vec<NodeId>, arcs: &mut Vec<Interval>) {
         out.clear();
-        // forward images
-        for d in 0..self.delta {
-            for piece in seg.image_child(d, self.delta).into_iter().flatten() {
-                self.covers_of_arc_into(&piece, out);
-            }
+        arcs.clear();
+        self.graph.edge_arcs(seg, arcs);
+        for q in arcs.iter() {
+            self.covers_of_arc_into(q, out);
         }
-        // backward image with ∆ ulps of slack (see module docs)
-        let widened = seg.image_backward_delta(self.delta).widened(self.delta as u128);
-        self.covers_of_arc_into(&widened, out);
         // ring edges
         out.push(self.succ[myself.0 as usize]);
         out.push(self.pred[myself.0 as usize]);
@@ -448,8 +484,10 @@ impl DhNetwork {
     fn rebuild_table(&mut self, id: NodeId) {
         let mut ids = mem::take(&mut self.scratch.ids);
         let mut old = mem::take(&mut self.scratch.old);
+        let mut arcs = mem::take(&mut self.scratch.arcs);
         let seg = self.node(id).segment;
-        self.derive_into(&seg, id, &mut ids);
+        self.derive_into(&seg, id, &mut ids, &mut arcs);
+        self.scratch.arcs = arcs;
         // The old table is sorted by stored segment start; identifier
         // points never change while a node is alive (and a departed
         // neighbor's key survives in its stored segment), so the stored
@@ -602,9 +640,9 @@ impl DhNetwork {
 
     /// The full Algorithm Join of §2.1 with cost accounting: the
     /// joining server contacts `host`, looks up its chosen point `x`
-    /// (step 2), splits the covering segment (step 3) and informs the
-    /// affected neighbors (step 4). Returns the measured cost, or
-    /// `None` on identifier collision.
+    /// (step 2) with the instance's native lookup, splits the covering
+    /// segment (step 3) and informs the affected neighbors (step 4).
+    /// Returns the measured cost, or `None` on identifier collision.
     pub fn join_via_lookup(
         &mut self,
         host: NodeId,
@@ -614,7 +652,7 @@ impl DhNetwork {
         if self.registry.contains_key(&x.bits()) {
             return None;
         }
-        let route = self.dh_lookup(host, x, rng);
+        let route = self.native_lookup(host, x, rng);
         debug_assert_eq!(route.destination(), self.cover_of(x));
         let affected_before = self.node(route.destination()).watchers.len() + 2;
         let id = self.join(x)?;
@@ -626,6 +664,24 @@ impl DhNetwork {
             // were rebuilt)
             state_changes: affected_before,
         })
+    }
+
+    /// Join a new server whose identifier point is picked by one of
+    /// the §4 smoothing strategies, evaluated against the live
+    /// network's own segment view (the network implements
+    /// [`dh_balance::SegmentView`]). Identifier collisions redraw, so
+    /// the join always succeeds; returns the new node's id.
+    pub fn join_with(
+        &mut self,
+        strategy: dh_balance::IdStrategy,
+        rng: &mut impl rand::Rng,
+    ) -> NodeId {
+        loop {
+            let x = strategy.choose(self, rng);
+            if let Some(id) = self.join(x) {
+                return id;
+            }
+        }
     }
 
     /// Remove a server; its ring predecessor absorbs the segment and
@@ -714,8 +770,9 @@ impl DhNetwork {
         assert_eq!(total, cd_core::interval::FULL, "segments must tile the circle");
         // tables match derivation, stay sorted, watchers consistent
         let mut fresh: Vec<NodeId> = Vec::new();
+        let mut arcs: Vec<Interval> = Vec::new();
         for &id in &self.live {
-            self.derive_into(&self.node(id).segment, id, &mut fresh);
+            self.derive_into(&self.node(id).segment, id, &mut fresh, &mut arcs);
             let actual: Vec<NodeId> = self.node(id).neighbors.iter().map(|nb| nb.id).collect();
             assert_eq!(actual, fresh, "stale table on {id}");
             for w in self.node(id).neighbors.windows(2) {
@@ -736,6 +793,19 @@ impl DhNetwork {
         }
     }
 
+    /// The smoothness ρ of the live identifier set (max/min segment
+    /// ratio, Definition 1). O(n).
+    pub fn smoothness(&self) -> f64 {
+        let mut min = u128::MAX;
+        let mut max = 0u128;
+        for &id in &self.live {
+            let len = self.node(id).segment.len();
+            min = min.min(len);
+            max = max.max(len);
+        }
+        max as f64 / min as f64
+    }
+
     /// Maximum and mean table size (the paper's *linkage* metric).
     pub fn degree_stats(&self) -> (usize, f64) {
         let mut max = 0usize;
@@ -746,6 +816,26 @@ impl DhNetwork {
             sum += d;
         }
         (max, sum as f64 / self.live.len() as f64)
+    }
+}
+
+/// The live network as a substrate for the §4 ID-selection
+/// strategies: [`CdNetwork::join_with`] samples against this view, so
+/// smooth joins need no side-channel `Ring` mirror of the membership.
+impl<G: ContinuousGraph> dh_balance::SegmentView for CdNetwork<G> {
+    fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    fn segment_of(&self, z: Point) -> Interval {
+        self.node(self.cover_of(z)).segment
+    }
+
+    fn estimate_log_n(&self, z: Point) -> f64 {
+        let cover = self.cover_of(z);
+        let x = self.node(cover).x;
+        let pred = self.node(self.ring_pred(cover)).x;
+        dh_balance::strategy::log_n_from_pred_distance(x, pred)
     }
 }
 
@@ -913,6 +1003,32 @@ mod tests {
             );
         }
         net.validate();
+    }
+
+    #[test]
+    fn join_with_multiple_choice_beats_uniform_joins() {
+        // The satellite claim: joins that pick identifiers with the §4
+        // Multiple Choice strategy (evaluated against the live
+        // network's own segment view) keep the identifier set far
+        // smoother than uniform-random joins.
+        let mut rng = seeded(44);
+        let n = 4096usize;
+        let seed_points = PointSet::new(vec![CPoint(0), CPoint(1 << 63)]);
+        let mut uniform = DhNetwork::new(&seed_points);
+        while uniform.len() < n {
+            uniform.join(CPoint(rng.gen()));
+        }
+        let mut smart = DhNetwork::new(&seed_points);
+        while smart.len() < n {
+            smart.join_with(dh_balance::IdStrategy::MultipleChoice { t: 3 }, &mut rng);
+        }
+        smart.validate();
+        let (rho_uniform, rho_smart) = (uniform.smoothness(), smart.smoothness());
+        assert!(
+            rho_smart * 8.0 < rho_uniform,
+            "Multiple Choice ρ = {rho_smart:.1} not ≪ uniform ρ = {rho_uniform:.1}"
+        );
+        assert!(rho_smart <= 32.0, "Multiple Choice ρ = {rho_smart:.1} not O(1) (Lemma 4.3)");
     }
 
     #[test]

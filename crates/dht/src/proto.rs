@@ -1,10 +1,11 @@
 //! The Distance Halving network on the wire-protocol API.
 //!
-//! [`DhNetwork`] implements [`Topology`], so every routed operation
+//! [`CdNetwork`] implements [`Topology`] for every instance, so any
+//! routed operation
 //! can run through `dh_proto`'s deterministic event engine over any
 //! transport. Under [`dh_proto::Inline`] the engine executes exactly
 //! the synchronous hop sequence (see `tests/proto_equiv.rs` — routes
-//! are property-tested bit-identical to [`DhNetwork::lookup`]); under
+//! are property-tested bit-identical to [`CdNetwork::lookup`]); under
 //! [`dh_proto::Sim`] the same protocols acquire latency, loss,
 //! duplication and reordering, plus per-operation message/byte
 //! accounting that nothing in the synchronous path can express.
@@ -13,12 +14,13 @@
 //! [`join_over`]/[`leave_over`] run the paper's Join/Leave algorithms
 //! as wire traffic (lookup steps, a `JoinSplit`/`LeaveMerge` RPC, one
 //! `NeighborDiff` per affected watcher) while the verified incremental
-//! table maintenance of [`DhNetwork`] applies the state transition —
+//! table maintenance of [`CdNetwork`] applies the state transition —
 //! the message layer prices what the state layer does.
 
 use crate::lookup::{LookupKind, Route};
 use crate::metrics::LoadCounters;
-use crate::network::{DhNetwork, NodeId};
+use crate::network::{CdNetwork, NodeId};
+use cd_core::graph::ContinuousGraph;
 use cd_core::interval::Interval;
 use cd_core::point::Point;
 use cd_core::rng::{splitmix64, sub_rng};
@@ -28,9 +30,9 @@ use dh_proto::transport::Transport;
 use dh_proto::wire::{Action, RouteKind, Wire};
 use rand::Rng;
 
-impl Topology for DhNetwork {
+impl<G: ContinuousGraph> Topology for CdNetwork<G> {
     fn delta(&self) -> u32 {
-        DhNetwork::delta(self)
+        CdNetwork::delta(self)
     }
 
     fn segment_of(&self, n: NodeId) -> Interval {
@@ -38,7 +40,13 @@ impl Topology for DhNetwork {
     }
 
     fn local_cover(&self, cur: NodeId, p: Point) -> Option<NodeId> {
-        DhNetwork::local_cover(self, cur, p)
+        CdNetwork::local_cover(self, cur, p)
+    }
+
+    fn greedy_step(&self, p: Point, target: Point) -> Point {
+        // instances without greedy routing panic here (by name),
+        // exactly like the synchronous `greedy_lookup` gate
+        self.graph().greedy_step(p, target)
     }
 }
 
@@ -47,6 +55,7 @@ pub fn route_kind(kind: LookupKind) -> RouteKind {
     match kind {
         LookupKind::Fast => RouteKind::Fast,
         LookupKind::DistanceHalving => RouteKind::DistanceHalving,
+        LookupKind::Greedy => RouteKind::Greedy,
     }
 }
 
@@ -101,8 +110,8 @@ impl MsgBatch {
 /// `seed` exactly like [`crate::driver::random_lookups`]'s; per-op
 /// digits come from the engine's own sub-streams, so the whole batch
 /// is a pure function of `(seed, transport)`.
-pub fn lookups_over<T: Transport>(
-    net: &DhNetwork,
+pub fn lookups_over<G: ContinuousGraph, T: Transport>(
+    net: &CdNetwork<G>,
     kind: LookupKind,
     m: usize,
     seed: u64,
@@ -168,12 +177,12 @@ pub struct ChurnMsgCost {
 
 /// Algorithm Join (§2.1) as wire traffic: route a lookup for `x` from
 /// `host`, send `JoinSplit` to the covering server, apply the verified
-/// split ([`DhNetwork::join`]), then send one `NeighborDiff` to every
+/// split ([`CdNetwork::join`]), then send one `NeighborDiff` to every
 /// server whose table changed. Returns `None` on identifier collision
 /// or if the lookup failed on a lossy transport (caller may retry with
 /// a fresh seed).
-pub fn join_over<T: Transport>(
-    net: &mut DhNetwork,
+pub fn join_over<G: ContinuousGraph, T: Transport>(
+    net: &mut CdNetwork<G>,
     host: NodeId,
     x: Point,
     kind: LookupKind,
@@ -229,10 +238,10 @@ pub fn join_over<T: Transport>(
 /// The simple Leave (§2.1) as wire traffic: `LeaveMerge` hands the
 /// segment and items to the ring predecessor, then the departing
 /// server and the predecessor notify every watcher whose table must be
-/// rebuilt. The verified [`DhNetwork::leave`] applies the state
+/// rebuilt. The verified [`CdNetwork::leave`] applies the state
 /// transition.
-pub fn leave_over<T: Transport>(
-    net: &mut DhNetwork,
+pub fn leave_over<G: ContinuousGraph, T: Transport>(
+    net: &mut CdNetwork<G>,
     id: NodeId,
     transport: &mut T,
     seed: u64,
@@ -271,6 +280,7 @@ pub fn leave_over<T: Transport>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::network::DhNetwork;
     use cd_core::pointset::PointSet;
     use cd_core::rng::seeded;
     use dh_proto::transport::{Inline, Recorder, Sim};

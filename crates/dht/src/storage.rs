@@ -12,9 +12,10 @@
 //! duplication is the same code path, not a parallel driver.
 
 use crate::lookup::{LookupKind, Route};
-use crate::network::{DhNetwork, NodeId, StoredItem};
+use crate::network::{CdNetwork, DistanceHalving, NodeId, StoredItem};
 use crate::proto::{path_to_route, route_kind};
 use bytes::Bytes;
+use cd_core::graph::ContinuousGraph;
 use cd_core::hashing::KWiseHash;
 use dh_proto::engine::{Engine, OpOutcome, RetryPolicy};
 use dh_proto::transport::{Inline, Transport};
@@ -22,22 +23,24 @@ use dh_proto::wire::Action;
 use rand::Rng;
 
 /// The DHT storage layer: a network plus the global hash function
-/// every server received when joining.
-pub struct Dht {
+/// every server received when joining. Generic over the continuous
+/// graph; `Dht` alone still names the Distance Halving instance.
+pub struct Dht<G: ContinuousGraph = DistanceHalving> {
     /// The overlay network.
-    pub net: DhNetwork,
+    pub net: CdNetwork<G>,
     /// The item-placement hash function.
     pub hash: KWiseHash,
     /// Which lookup algorithm `put`/`get` use.
     pub kind: LookupKind,
 }
 
-impl Dht {
+impl<G: ContinuousGraph> Dht<G> {
     /// Wrap a network with a freshly drawn `log₂ n`-wise independent
     /// hash function (the independence the paper's Theorem 2.11 needs).
-    pub fn new(net: DhNetwork, rng: &mut impl Rng) -> Self {
+    /// Routes with the instance's native lookup by default.
+    pub fn new(net: CdNetwork<G>, rng: &mut impl Rng) -> Self {
         let k = (net.len().max(2) as f64).log2().ceil() as usize + 1;
-        Dht { hash: KWiseHash::new(k, rng), net, kind: LookupKind::DistanceHalving }
+        Dht { hash: KWiseHash::new(k, rng), kind: net.native_kind(), net }
     }
 
     /// Route one storage RPC through the engine over `transport` and
@@ -155,6 +158,7 @@ impl Dht {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::network::DhNetwork;
     use cd_core::pointset::PointSet;
     use cd_core::rng::seeded;
     use cd_core::Point as CPoint;

@@ -72,9 +72,11 @@ impl Emulation {
     /// `(V_a, V_b)` iff some guest edge maps to `(a, b)`, `a ≠ b`.
     pub fn host_adjacency(&self) -> Vec<BTreeSet<usize>> {
         let mut adj: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); self.hosts.len()];
+        let mut nbrs: Vec<u64> = Vec::new();
         for j in 0..(1u64 << self.k) {
             let a = self.host_of[j as usize];
-            for v in self.family.neighbors(self.k, j) {
+            self.family.neighbors_into(self.k, j, &mut nbrs);
+            for &v in &nbrs {
                 let b = self.host_of[v as usize];
                 if a != b {
                     adj[a].insert(b);
@@ -92,9 +94,11 @@ impl Emulation {
             per_host[h] += 1;
         }
         let mut per_edge: HashMap<(usize, usize), usize> = HashMap::new();
+        let mut nbrs: Vec<u64> = Vec::new();
         for j in 0..(1u64 << self.k) {
             let a = self.host_of[j as usize];
-            for v in self.family.neighbors(self.k, j) {
+            self.family.neighbors_into(self.k, j, &mut nbrs);
+            for &v in &nbrs {
                 if v < j {
                     continue; // count each guest edge once
                 }
@@ -117,7 +121,10 @@ impl Emulation {
     /// Run one synchronous round of a guest computation: every guest
     /// node's state is replaced by `f(u, own, neighbor states)`. This
     /// is the "real-time emulation" of the paper — each host performs
-    /// the work of its ≤ ρ+1 guests, a constant slowdown.
+    /// the work of its ≤ ρ+1 guests, a constant slowdown. The
+    /// adjacency and view buffers are reused across the whole sweep
+    /// (`neighbors_into`), so the hot loop does not touch the
+    /// allocator once warm.
     pub fn step<T: Clone>(
         &self,
         states: &[T],
@@ -125,10 +132,13 @@ impl Emulation {
     ) -> Vec<T> {
         let n = 1usize << self.k;
         assert_eq!(states.len(), n);
+        let mut nbrs: Vec<u64> = Vec::new();
+        let mut views: Vec<&T> = Vec::new();
         (0..n as u64)
             .map(|u| {
-                let nbrs = self.family.neighbors(self.k, u);
-                let views: Vec<&T> = nbrs.iter().map(|&v| &states[v as usize]).collect();
+                self.family.neighbors_into(self.k, u, &mut nbrs);
+                views.clear();
+                views.extend(nbrs.iter().map(|&v| &states[v as usize]));
                 f(u, &states[u as usize], &views)
             })
             .collect()

@@ -42,38 +42,49 @@ impl GraphFamily {
     }
 
     /// The neighbors of vertex `u` in `G_k` (vertices `0..2^k`).
+    /// Allocates a fresh `Vec`; hot loops (the emulation round driver)
+    /// use [`Self::neighbors_into`] with a reused buffer instead.
     pub fn neighbors(&self, k: u32, u: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.neighbors_into(k, u, &mut out);
+        out
+    }
+
+    /// [`Self::neighbors`] into a caller-owned buffer (cleared first)
+    /// — the allocation-free variant: one buffer serves an entire
+    /// emulation sweep instead of one `Vec` per vertex per round.
+    pub fn neighbors_into(&self, k: u32, u: u64, out: &mut Vec<u64>) {
         let n = 1u64 << k;
         debug_assert!(u < n);
         let mask = n - 1;
         let rot_l = |v: u64| ((v << 1) | (v >> (k - 1))) & mask;
         let rot_r = |v: u64| ((v >> 1) | ((v & 1) << (k - 1))) & mask;
-        let mut out = match self {
-            GraphFamily::Hypercube => (0..k).map(|i| u ^ (1 << i)).collect::<Vec<_>>(),
+        out.clear();
+        match self {
+            GraphFamily::Hypercube => out.extend((0..k).map(|i| u ^ (1 << i))),
             GraphFamily::WrappedButterfly => {
-                vec![rot_l(u), rot_l(u) ^ 1, rot_r(u), rot_r(u ^ 1)]
+                out.extend([rot_l(u), rot_l(u) ^ 1, rot_r(u), rot_r(u ^ 1)])
             }
-            GraphFamily::CubeConnectedCycles => vec![u ^ 1, rot_l(u), rot_r(u)],
+            GraphFamily::CubeConnectedCycles => out.extend([u ^ 1, rot_l(u), rot_r(u)]),
             GraphFamily::DeBruijn => {
-                vec![(u << 1) & mask, ((u << 1) | 1) & mask, u >> 1, (u >> 1) | (n >> 1)]
+                out.extend([(u << 1) & mask, ((u << 1) | 1) & mask, u >> 1, (u >> 1) | (n >> 1)])
             }
-            GraphFamily::ShuffleExchange => vec![u ^ 1, rot_l(u), rot_r(u)],
+            GraphFamily::ShuffleExchange => out.extend([u ^ 1, rot_l(u), rot_r(u)]),
             GraphFamily::Torus => {
                 assert!(k.is_multiple_of(2), "torus needs even k");
                 let side = 1u64 << (k / 2);
                 let (x, y) = (u / side, u % side);
-                vec![
+                out.extend([
                     ((x + 1) % side) * side + y,
                     ((x + side - 1) % side) * side + y,
                     x * side + (y + 1) % side,
                     x * side + (y + side - 1) % side,
-                ]
+                ]);
             }
-        };
+        }
         out.retain(|&v| v != u);
         out.sort_unstable();
         out.dedup();
-        out
     }
 
     /// Is the adjacency symmetric (it must be — checked in tests)?

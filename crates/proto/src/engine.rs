@@ -47,6 +47,14 @@ pub trait Topology {
     /// its segment covers `p`, otherwise the entry of `cur`'s own
     /// neighbor table covering `p`, otherwise `None`.
     fn local_cover(&self, cur: NodeId, p: Point) -> Option<NodeId>;
+    /// One greedy routing step: the next continuous position of a
+    /// message at `p` heading for `target` (`p ≠ target`), for
+    /// topologies routed by [`crate::wire::RouteKind::Greedy`]. The
+    /// default panics — only topologies whose continuous graph has
+    /// greedy routing (e.g. the Chord-like instance) override it.
+    fn greedy_step(&self, _p: Point, _target: Point) -> Point {
+        panic!("this topology has no greedy routing")
+    }
 }
 
 /// The wire-level view of a route: servers visited (consecutive
@@ -173,6 +181,8 @@ enum Machine {
     Dh1,
     /// DH lookup phase 2 (retrace `q_t … q_0`); `idx` indexes `trace`.
     Dh2 { idx: usize },
+    /// Greedy routing: current continuous position of the message.
+    Greedy { p: Point },
     /// Completed.
     Done,
     /// Abandoned after retry exhaustion.
@@ -456,6 +466,12 @@ impl<'g, G: Topology, T: Transport> Engine<'g, G, T> {
                 op.walk.reset(x, op.target, delta);
                 op.machine = Machine::Dh1;
             }
+            RouteKind::Greedy => {
+                // the message starts at the node's identifier point
+                let x = seg.start();
+                op.path.reset(op.from, x);
+                op.machine = Machine::Greedy { p: x };
+            }
         }
     }
 
@@ -521,6 +537,19 @@ impl<'g, G: Topology, T: Transport> Engine<'g, G, T> {
                         }
                     }
                 }
+                Machine::Greedy { p } => {
+                    if self.net.segment_of(cur).contains(op.target) {
+                        op.path.push(cur, op.target);
+                        self.complete(id);
+                        return;
+                    }
+                    // cur covers p and not the target, so p ≠ target
+                    let next_p = self.net.greedy_step(p, op.target);
+                    op.machine = Machine::Greedy { p: next_p };
+                    if self.hop(id, next_p) {
+                        return;
+                    }
+                }
                 Machine::Dh2 { idx } => {
                     // visit the current trace node (cache climbs serve
                     // here), then hop to the next one
@@ -580,7 +609,7 @@ impl<'g, G: Topology, T: Transport> Engine<'g, G, T> {
         let op = &mut self.ops[id as usize];
         op.step += 1;
         let digits = match op.kind {
-            RouteKind::Fast => 0,
+            RouteKind::Fast | RouteKind::Greedy => 0,
             RouteKind::DistanceHalving => match op.machine {
                 // phase 2 deletes one digit of τ per hop
                 Machine::Dh2 { idx } => (op.trace.len() - 1 - idx) as u32,
@@ -705,6 +734,11 @@ mod tests {
         fn local_cover(&self, _cur: NodeId, p: Point) -> Option<NodeId> {
             Some(self.cover(p))
         }
+        fn greedy_step(&self, p: Point, target: Point) -> Point {
+            // chord-style: the largest 2⁻ⁱ not overshooting the target
+            let d = target.offset_from(p);
+            p.wrapping_add(1u64 << (63 - d.leading_zeros()))
+        }
     }
 
     fn submit_mixed(eng: &mut Engine<Complete, impl Transport>, n: u32) -> Vec<OpId> {
@@ -736,6 +770,47 @@ mod tests {
             ));
             assert_eq!(out.attempts, 1);
             assert_eq!(out.msgs as usize, out.path.hops());
+        }
+    }
+
+    #[test]
+    fn greedy_machine_completes_at_the_cover() {
+        let net = Complete::new(16, 2);
+        let mut eng = Engine::new(&net, Inline, 43);
+        let ops: Vec<OpId> = (0..30)
+            .map(|i| {
+                let target = Point(0xD1B5_4A32_D192_ED03u64.wrapping_mul(i + 1));
+                eng.submit(RouteKind::Greedy, NodeId((i % 16) as u32), target, Action::Locate)
+            })
+            .collect();
+        eng.run();
+        assert_eq!(eng.stats.failed, 0);
+        for id in ops {
+            let out = eng.outcome(id);
+            assert!(out.ok);
+            let target = *out.path.points.last().expect("nonempty");
+            assert!(net.segment_of(out.dest.expect("done")).contains(target));
+            assert_eq!(out.msgs as usize, out.path.hops(), "one hop = one message under Inline");
+            // greedy walks clear one bit of the gap per continuous step
+            assert!(out.path.hops() <= 64);
+        }
+    }
+
+    #[test]
+    fn greedy_machine_survives_drops() {
+        let net = Complete::new(16, 2);
+        let mut eng = Engine::new(&net, Sim::new(21).with_drop(0.25), 47)
+            .with_retry(RetryPolicy { timeout: 100, max_attempts: 12 });
+        let ops: Vec<OpId> = (0..25)
+            .map(|i| {
+                let target = Point(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i + 3));
+                eng.submit(RouteKind::Greedy, NodeId((i % 16) as u32), target, Action::Locate)
+            })
+            .collect();
+        eng.run();
+        assert_eq!(eng.stats.failed, 0, "retry must absorb 25% loss on short greedy routes");
+        for id in ops {
+            assert!(eng.outcome(id).ok);
         }
     }
 

@@ -27,6 +27,9 @@ pub enum RouteKind {
     Fast,
     /// Distance Halving Lookup (§2.2.2): randomized two-phase routing.
     DistanceHalving,
+    /// Greedy routing (§4's Chord-like instances): each hop applies the
+    /// topology's memoryless [`crate::engine::Topology::greedy_step`].
+    Greedy,
 }
 
 /// What a routed message does once it reaches the server covering its
