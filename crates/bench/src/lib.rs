@@ -29,6 +29,21 @@ pub fn section(title: &str) {
     println!("\n## {title}\n");
 }
 
+/// Strip a `--threads N` flag (anywhere on the command line) out of
+/// `args` and return `N`. Shared by the harness binaries that drive
+/// the multi-core layer; panics on a malformed value so a typo'd
+/// sweep fails loudly instead of measuring the wrong width.
+pub fn parse_threads(args: &mut Vec<String>) -> Option<usize> {
+    let pos = args.iter().position(|a| a == "--threads")?;
+    let threads = args
+        .get(pos + 1)
+        .and_then(|v| v.parse().ok())
+        .filter(|&t| t > 0)
+        .expect("--threads needs a positive integer");
+    args.drain(pos..=pos + 1);
+    Some(threads)
+}
+
 /// Print a paper-vs-measured comparison line.
 pub fn claim(paper: &str, measured: impl std::fmt::Display) {
     println!("- paper: {paper}");
@@ -44,9 +59,11 @@ pub mod bench_json {
     //! "ns_per_op": <mean>}`; records measured through the wire
     //! protocol additionally carry `"msgs_per_op"` and
     //! `"bytes_per_op"` (mean messages/bytes per operation, all
-    //! retransmissions charged), and records swept across overlay
+    //! retransmissions charged), records swept across overlay
     //! instances carry `"topology"` (the instance label, e.g.
-    //! `"chord"` or `"debruijn8"`).
+    //! `"chord"` or `"debruijn8"`), and records measured on the
+    //! multi-core drivers carry `"threads"` (worker count of the run,
+    //! so the scaling curve is part of the perf trajectory).
 
     use std::io::Write;
 
@@ -66,6 +83,8 @@ pub mod bench_json {
         pub bytes_per_op: Option<f64>,
         /// Overlay instance label (cross-topology benches only).
         pub topology: Option<String>,
+        /// Worker-thread count (multi-core driver benches only).
+        pub threads: Option<usize>,
     }
 
     /// Escape a string for inclusion in a JSON value.
@@ -92,6 +111,7 @@ pub mod bench_json {
                 msgs_per_op: None,
                 bytes_per_op: None,
                 topology: None,
+                threads: None,
             }
         }
 
@@ -105,6 +125,12 @@ pub mod bench_json {
         /// Tag the record with the overlay instance it measured.
         pub fn with_topology(mut self, topology: impl Into<String>) -> Self {
             self.topology = Some(topology.into());
+            self
+        }
+
+        /// Tag the record with the worker-thread count of the run.
+        pub fn with_threads(mut self, threads: usize) -> Self {
+            self.threads = Some(threads);
             self
         }
 
@@ -123,6 +149,9 @@ pub mod bench_json {
             }
             if let Some(t) = &self.topology {
                 line.push_str(&format!(", \"topology\": \"{}\"", escape(t)));
+            }
+            if let Some(t) = self.threads {
+                line.push_str(&format!(", \"threads\": {t}"));
             }
             line.push('}');
             line

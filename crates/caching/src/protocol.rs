@@ -271,7 +271,7 @@ impl<G: ContinuousGraph> CachedDht<G> {
                     true
                 }
             });
-            eng.outcome(op)
+            eng.take_outcome(op)
         };
         if !out.ok {
             return (None, out);

@@ -1,0 +1,211 @@
+//! The sharded storage runtime vs. the single-engine reference:
+//! `put`/`get`/`remove` storms through [`Dht::batch_over`] must equal,
+//! op for op, the same calls issued sequentially through
+//! `put_over`/`get_over`/`remove_over` — same routes, same values,
+//! same merged counters, same final item placement — on every
+//! topology instance (dh, chord, debruijn8) and every transport
+//! (Inline, lossless Sim, lossy Sim), at every thread count.
+//!
+//! This holds exactly because each batch op routes through its own
+//! engine with seed `subseed(seed, i)` and transport
+//! `make_transport(i)` — the one-op-per-engine sharding — so the
+//! transport's random stream is per-op, never shared across the batch.
+
+use bytes::Bytes;
+use cd_core::graph::{ChordLike, ContinuousGraph, DeBruijn, DistanceHalving};
+use cd_core::pointset::PointSet;
+use cd_core::rng::{seeded, subseed};
+use dh_dht::storage::{Dht, StorageAction, StorageOp, StorageOutcome};
+use dh_dht::CdNetwork;
+use dh_proto::engine::{EngineStats, RetryPolicy};
+use dh_proto::transport::{Inline, Sim, Transport};
+use rand::Rng;
+
+/// A mixed put/get/remove storm over a small hot key space (repeats
+/// guaranteed, so gets observe earlier puts and removes of the batch).
+fn storm(net_len: usize, m: usize, seed: u64) -> Vec<StorageOp> {
+    let mut rng = seeded(seed);
+    (0..m)
+        .map(|i| {
+            let from = dh_dht::NodeId((rng.gen::<u64>() % net_len as u64) as u32);
+            let key = rng.gen::<u64>() % 31;
+            let action = match rng.gen::<u64>() % 5 {
+                0 | 1 => StorageAction::Put {
+                    key,
+                    value: Bytes::from(format!("v{key}-{i}")),
+                },
+                2 | 3 => StorageAction::Get { key },
+                _ => StorageAction::Remove { key },
+            };
+            StorageOp { from, action }
+        })
+        .collect()
+}
+
+/// The comparable record of one op: `(ok, dest, hops, msgs, attempts,
+/// value, applied)`.
+type OpBrief = (bool, Option<u32>, usize, u64, u32, Option<Bytes>, bool);
+
+/// Issue the same ops one at a time through the `*_over` calls with
+/// the batch's per-op seeds/transports, collecting the same record the
+/// batch produces.
+fn sequential_reference<G: ContinuousGraph, T: Transport>(
+    dht: &mut Dht<G>,
+    ops: &[StorageOp],
+    seed: u64,
+    retry: RetryPolicy,
+    make_transport: impl Fn(usize) -> T,
+) -> Vec<OpBrief> {
+    ops.iter()
+        .enumerate()
+        .map(|(i, op)| {
+            let s = subseed(seed, i as u64);
+            let t = make_transport(i);
+            match &op.action {
+                StorageAction::Put { key, value } => {
+                    let (out, stored) = dht.put_over(op.from, *key, value.clone(), t, s, retry);
+                    (out.ok, out.dest.map(|d| d.0), out.path.hops(), out.msgs, out.attempts, None, stored)
+                }
+                StorageAction::Get { key } => {
+                    let (out, got) = dht.get_over(op.from, *key, t, s, retry);
+                    let found = got.is_some();
+                    (out.ok, out.dest.map(|d| d.0), out.path.hops(), out.msgs, out.attempts, got, found)
+                }
+                StorageAction::Remove { key } => {
+                    let (out, got) = dht.remove_over(op.from, *key, t, s, retry);
+                    let found = got.is_some();
+                    (out.ok, out.dest.map(|d| d.0), out.path.hops(), out.msgs, out.attempts, got, found)
+                }
+            }
+        })
+        .collect()
+}
+
+fn brief(results: &[StorageOutcome]) -> Vec<OpBrief> {
+    results
+        .iter()
+        .map(|r| {
+            let value = match r.outcome.action {
+                dh_proto::wire::Action::Put { .. } => None,
+                _ => r.value.clone(),
+            };
+            (
+                r.outcome.ok,
+                r.outcome.dest.map(|d| d.0),
+                r.outcome.path.hops(),
+                r.outcome.msgs,
+                r.outcome.attempts,
+                value,
+                r.applied,
+            )
+        })
+        .collect()
+}
+
+/// All items stored anywhere in the network, as comparable tuples.
+fn placement<G: ContinuousGraph>(dht: &Dht<G>) -> Vec<(u32, u64, Bytes)> {
+    let mut out: Vec<(u32, u64, Bytes)> = Vec::new();
+    for &id in dht.net.live() {
+        for (&k, item) in &dht.net.node(id).items {
+            out.push((id.0, k, item.value.clone()));
+        }
+    }
+    out.sort_by(|a, b| (a.0, a.1, a.2.as_ref()).cmp(&(b.0, b.1, b.2.as_ref())));
+    out
+}
+
+fn check_instance<G: ContinuousGraph, T: Transport + Send>(
+    graph: G,
+    seed: u64,
+    retry: RetryPolicy,
+    make_transport: impl Fn(usize) -> T + Sync + Copy,
+) {
+    let n = 96usize;
+    let mut rng = seeded(seed);
+    let points = PointSet::random(n, &mut rng);
+    let ops = storm(n, 400, seed ^ 0x57);
+
+    // batch run (on the pool) and sequential reference over networks
+    // built from the same points and the same hash-draw rng
+    let mut batch_dht = Dht::new(CdNetwork::build(graph.clone(), &points), &mut seeded(seed ^ 1));
+    let mut seq_dht = Dht::new(CdNetwork::build(graph, &points), &mut seeded(seed ^ 1));
+
+    let (results, stats) = batch_dht.batch_over(&ops, seed, retry, make_transport);
+    let want = sequential_reference(&mut seq_dht, &ops, seed, retry, make_transport);
+    let got = brief(&results);
+    assert_eq!(got.len(), want.len());
+    for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+        assert_eq!(g, w, "op {i} diverged from the sequential reference");
+    }
+    assert_eq!(placement(&batch_dht), placement(&seq_dht), "final item placement diverged");
+
+    // merged counters = sum over ops: recompute via a second batch at a
+    // different thread count — also pins thread-count independence
+    rayon::set_num_threads(2);
+    let mut batch2 = Dht::new(CdNetwork::build(batch_dht.net.graph().clone(), &points), &mut seeded(seed ^ 1));
+    let (results2, stats2) = batch2.batch_over(&ops, seed, retry, make_transport);
+    rayon::set_num_threads(0);
+    assert_eq!(stats, stats2, "merged EngineStats must not feel the thread count");
+    assert_eq!(brief(&results2), got);
+    assert!(stats.msgs > 0 && stats.completed > 0);
+}
+
+fn stats_of_storm<T: Transport + Send>(
+    retry: RetryPolicy,
+    make_transport: impl Fn(usize) -> T + Sync + Copy,
+) -> EngineStats {
+    let n = 96usize;
+    let points = PointSet::random(n, &mut seeded(0x77));
+    let ops = storm(n, 200, 0x78);
+    let mut dht = Dht::new(CdNetwork::build(DistanceHalving::binary(), &points), &mut seeded(0x79));
+    let (_, stats) = dht.batch_over(&ops, 0x7A, retry, make_transport);
+    stats
+}
+
+#[test]
+fn batch_equals_sequential_on_dh_inline() {
+    check_instance(DistanceHalving::binary(), 0xB001, RetryPolicy::default(), |_| Inline);
+}
+
+#[test]
+fn batch_equals_sequential_on_dh_sim_and_lossy() {
+    let retry = RetryPolicy { timeout: 2_000, max_attempts: 8 };
+    check_instance(DistanceHalving::binary(), 0xB002, retry, |i| {
+        Sim::new(0xB002 ^ i as u64).with_latency(4, 16, 4)
+    });
+    check_instance(DistanceHalving::binary(), 0xB003, retry, |i| {
+        Sim::new(0xB003 ^ i as u64).with_latency(4, 16, 4).with_drop(0.05).with_dup(0.02)
+    });
+}
+
+#[test]
+fn batch_equals_sequential_on_chord() {
+    let retry = RetryPolicy { timeout: 2_000, max_attempts: 8 };
+    check_instance(ChordLike, 0xB004, RetryPolicy::default(), |_| Inline);
+    check_instance(ChordLike, 0xB005, retry, |i| {
+        Sim::new(0xB005 ^ i as u64).with_latency(4, 16, 4).with_drop(0.05)
+    });
+}
+
+#[test]
+fn batch_equals_sequential_on_debruijn8() {
+    let retry = RetryPolicy { timeout: 2_000, max_attempts: 8 };
+    check_instance(DeBruijn::new(8), 0xB006, RetryPolicy::default(), |_| Inline);
+    check_instance(DeBruijn::new(8), 0xB007, retry, |i| {
+        Sim::new(0xB007 ^ i as u64).with_latency(4, 16, 4).with_drop(0.05)
+    });
+}
+
+#[test]
+fn lossy_batches_actually_retry() {
+    let retry = RetryPolicy { timeout: 2_000, max_attempts: 8 };
+    let lossless = stats_of_storm(retry, |i| Sim::new(0xC0 ^ i as u64).with_latency(4, 16, 4));
+    let lossy = stats_of_storm(retry, |i| {
+        Sim::new(0xC0 ^ i as u64).with_latency(4, 16, 4).with_drop(0.08)
+    });
+    assert_eq!(lossless.retries, 0);
+    assert_eq!(lossless.dropped, 0);
+    assert!(lossy.dropped > 0, "8% loss must drop something");
+    assert!(lossy.retries > 0, "drops must trigger end-to-end retries");
+    assert!(lossy.msgs > lossless.msgs, "retransmissions are charged");
+}

@@ -32,7 +32,8 @@ use cd_core::rng::sub_rng;
 use cd_core::walk::{prefix_walk_delta, walk_budget, TwoSidedWalk};
 use rand::rngs::StdRng;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
+use std::mem;
 
 /// The local view a protocol needs from an overlay: the degree
 /// parameter, each server's own segment, and the server's routing
@@ -114,7 +115,9 @@ impl Default for RetryPolicy {
     }
 }
 
-/// Global counters of one engine run.
+/// Global counters of one engine run. Counters of independent runs
+/// (e.g. the shards of [`crate::shard::run_sharded`]) merge by
+/// addition: see [`EngineStats::merge`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// Messages handed to the transport.
@@ -136,6 +139,22 @@ pub struct EngineStats {
     pub completed: u64,
     /// Ops abandoned after `max_attempts`.
     pub failed: u64,
+}
+
+impl EngineStats {
+    /// Accumulate the counters of another (independent) engine run —
+    /// every field is a plain count, so shard stats merge by addition.
+    pub fn merge(&mut self, other: &EngineStats) {
+        self.msgs += other.msgs;
+        self.bytes += other.bytes;
+        self.delivered += other.delivered;
+        self.dropped += other.dropped;
+        self.duplicated += other.duplicated;
+        self.stale += other.stale;
+        self.retries += other.retries;
+        self.completed += other.completed;
+        self.failed += other.failed;
+    }
 }
 
 /// The final record of one operation.
@@ -244,6 +263,84 @@ impl Ord for Event {
     }
 }
 
+/// Which FIFO lane of the [`EventQueue`] a push is headed for.
+#[derive(Clone, Copy)]
+enum Lane {
+    /// Deliveries scheduled for the current tick (every `Inline` send).
+    Immediate,
+    /// Progress timers (constant delay per engine ⇒ monotone pushes).
+    Timer,
+    /// Op start events (drivers submit in nondecreasing time order).
+    Start,
+}
+
+/// The engine's event queue: three sorted FIFO lanes plus a spill
+/// heap, popping in exactly the global `(time, seq)` order the old
+/// single `BinaryHeap` produced — but with O(1) push/pop on every
+/// common path.
+///
+/// The tick domain is small and regular: deliveries under `Inline`
+/// land *at the current tick*, progress timers always fire a fixed
+/// `retry.timeout` after the (monotone) clock, and drivers submit ops
+/// at nondecreasing start times. Each of those streams is therefore
+/// already sorted by `(time, seq)` and lives in a `VecDeque`; a push
+/// that would break its lane's ordering (e.g. a jittered `Sim`
+/// delivery) spills to the [`BinaryHeap`], which then only ever holds
+/// the few genuinely unordered in-flight events. Correctness never
+/// depends on the monotonicity heuristics — the pop compares all four
+/// fronts.
+#[derive(Default)]
+struct EventQueue {
+    immediate: VecDeque<Event>,
+    timers: VecDeque<Event>,
+    starts: VecDeque<Event>,
+    heap: BinaryHeap<Event>,
+}
+
+impl EventQueue {
+    /// Push into `lane` if that keeps the lane sorted, else spill to
+    /// the heap.
+    fn push(&mut self, ev: Event, lane: Lane) {
+        let q = match lane {
+            Lane::Immediate => &mut self.immediate,
+            Lane::Timer => &mut self.timers,
+            Lane::Start => &mut self.starts,
+        };
+        match q.back() {
+            Some(back) if (back.at, back.seq) > (ev.at, ev.seq) => self.heap.push(ev),
+            _ => q.push_back(ev),
+        }
+    }
+
+    /// Pop the globally earliest event by `(time, seq)`.
+    fn pop(&mut self) -> Option<Event> {
+        // the best lane front, if any
+        let mut best: Option<(u64, u64, Lane)> = None;
+        for (lane, q) in [
+            (Lane::Immediate, &self.immediate),
+            (Lane::Timer, &self.timers),
+            (Lane::Start, &self.starts),
+        ] {
+            if let Some(ev) = q.front() {
+                if best.is_none_or(|(at, seq, _)| (ev.at, ev.seq) < (at, seq)) {
+                    best = Some((ev.at, ev.seq, lane));
+                }
+            }
+        }
+        // compare against the spill heap's minimum
+        if let Some(top) = self.heap.peek() {
+            if best.is_none_or(|(at, seq, _)| (top.at, top.seq) < (at, seq)) {
+                return self.heap.pop();
+            }
+        }
+        best.and_then(|(_, _, lane)| match lane {
+            Lane::Immediate => self.immediate.pop_front(),
+            Lane::Timer => self.timers.pop_front(),
+            Lane::Start => self.starts.pop_front(),
+        })
+    }
+}
+
 /// The deterministic event-driven runtime. See the module docs.
 pub struct Engine<'g, G: Topology, T: Transport> {
     net: &'g G,
@@ -251,13 +348,17 @@ pub struct Engine<'g, G: Topology, T: Transport> {
     seed: u64,
     clock: u64,
     seq: u64,
-    queue: BinaryHeap<Event>,
+    queue: EventQueue,
     ops: Vec<Op>,
     /// Retransmission policy for routed ops.
     pub retry: RetryPolicy,
     /// Global counters.
     pub stats: EngineStats,
     plan_buf: Vec<Delivery>,
+    /// Recycled phase-2 trace buffers (released when an op completes,
+    /// claimed by the next op entering phase 2) — the DH hot path
+    /// allocates its trace once per engine, not once per op.
+    trace_pool: Vec<Vec<Point>>,
 }
 
 impl<'g, G: Topology, T: Transport> Engine<'g, G, T> {
@@ -270,11 +371,12 @@ impl<'g, G: Topology, T: Transport> Engine<'g, G, T> {
             seed,
             clock: 0,
             seq: 0,
-            queue: BinaryHeap::new(),
+            queue: EventQueue::default(),
             ops: Vec::new(),
             retry: RetryPolicy::default(),
             stats: EngineStats::default(),
             plan_buf: Vec::new(),
+            trace_pool: Vec::new(),
         }
     }
 
@@ -300,7 +402,8 @@ impl<'g, G: Topology, T: Transport> Engine<'g, G, T> {
     }
 
     /// Submit an operation whose origin starts acting at time `t`
-    /// (staggered arrivals).
+    /// (staggered arrivals). The op's randomness is derived from its
+    /// local id (`sub_rng(seed, id)`).
     pub fn submit_at(
         &mut self,
         t: u64,
@@ -309,13 +412,32 @@ impl<'g, G: Topology, T: Transport> Engine<'g, G, T> {
         target: Point,
         action: Action,
     ) -> OpId {
+        let idx = self.ops.len() as u64;
+        self.submit_at_indexed(t, kind, from, target, action, idx)
+    }
+
+    /// [`Self::submit_at`] with an explicit randomness index: the op
+    /// draws its digits from `sub_rng(seed, rng_index)` instead of its
+    /// local id. This is what lets a sharded run ([`crate::shard`])
+    /// give every op the *same* random choices it would have in a
+    /// single-engine run — the index is the op's global position in
+    /// the batch, not its position within one shard.
+    pub fn submit_at_indexed(
+        &mut self,
+        t: u64,
+        kind: RouteKind,
+        from: NodeId,
+        target: Point,
+        action: Action,
+        rng_index: u64,
+    ) -> OpId {
         let id = self.ops.len() as OpId;
         self.ops.push(Op {
             kind,
             action,
             from,
             target,
-            rng: sub_rng(self.seed, u64::from(id)),
+            rng: sub_rng(self.seed, rng_index),
             machine: Machine::Pending,
             cur: from,
             attempt: 1,
@@ -333,7 +455,7 @@ impl<'g, G: Topology, T: Transport> Engine<'g, G, T> {
             entered_at: None,
         });
         let at = t.max(self.clock);
-        self.push_event(at, EventKind::Start { op: id });
+        self.push_event(at, EventKind::Start { op: id }, Lane::Start);
         id
     }
 
@@ -341,8 +463,9 @@ impl<'g, G: Topology, T: Transport> Engine<'g, G, T> {
     /// and the like. Counted and traced like any other send; delivery
     /// has no state machine to drive.
     pub fn send(&mut self, src: NodeId, dst: NodeId, msg: Wire) {
+        let bytes = msg.wire_bytes();
         let env = Envelope { src, dst, msg, corrupt: false };
-        self.dispatch(env);
+        self.dispatch(env, bytes);
     }
 
     /// Run to quiescence with no cache layer attached.
@@ -359,6 +482,7 @@ impl<'g, G: Topology, T: Transport> Engine<'g, G, T> {
     pub fn run_with(&mut self, mut serve: impl FnMut(NodeId, u64, Point, u32) -> bool) {
         while let Some(ev) = self.queue.pop() {
             debug_assert!(ev.at >= self.clock, "time went backwards");
+            debug_assert!(ev.seq < self.seq, "event from the future");
             self.clock = ev.at;
             match ev.kind {
                 EventKind::Start { op } => {
@@ -372,14 +496,36 @@ impl<'g, G: Topology, T: Transport> Engine<'g, G, T> {
     }
 
     /// The outcome of a submitted op (meaningful after [`Self::run`]).
+    /// Clones the route; completion paths that consume the outcome
+    /// should prefer [`Self::take_outcome`], which hands the route out
+    /// by move.
     pub fn outcome(&self, id: OpId) -> OpOutcome {
         let op = &self.ops[id as usize];
+        let mut out = self.outcome_sans_path(op);
+        out.path = op.path.clone();
+        out
+    }
+
+    /// [`Self::outcome`] without the `path.clone()`: moves the route
+    /// buffers out of the op. Call at most once per op — a second call
+    /// returns the metrics again but an empty route.
+    pub fn take_outcome(&mut self, id: OpId) -> OpOutcome {
+        let op = &mut self.ops[id as usize];
+        let path = mem::take(&mut op.path);
+        let mut out = self.outcome_sans_path(&self.ops[id as usize]);
+        out.path = path;
+        out
+    }
+
+    fn outcome_sans_path(&self, op: &Op) -> OpOutcome {
         let ok = matches!(op.machine, Machine::Done);
         OpOutcome {
             action: op.action,
             ok,
-            dest: ok.then(|| op.path.destination()),
-            path: op.path.clone(),
+            // the path may already have been taken; the destination is
+            // wherever the op's message last sat
+            dest: ok.then_some(op.cur),
+            path: Path::default(),
             msgs: op.msgs,
             bytes: op.bytes,
             attempts: op.attempt,
@@ -400,17 +546,19 @@ impl<'g, G: Topology, T: Transport> Engine<'g, G, T> {
     // internals
     // ------------------------------------------------------------------
 
-    fn push_event(&mut self, at: u64, kind: EventKind) {
+    fn push_event(&mut self, at: u64, kind: EventKind, lane: Lane) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Event { at, seq, kind });
+        self.queue.push(Event { at, seq, kind }, lane);
     }
 
-    /// Hand `env` to the transport and schedule its arrivals.
-    fn dispatch(&mut self, env: Envelope) {
+    /// Hand `env` to the transport and schedule its arrivals. `bytes`
+    /// is `env.msg.wire_bytes()`, computed once by the caller (it also
+    /// charges the per-op accounting with it).
+    fn dispatch(&mut self, env: Envelope, bytes: u64) {
         self.stats.msgs += 1;
-        self.stats.bytes += env.msg.wire_bytes();
-        let mut plan = std::mem::take(&mut self.plan_buf);
+        self.stats.bytes += bytes;
+        let mut plan = mem::take(&mut self.plan_buf);
         plan.clear();
         self.transport.plan(self.clock, &env, &mut plan);
         match plan.len() {
@@ -420,7 +568,7 @@ impl<'g, G: Topology, T: Transport> Engine<'g, G, T> {
         for d in &plan {
             debug_assert!(d.at >= self.clock, "transport scheduled into the past");
             let env = Envelope { corrupt: env.corrupt || d.corrupt, ..env };
-            self.push_event(d.at, EventKind::Deliver { env });
+            self.push_event(d.at, EventKind::Deliver { env }, Lane::Immediate);
         }
         self.plan_buf = plan;
     }
@@ -429,6 +577,15 @@ impl<'g, G: Topology, T: Transport> Engine<'g, G, T> {
     /// retry): reset the path and plan/re-plan the walk.
     fn start_op(&mut self, id: OpId) {
         let delta = self.net.delta();
+        // claim a recycled phase-2 trace buffer for DH ops that have
+        // none yet (released again when the op completes)
+        if matches!(self.ops[id as usize].kind, RouteKind::DistanceHalving)
+            && self.ops[id as usize].trace.capacity() == 0
+        {
+            if let Some(buf) = self.trace_pool.pop() {
+                self.ops[id as usize].trace = buf;
+            }
+        }
         let op = &mut self.ops[id as usize];
         op.cur = op.from;
         let seg = self.net.segment_of(op.from);
@@ -624,12 +781,17 @@ impl<'g, G: Topology, T: Transport> Engine<'g, G, T> {
             digits,
             action: op.action,
         };
+        let bytes = msg.wire_bytes();
         op.msgs += 1;
-        op.bytes += msg.wire_bytes();
+        op.bytes += bytes;
         let (src, attempt, step) = (op.cur, op.attempt, op.step);
         let timeout = self.retry.timeout;
-        self.dispatch(Envelope { src, dst: next, msg, corrupt: false });
-        self.push_event(self.clock + timeout, EventKind::Timer { op: id, attempt, step });
+        self.dispatch(Envelope { src, dst: next, msg, corrupt: false }, bytes);
+        self.push_event(
+            self.clock + timeout,
+            EventKind::Timer { op: id, attempt, step },
+            Lane::Timer,
+        );
     }
 
     fn deliver(&mut self, env: Envelope, serve: &mut impl FnMut(NodeId, u64, Point, u32) -> bool) {
@@ -692,6 +854,11 @@ impl<'g, G: Topology, T: Transport> Engine<'g, G, T> {
         op.machine = Machine::Done;
         op.completed_at = Some(self.clock);
         self.stats.completed += 1;
+        // the trace is not part of the outcome — recycle its buffer
+        let trace = mem::take(&mut op.trace);
+        if trace.capacity() > 0 {
+            self.trace_pool.push(trace);
+        }
     }
 }
 
@@ -944,6 +1111,59 @@ mod tests {
         eng.run();
         assert_eq!(eng.stats.stale, 1);
         assert_eq!(eng.stats.delivered, 1);
+    }
+
+    #[test]
+    fn take_outcome_moves_the_route_out() {
+        let net = Complete::new(16, 2);
+        let mut eng = Engine::new(&net, Inline, 59);
+        let op = eng.submit(RouteKind::Fast, NodeId(2), Point(u64::MAX / 7), Action::Locate);
+        eng.run();
+        let cloned = eng.outcome(op);
+        let taken = eng.take_outcome(op);
+        assert!(taken.ok);
+        assert_eq!(taken.path, cloned.path);
+        assert_eq!(taken.dest, cloned.dest);
+        assert_eq!((taken.msgs, taken.bytes, taken.attempts), (cloned.msgs, cloned.bytes, cloned.attempts));
+        // a second take still reports the metrics but the route is gone
+        let again = eng.take_outcome(op);
+        assert!(again.ok && again.path.nodes.is_empty());
+        assert_eq!(again.dest, cloned.dest, "destination survives the move");
+    }
+
+    #[test]
+    fn indexed_submission_reproduces_global_randomness() {
+        // ops 0..n in one engine vs the odd half submitted alone with
+        // their global indices: identical routes op for op
+        let net = Complete::new(16, 2);
+        let mut all = Engine::new(&net, Inline, 83);
+        let ops: Vec<OpId> = (0..20u64)
+            .map(|i| {
+                let target = Point(0xA24B_AED4_963E_E407u64.wrapping_mul(i + 1));
+                all.submit(RouteKind::DistanceHalving, NodeId((i % 16) as u32), target, Action::Locate)
+            })
+            .collect();
+        all.run();
+        let mut odd = Engine::new(&net, Inline, 83);
+        let odd_ops: Vec<OpId> = (0..20u64)
+            .filter(|i| i % 2 == 1)
+            .map(|i| {
+                let target = Point(0xA24B_AED4_963E_E407u64.wrapping_mul(i + 1));
+                odd.submit_at_indexed(
+                    0,
+                    RouteKind::DistanceHalving,
+                    NodeId((i % 16) as u32),
+                    target,
+                    Action::Locate,
+                    i,
+                )
+            })
+            .collect();
+        odd.run();
+        for (k, &id) in odd_ops.iter().enumerate() {
+            let global = ops[2 * k + 1];
+            assert_eq!(odd.outcome(id).path, all.outcome(global).path, "op {k} diverged");
+        }
     }
 
     #[test]

@@ -18,12 +18,18 @@
 //!   [`fault::Faulty`] turns the §6 failure models (fail-stop, false
 //!   message injection) into transport behaviors;
 //! * [`engine::Engine`] — a deterministic discrete-event runtime
-//!   (seeded, priority-queue clock) that drives per-node protocol
-//!   state machines over any [`engine::Topology`]. Each hop decision
-//!   uses only the current node's own table, messages carry the op
-//!   header (attempt/step stamps make duplicates and stale attempts
-//!   harmless), and dropped messages are recovered by end-to-end
-//!   timeout + retry.
+//!   (seeded, `(time, seq)`-ordered clock over lane-FIFO event queues)
+//!   that drives per-node protocol state machines over any
+//!   [`engine::Topology`]. Each hop decision uses only the current
+//!   node's own table, messages carry the op header (attempt/step
+//!   stamps make duplicates and stale attempts harmless), and dropped
+//!   messages are recovered by end-to-end timeout + retry;
+//! * [`shard::run_sharded`] — the multi-core runtime: one batch of
+//!   independent ops partitioned across per-shard engines over the
+//!   same topology, executed on the workspace thread pool, with
+//!   per-op randomness indexed by **global** batch position so the
+//!   merged result is bit-identical to the single-engine run under
+//!   interleaving-free transports.
 //!
 //! `dh_dht` implements [`engine::Topology`] for its `DhNetwork` and
 //! re-exports [`NodeId`]; higher layers (`storage::Dht`, caching,
@@ -45,11 +51,13 @@
 pub mod engine;
 pub mod fault;
 pub mod node;
+pub mod shard;
 pub mod transport;
 pub mod wire;
 
 pub use engine::{Engine, EngineStats, OpOutcome, Path, RetryPolicy, Topology};
 pub use fault::{FaultModel, Faulty};
 pub use node::NodeId;
+pub use shard::{run_sharded, OpSpec, ShardedRun};
 pub use transport::{Delivery, Inline, Recorder, Replay, Sim, Trace, Transport};
 pub use wire::{Envelope, OpId, Wire};

@@ -1,0 +1,223 @@
+//! The sharded engine runtime: one batch of independent routed ops,
+//! partitioned across several [`Engine`] instances over the **same**
+//! topology and executed in parallel.
+//!
+//! The paper's lookups are embarrassingly parallel: each op's random
+//! choices come from `sub_rng(engine_seed, op_index)` and each hop
+//! reads only immutable topology state, so two ops never interact.
+//! [`run_sharded`] exploits exactly that — op `i` of the batch goes to
+//! shard `i mod shards` (round-robin, so staggered start times stay
+//! balanced), every shard runs its own engine with the *same* engine
+//! seed, and every op is submitted with its **global** batch index via
+//! [`Engine::submit_at_indexed`]. An op therefore draws the identical
+//! digit string in every sharding, and under a transport whose per-op
+//! behavior does not depend on interleaving
+//! ([`crate::transport::Inline`], or any lossless transport as far as
+//! routes are concerned) the sharded run
+//! is **bit-identical, op for op, to the single-engine run** — merged
+//! [`EngineStats`] included. Transports that consume a shared random
+//! stream across ops ([`crate::transport::Sim`] with loss) stay
+//! deterministic per `(seed, shards)` but their drop pattern depends
+//! on the partition; give each shard its own seeded transport via the
+//! factory.
+//!
+//! Shards execute on the workspace thread pool (`rayon` shim —
+//! `std::thread::scope` chunks under the hood), and the merge restores
+//! global op order, so results are independent of the worker count.
+
+use crate::engine::{Engine, EngineStats, OpOutcome, RetryPolicy, Topology};
+use crate::transport::Transport;
+use crate::wire::{Action, RouteKind};
+use crate::node::NodeId;
+use cd_core::point::Point;
+use rayon::prelude::*;
+
+/// One routed operation of a sharded batch.
+#[derive(Clone, Copy, Debug)]
+pub struct OpSpec {
+    /// Engine time at which the origin starts acting.
+    pub at: u64,
+    /// The routing algorithm.
+    pub kind: RouteKind,
+    /// Originating server.
+    pub from: NodeId,
+    /// Target point.
+    pub target: Point,
+    /// What to do at the destination.
+    pub action: Action,
+}
+
+/// The merged result of a sharded run.
+pub struct ShardedRun<T> {
+    /// Per-op outcomes, in **global batch order** (index `i` of the
+    /// input `ops` slice), routes handed out by move.
+    pub outcomes: Vec<OpOutcome>,
+    /// The shard engines' counters, merged by addition.
+    pub stats: EngineStats,
+    /// Each shard's transport, returned for inspection (recorded
+    /// traces, fault bookkeeping), in shard order.
+    pub transports: Vec<T>,
+}
+
+/// One shard's raw product: its engine counters, the `(global index,
+/// outcome)` pairs of the ops it ran, and its transport.
+type ShardProduct<T> = (EngineStats, Vec<(usize, OpOutcome)>, T);
+
+/// Run `ops` over `net`, partitioned round-robin across `shards`
+/// engines executing in parallel. `make_transport(s)` builds shard
+/// `s`'s transport. See the module docs for the determinism contract.
+pub fn run_sharded<G, T, F>(
+    net: &G,
+    seed: u64,
+    retry: RetryPolicy,
+    shards: usize,
+    ops: &[OpSpec],
+    make_transport: F,
+) -> ShardedRun<T>
+where
+    G: Topology + Sync,
+    T: Transport + Send,
+    F: Fn(usize) -> T + Sync,
+{
+    assert!(shards >= 1, "need at least one shard");
+    let shards = shards.min(ops.len()).max(1);
+    // with_max_len(1): each shard is one coarse unit of work — one
+    // chunk per shard, so min(threads, shards) workers run them
+    let per_shard: Vec<ShardProduct<T>> = (0..shards)
+        .into_par_iter()
+        .with_max_len(1)
+        .map(|s| {
+            let mut eng = Engine::new(net, make_transport(s), seed).with_retry(retry);
+            let ids: Vec<(usize, crate::wire::OpId)> = ops
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % shards == s)
+                .map(|(i, spec)| {
+                    let id = eng.submit_at_indexed(
+                        spec.at,
+                        spec.kind,
+                        spec.from,
+                        spec.target,
+                        spec.action,
+                        i as u64,
+                    );
+                    (i, id)
+                })
+                .collect();
+            eng.run();
+            let outs: Vec<(usize, OpOutcome)> =
+                ids.into_iter().map(|(i, id)| (i, eng.take_outcome(id))).collect();
+            (eng.stats, outs, eng.into_transport())
+        })
+        .collect();
+
+    let mut stats = EngineStats::default();
+    let mut slots: Vec<Option<OpOutcome>> = (0..ops.len()).map(|_| None).collect();
+    let mut transports = Vec::with_capacity(shards);
+    for (shard_stats, outs, transport) in per_shard {
+        stats.merge(&shard_stats);
+        for (i, out) in outs {
+            debug_assert!(slots[i].is_none(), "op {i} produced twice");
+            slots[i] = Some(out);
+        }
+        transports.push(transport);
+    }
+    let outcomes = slots.into_iter().map(|o| o.expect("op not executed by any shard")).collect();
+    ShardedRun { outcomes, stats, transports }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::{Inline, Recorder, Sim};
+    use cd_core::interval::Interval;
+    use cd_core::pointset::PointSet;
+
+    /// Complete-graph toy topology (same construction as the engine's
+    /// own tests): every server's table covers the circle.
+    struct Complete {
+        ps: PointSet,
+        delta: u32,
+    }
+
+    impl Complete {
+        fn new(n: usize) -> Self {
+            Complete { ps: PointSet::evenly_spaced(n), delta: 2 }
+        }
+        fn cover(&self, p: Point) -> NodeId {
+            let pts = self.ps.points();
+            let idx = pts.partition_point(|x| x.bits() <= p.bits());
+            NodeId(if idx == 0 { pts.len() as u32 - 1 } else { idx as u32 - 1 })
+        }
+    }
+
+    impl Topology for Complete {
+        fn delta(&self) -> u32 {
+            self.delta
+        }
+        fn segment_of(&self, n: NodeId) -> Interval {
+            self.ps.segment(n.0 as usize)
+        }
+        fn local_cover(&self, _cur: NodeId, p: Point) -> Option<NodeId> {
+            Some(self.cover(p))
+        }
+    }
+
+    fn specs(n: u64) -> Vec<OpSpec> {
+        (0..n)
+            .map(|i| OpSpec {
+                at: i * 3,
+                kind: if i % 2 == 0 { RouteKind::Fast } else { RouteKind::DistanceHalving },
+                from: NodeId((i % 16) as u32),
+                target: Point(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i + 1)),
+                action: Action::Locate,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sharded_inline_is_bit_identical_to_single_engine() {
+        let net = Complete::new(16);
+        let ops = specs(60);
+        let single = run_sharded(&net, 11, RetryPolicy::default(), 1, &ops, |_| Inline);
+        for shards in [2usize, 3, 7, 60] {
+            let sharded = run_sharded(&net, 11, RetryPolicy::default(), shards, &ops, |_| Inline);
+            assert_eq!(sharded.stats, single.stats, "stats diverged at {shards} shards");
+            for (i, (a, b)) in single.outcomes.iter().zip(&sharded.outcomes).enumerate() {
+                assert_eq!(a.path, b.path, "route of op {i} diverged at {shards} shards");
+                assert_eq!((a.ok, a.dest, a.msgs, a.bytes), (b.ok, b.dest, b.msgs, b.bytes));
+                assert_eq!(a.completed_at, b.completed_at);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_run_is_deterministic_per_seed_and_shard_count() {
+        let net = Complete::new(16);
+        let ops = specs(40);
+        let retry = RetryPolicy { timeout: 200, max_attempts: 10 };
+        let run = || {
+            let r = run_sharded(&net, 7, retry, 4, &ops, |s| {
+                Recorder::new(Sim::new(s as u64 ^ 0xD1CE).with_drop(0.05))
+            });
+            let fps: Vec<u64> = r.transports.iter().map(|t| t.trace.fingerprint()).collect();
+            let briefs: Vec<(bool, u64, u32)> =
+                r.outcomes.iter().map(|o| (o.ok, o.msgs, o.attempts)).collect();
+            (r.stats, briefs, fps)
+        };
+        assert_eq!(run(), run(), "same (seed, shards) must reproduce the batch exactly");
+    }
+
+    #[test]
+    fn every_op_lands_on_its_cover() {
+        let net = Complete::new(32);
+        let ops = specs(50);
+        let r = run_sharded(&net, 3, RetryPolicy::default(), 5, &ops, |_| Inline);
+        assert_eq!(r.stats.completed, 50);
+        assert_eq!(r.stats.failed, 0);
+        for (spec, out) in ops.iter().zip(&r.outcomes) {
+            assert!(out.ok);
+            assert_eq!(out.dest, Some(net.cover(spec.target)));
+        }
+    }
+}
