@@ -1,0 +1,298 @@
+//! E-repl: the replicated store on the wire — share placement,
+//! quorum reads and repair traffic, priced per operation.
+//!
+//! Drives `dh_replica::ReplicatedDht` (m = 8 shares, k = 4 quorum) at
+//! n = 10k through the event engine and measures
+//!
+//! * **puts** — route to the clique + `StoreShare` fan-out + acks,
+//! * **quorum gets** — route + `FetchShare` fan-out, first k of m
+//!   replies reconstruct,
+//! * **repair under churn** — wire-churn `join_over`/`leave_over`
+//!   with the anti-entropy pass hooked in: digests, `RepairPull`/
+//!   `RepairPush` share transfers, all charged,
+//! * **parallel batches** — `batch_over` on the sharded runtime,
+//!   threads-tagged rows with a bit-identity assert at 1 vs max
+//!   threads.
+//!
+//! The whole recorded scenario is a pure function of the seed: it is
+//! executed twice and the event-trace fingerprints must match; the
+//! printed combined fingerprint pins the schedule (CI asserts it, as
+//! for `e_msgs`/`e_table1`).
+//!
+//! ```sh
+//! cargo run --release --bin e_repl                      # n = 10k
+//! cargo run --release --bin e_repl -- 10000 2000 7 [expect-fp-hex] [--threads N]
+//! ```
+
+use bytes::Bytes;
+use cd_bench::bench_json::{self, Record};
+use cd_bench::{claim, parse_threads, section, MASTER_SEED};
+use cd_core::pointset::PointSet;
+use cd_core::rng::{seeded, subseed};
+use cd_core::stats::Table;
+use cd_core::Point;
+use dh_dht::DhNetwork;
+use dh_proto::engine::RetryPolicy;
+use dh_proto::transport::{Inline, Recorder, Sim};
+use dh_replica::{batch_over, RepairReport, ReplicaAction, ReplicaOp, ReplicatedDht};
+use rand::Rng;
+use std::time::Instant;
+
+const M: u8 = 8;
+const K: u8 = 4;
+
+fn value_of(key: u64) -> Bytes {
+    Bytes::from(format!("replicated-item-{key:08}-{:016x}", key.wrapping_mul(0x9E37)))
+}
+
+struct ScenarioOut {
+    put_msgs: f64,
+    put_bytes: f64,
+    put_ns: f64,
+    get_msgs: f64,
+    get_bytes: f64,
+    get_ns: f64,
+    repair: RepairReport,
+    churn_ops: usize,
+    repair_ns: f64,
+    fingerprint: u64,
+}
+
+/// The recorded scenario: puts, quorum gets, then a churn burst with
+/// repair — all through one Recorder so the fingerprint pins every
+/// transport decision of the whole run.
+fn scenario(n: usize, items: usize, seed: u64) -> ScenarioOut {
+    let mut rng = seeded(seed ^ 0x0E75);
+    let net = DhNetwork::new(&PointSet::random(n, &mut rng));
+    let mut dht = ReplicatedDht::new(net, M, K, &mut rng);
+    let mut rec = Recorder::new(Sim::new(seed).with_latency(4, 16, 4));
+    let retry = RetryPolicy { timeout: 4_096, max_attempts: 8 };
+
+    let t0 = Instant::now();
+    let (mut put_msgs, mut put_bytes) = (0u64, 0u64);
+    for key in 0..items as u64 {
+        let from = dht.net.random_node(&mut rng);
+        let (out, placed) =
+            dht.put_over(from, key, value_of(key), &mut rec, subseed(seed, key), retry);
+        assert!(out.ok, "lossless put must reach its quorum");
+        assert_eq!(placed, M as usize, "lossless put must place the full clique");
+        put_msgs += out.msgs;
+        put_bytes += out.bytes;
+    }
+    let put_ns = t0.elapsed().as_secs_f64() * 1e9 / items as f64;
+
+    let t0 = Instant::now();
+    let (mut get_msgs, mut get_bytes) = (0u64, 0u64);
+    for key in 0..items as u64 {
+        let from = dht.net.random_node(&mut rng);
+        let (out, value) =
+            dht.get_over(from, key, &mut rec, subseed(seed ^ 0x6E7, key), retry);
+        assert_eq!(value, Some(value_of(key)), "quorum read lost item {key}");
+        assert_eq!(out.shares.len(), K as usize, "first k of m replies reconstruct");
+        get_msgs += out.msgs;
+        get_bytes += out.bytes;
+    }
+    let get_ns = t0.elapsed().as_secs_f64() * 1e9 / items as f64;
+
+    // churn burst: every op shifts cover cliques; repair re-materializes
+    let t0 = Instant::now();
+    let mut repair = RepairReport::default();
+    let churn_ops = 100usize;
+    for i in 0..churn_ops as u64 {
+        if i % 2 == 0 {
+            let victim = dht.net.random_node(&mut rng);
+            let (_, report) = dht.leave_over(victim, &mut rec, subseed(seed ^ 0xC4, i));
+            assert_eq!(report.items_lost, 0, "single-leave churn cannot lose items");
+            repair.merge(&report);
+        } else {
+            let host = dht.net.random_node(&mut rng);
+            let kind = dht.kind;
+            if let Some((_, _, report)) = dht.join_over(
+                host,
+                Point(rng.gen()),
+                kind,
+                subseed(seed ^ 0xC4, i),
+                &mut rec,
+                retry,
+            ) {
+                repair.merge(&report);
+            }
+        }
+    }
+    let repair_ns = t0.elapsed().as_secs_f64() * 1e9 / churn_ops as f64;
+
+    // and the store is still fully readable after the churn
+    for key in (0..items as u64).step_by((items / 64).max(1)) {
+        let from = dht.net.random_node(&mut rng);
+        let (_, value) =
+            dht.get_over(from, key, &mut rec, subseed(seed ^ 0x9E7, key), retry);
+        assert_eq!(value, Some(value_of(key)), "item {key} lost across churn + repair");
+    }
+
+    ScenarioOut {
+        put_msgs: put_msgs as f64 / items as f64,
+        put_bytes: put_bytes as f64 / items as f64,
+        put_ns,
+        get_msgs: get_msgs as f64 / items as f64,
+        get_bytes: get_bytes as f64 / items as f64,
+        get_ns,
+        repair,
+        churn_ops,
+        repair_ns,
+        fingerprint: rec.trace.fingerprint(),
+    }
+}
+
+/// The parallel batch pass: `batch_over` on the sharded runtime,
+/// returning comparable metrics plus ops/s for one thread count.
+fn batch_pass(n: usize, ops_n: usize, seed: u64) -> (Vec<(bool, u64, u64)>, f64) {
+    let mut rng = seeded(seed ^ 0x0E75);
+    let net = DhNetwork::new(&PointSet::random(n, &mut rng));
+    let mut dht = ReplicatedDht::new(net, M, K, &mut rng);
+    for key in 0..64u64 {
+        let from = dht.net.random_node(&mut rng);
+        dht.put(from, key, value_of(key), &mut rng);
+    }
+    let ops: Vec<ReplicaOp> = (0..ops_n as u64)
+        .map(|i| {
+            let from = dht.net.random_node(&mut rng);
+            let action = if i % 3 == 0 {
+                ReplicaAction::Get { key: i % 64 }
+            } else {
+                ReplicaAction::Put { key: 1_000 + i, value: value_of(i) }
+            };
+            ReplicaOp { from, action }
+        })
+        .collect();
+    let retry = RetryPolicy { timeout: 4_096, max_attempts: 8 };
+    let t0 = Instant::now();
+    let (results, _, _) = batch_over(&mut dht, &ops, seed ^ 0xBA7C, retry, 8, |_| Inline);
+    let secs = t0.elapsed().as_secs_f64();
+    let brief = results
+        .iter()
+        .map(|r| {
+            assert!(r.applied, "Inline batch ops cannot fail");
+            (r.value.is_some(), r.outcome.msgs, r.outcome.bytes)
+        })
+        .collect();
+    (brief, ops_n as f64 / secs)
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = parse_threads(&mut args);
+    if let Some(t) = threads {
+        rayon::set_num_threads(t);
+    }
+    let mut args = args.into_iter();
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(10_000);
+    let items: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(2_000);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(MASTER_SEED ^ 0x0E91);
+    let expect_fp: Option<u64> =
+        args.next().and_then(|a| u64::from_str_radix(a.trim_start_matches("0x"), 16).ok());
+    let workers = threads.unwrap_or_else(rayon::current_num_threads);
+
+    println!(
+        "# E-repl — replicated storage on the wire (n = {n}, items = {items}, m = {M}, k = {K}, seed = {seed:#x})"
+    );
+
+    section("share placement, quorum reads and repair (Sim transport, recorded)");
+    let out = scenario(n, items, seed);
+    // the determinism witness: the identical scenario, recorded again
+    let out2 = scenario(n, items, seed);
+    assert_eq!(
+        out.fingerprint, out2.fingerprint,
+        "same seed must reproduce the identical replicated event trace"
+    );
+    assert_eq!(out.put_msgs.to_bits(), out2.put_msgs.to_bits());
+    assert_eq!(out.repair, out2.repair);
+
+    let mut table = Table::new(["op", "msgs/op", "bytes/op", "ns/op"]);
+    table.row([
+        "put (m=8 scatter + acks)".to_string(),
+        format!("{:.2}", out.put_msgs),
+        format!("{:.1}", out.put_bytes),
+        format!("{:.0}", out.put_ns),
+    ]);
+    table.row([
+        "get (first k=4 of 8)".to_string(),
+        format!("{:.2}", out.get_msgs),
+        format!("{:.1}", out.get_bytes),
+        format!("{:.0}", out.get_ns),
+    ]);
+    table.row([
+        "churn op (incl. repair)".to_string(),
+        format!("{:.2}", out.repair.msgs as f64 / out.churn_ops as f64),
+        format!("{:.1}", out.repair.bytes as f64 / out.churn_ops as f64),
+        format!("{:.0}", out.repair_ns),
+    ]);
+    print!("{}", table.to_markdown());
+    println!(
+        "repair: {} items shifted, {} shares rebuilt, {} lost across {} churn ops",
+        out.repair.items_shifted, out.repair.shares_rebuilt, out.repair.items_lost, out.churn_ops
+    );
+    println!("fingerprint (recorded scenario): {:#018x}", out.fingerprint);
+
+    // sanity: the scatter term dominates the routing term
+    let logn = (n as f64).log2();
+    let scatter = 2.0 * (M as f64 - 1.0); // store+ack / fetch+reply per remote cover
+    assert!(
+        out.put_msgs <= 2.0 * logn + 14.0 + scatter,
+        "put cost {:.1} msgs/op exceeds route + clique fan-out shape",
+        out.put_msgs
+    );
+    assert!(
+        out.get_msgs >= scatter * 0.5,
+        "a quorum read must fan out to the clique"
+    );
+
+    section("parallel batches on the sharded runtime");
+    let t_max = workers.max(1);
+    let (brief_1, _) = {
+        rayon::set_num_threads(1);
+        batch_pass(n, 1_024, seed)
+    };
+    rayon::set_num_threads(t_max);
+    let (brief_t, ops_per_s) = batch_pass(n, 1_024, seed);
+    rayon::set_num_threads(threads.unwrap_or(0));
+    assert_eq!(brief_1, brief_t, "batch results must be bit-identical at 1 vs {t_max} threads");
+    println!("batch_over: 1024 mixed ops, shards = 8, threads = {t_max}: {ops_per_s:.0} ops/s");
+    println!("bit-identity at 1 vs {t_max} threads: ok");
+
+    if let Some(want) = expect_fp {
+        assert_eq!(
+            out.fingerprint, want,
+            "deterministic replication fingerprint changed — share placement, quorum or repair semantics moved"
+        );
+        println!("fingerprint matches the pinned value");
+    }
+
+    claim(
+        "any k of m covers reconstruct; churn repairs to full replication",
+        format!(
+            "{} shares rebuilt, 0 lost; get at {:.1} msgs/op vs put {:.1}",
+            out.repair.shares_rebuilt, out.get_msgs, out.put_msgs
+        ),
+    );
+
+    let records = vec![
+        Record::new("e_repl/put_sim", n, out.put_ns)
+            .with_msgs(out.put_msgs, out.put_bytes)
+            .with_threads(workers),
+        Record::new("e_repl/get_sim", n, out.get_ns)
+            .with_msgs(out.get_msgs, out.get_bytes)
+            .with_threads(workers),
+        Record::new("e_repl/repair_churn", n, out.repair_ns)
+            .with_msgs(
+                out.repair.msgs as f64 / out.churn_ops as f64,
+                out.repair.bytes as f64 / out.churn_ops as f64,
+            )
+            .with_threads(workers),
+        Record::new("e_repl/batch_inline", n, 1e9 / ops_per_s.max(1e-9)).with_threads(t_max),
+    ];
+    let path = std::env::var("BENCH_JSON").unwrap_or_else(|_| "BENCH_ops.json".to_string());
+    match bench_json::append(&path, &records) {
+        Ok(()) => println!("\nappended {} records to {path}", records.len()),
+        Err(e) => eprintln!("\nfailed to write {path}: {e}"),
+    }
+}

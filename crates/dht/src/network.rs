@@ -438,6 +438,27 @@ impl<G: ContinuousGraph> CdNetwork<G> {
         self.live[rng.gen_range(0..self.live.len())]
     }
 
+    /// The cover clique of `p` (§6.2): the `m` ring-consecutive
+    /// servers starting at the server covering `p`, appended to `out`
+    /// in clique order (truncated if the whole ring is smaller than
+    /// `m`). In the overlapping DHT these are exactly the servers
+    /// whose widened segments contain `p`, and they form a clique —
+    /// one hop connects any two — which is what lets an item live as
+    /// `m` erasure shares with any `k` covers sufficing (`dh_replica`
+    /// places and repairs shares over this set).
+    pub fn clique_of(&self, p: Point, m: usize, out: &mut Vec<NodeId>) {
+        out.clear();
+        let primary = self.cover_of(p);
+        let mut cur = primary;
+        for _ in 0..m.min(self.live.len()) {
+            out.push(cur);
+            cur = self.succ[cur.0 as usize];
+            if cur == primary {
+                break;
+            }
+        }
+    }
+
     /// Local routing primitive: the node covering `p`, *as visible from
     /// `cur`* — `cur` itself if its segment covers `p`, otherwise the
     /// entry of `cur`'s own neighbor table covering `p`, otherwise
@@ -1068,6 +1089,27 @@ mod tests {
             "Multiple Choice ρ = {rho_smart:.1} not ≪ uniform ρ = {rho_uniform:.1}"
         );
         assert!(rho_smart <= 32.0, "Multiple Choice ρ = {rho_smart:.1} not O(1) (Lemma 4.3)");
+    }
+
+    #[test]
+    fn clique_of_is_ring_consecutive_covers() {
+        let mut rng = seeded(45);
+        let net = DhNetwork::new(&PointSet::random(40, &mut rng));
+        let mut clique = Vec::new();
+        for _ in 0..50 {
+            let p = CPoint(rng.gen());
+            net.clique_of(p, 6, &mut clique);
+            assert_eq!(clique.len(), 6);
+            assert_eq!(clique[0], net.cover_of(p));
+            assert!(net.node(clique[0]).covers(p));
+            for w in clique.windows(2) {
+                assert_eq!(net.ring_succ(w[0]), w[1]);
+            }
+        }
+        // truncated when the whole ring is smaller than m
+        let tiny = DhNetwork::new(&PointSet::new(vec![CPoint(0), CPoint(1 << 63)]));
+        tiny.clique_of(CPoint(7), 6, &mut clique);
+        assert_eq!(clique.len(), 2);
     }
 
     #[test]

@@ -49,6 +49,14 @@ impl<G: ContinuousGraph> Topology for CdNetwork<G> {
         // exactly like the synchronous `greedy_lookup` gate
         self.graph().greedy_step(p, target)
     }
+
+    fn ring_succ(&self, n: NodeId) -> NodeId {
+        CdNetwork::ring_succ(self, n)
+    }
+
+    fn ring_pred(&self, n: NodeId) -> NodeId {
+        CdNetwork::ring_pred(self, n)
+    }
 }
 
 /// The wire-level spelling of a [`LookupKind`].
@@ -289,8 +297,11 @@ pub fn join_over<G: ContinuousGraph, T: Transport>(
         out.dest.expect("completed")
     };
     // the affected set: the split node's watchers (their tables are
-    // rebuilt), known locally at `dest` via its reverse index
-    let watchers: Vec<NodeId> = net.node(dest).watchers.iter().copied().collect();
+    // rebuilt), known locally at `dest` via its reverse index — sorted
+    // so the notification order (and any recorded trace) is a pure
+    // function of the membership, not of hash-set iteration
+    let mut watchers: Vec<NodeId> = net.node(dest).watchers.iter().copied().collect();
+    watchers.sort_unstable();
     let id = net.join(x)?;
     // step 4: the split node informs every affected server; the joiner
     // receives its freshly derived table
@@ -333,6 +344,9 @@ pub fn leave_over<G: ContinuousGraph, T: Transport>(
             notify.push((pred, w));
         }
     }
+    // deterministic notification order (watchers is a hash set; its
+    // iteration order must never leak into the wire trace)
+    notify.sort_unstable();
     {
         let mut eng = Engine::new(&*net, &mut *transport, seed);
         let merge = Wire::LeaveMerge { items: net.node(id).items.len() as u32 };

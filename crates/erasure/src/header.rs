@@ -1,0 +1,145 @@
+//! Share headers: the self-describing envelope a share travels and
+//! rests in.
+//!
+//! A share on its own is just field elements — nothing says which
+//! item version it encodes, which evaluation point it is, or what
+//! `(k, m)` code produced it. The replicated store (`dh_replica`)
+//! needs exactly that metadata to keep concurrent overwrites and
+//! repair honest: a quorum read must only combine shares of the same
+//! version, and a repair pull must re-materialize the share with the
+//! *code parameters of the stored generation*, not whatever the
+//! store's current defaults are. [`ShareHeader`] carries it, and
+//! [`seal`]/[`open`] round-trip a [`crate::Share`] through the framed
+//! byte form used for wire-size accounting and for parking shares on
+//! shelves.
+
+use crate::rs::Share;
+use bytes::Bytes;
+use std::fmt;
+
+/// Magic byte starting every sealed share (catches stray buffers).
+const MAGIC: u8 = 0xE5;
+
+/// The metadata sealed in front of a share's payload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShareHeader {
+    /// Monotone per-item version; a quorum read only combines shares
+    /// agreeing on it.
+    pub version: u32,
+    /// Share index in `0..m` (the Reed-Solomon evaluation point).
+    pub index: u8,
+    /// Reconstruction threshold of the generating code.
+    pub k: u8,
+    /// Total share count of the generating code.
+    pub m: u8,
+}
+
+/// Size of the sealed header in bytes (magic + version + index + k +
+/// m): what every stored or shipped share pays on top of its payload.
+pub const HEADER_BYTES: usize = 8;
+
+/// Why [`open`] rejected a buffer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HeaderError {
+    /// The buffer is shorter than a header.
+    Truncated,
+    /// The magic byte is wrong — this is not a sealed share.
+    BadMagic,
+    /// The header fields are mutually inconsistent (`k > m`, `k = 0`
+    /// or `index ≥ m`).
+    BadParams,
+}
+
+impl fmt::Display for HeaderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeaderError::Truncated => write!(f, "buffer shorter than a share header"),
+            HeaderError::BadMagic => write!(f, "not a sealed share (bad magic)"),
+            HeaderError::BadParams => write!(f, "inconsistent share header parameters"),
+        }
+    }
+}
+
+impl std::error::Error for HeaderError {}
+
+/// Frame `share` with `header`: `magic ‖ version ‖ index ‖ k ‖ m ‖
+/// payload`. The header's `index` is taken from the share itself so
+/// the two can never disagree.
+pub fn seal(header: ShareHeader, share: &Share) -> Bytes {
+    let mut out = Vec::with_capacity(HEADER_BYTES + share.data.len());
+    out.push(MAGIC);
+    out.extend_from_slice(&header.version.to_be_bytes());
+    out.push(share.index);
+    out.push(header.k);
+    out.push(header.m);
+    out.extend_from_slice(&share.data);
+    Bytes::from(out)
+}
+
+/// Unframe a sealed share: the header back out, and the payload as a
+/// [`Share`] ready for [`crate::try_decode`].
+pub fn open(sealed: &[u8]) -> Result<(ShareHeader, Share), HeaderError> {
+    if sealed.len() < HEADER_BYTES {
+        return Err(HeaderError::Truncated);
+    }
+    if sealed[0] != MAGIC {
+        return Err(HeaderError::BadMagic);
+    }
+    let version = u32::from_be_bytes([sealed[1], sealed[2], sealed[3], sealed[4]]);
+    let (index, k, m) = (sealed[5], sealed[6], sealed[7]);
+    if k == 0 || k > m || index >= m {
+        return Err(HeaderError::BadParams);
+    }
+    let header = ShareHeader { version, index, k, m };
+    let share = Share { index, data: Bytes::from(sealed[HEADER_BYTES..].to_vec()) };
+    Ok((header, share))
+}
+
+/// The sealed wire/shelf size of a share with `payload_len` payload
+/// bytes — what the byte-accounting model charges per share.
+pub fn sealed_len(payload_len: usize) -> usize {
+    HEADER_BYTES + payload_len
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rs::encode;
+
+    #[test]
+    fn seal_open_roundtrips() {
+        let shares = encode(b"versioned payload", 3, 7);
+        for (i, s) in shares.iter().enumerate() {
+            let hdr = ShareHeader { version: 42, index: s.index, k: 3, m: 7 };
+            let sealed = seal(hdr, s);
+            assert_eq!(sealed.len(), sealed_len(s.data.len()));
+            let (back, share) = open(&sealed).expect("roundtrip");
+            assert_eq!(back, hdr);
+            assert_eq!(share.index, i as u8);
+            assert_eq!(share.data, s.data);
+        }
+    }
+
+    #[test]
+    fn open_rejects_garbage() {
+        assert_eq!(open(&[0xE5, 0, 0]), Err(HeaderError::Truncated));
+        assert_eq!(open(&[0u8; 12]), Err(HeaderError::BadMagic));
+        // k > m
+        let mut bad = vec![0xE5, 0, 0, 0, 1, 0, 5, 3];
+        assert_eq!(open(&bad), Err(HeaderError::BadParams));
+        // index ≥ m
+        bad[5] = 3;
+        bad[6] = 2;
+        assert_eq!(open(&bad), Err(HeaderError::BadParams));
+    }
+
+    #[test]
+    fn sealed_shares_of_different_versions_are_distinguishable() {
+        let shares = encode(b"v", 2, 3);
+        let a = seal(ShareHeader { version: 1, index: 0, k: 2, m: 3 }, &shares[0]);
+        let b = seal(ShareHeader { version: 2, index: 0, k: 2, m: 3 }, &shares[0]);
+        let (ha, _) = open(&a).unwrap();
+        let (hb, _) = open(&b).unwrap();
+        assert_ne!(ha.version, hb.version);
+    }
+}

@@ -12,13 +12,21 @@
 //! * [`gf256`] — arithmetic in `GF(2⁸)` (AES polynomial `0x11B`) with
 //!   log/antilog tables built at construction,
 //! * [`rs`] — a systematic Reed-Solomon code: `encode` produces `m`
-//!   shares from `k` data shards; `decode` reconstructs from **any**
-//!   `k` of them (Vandermonde matrix inversion over the field).
+//!   shares from `k` data shards; [`try_decode`] reconstructs from
+//!   **any** `k` of them (Vandermonde matrix inversion over the
+//!   field) and reports a typed [`DecodeError`] — never a panic —
+//!   when fewer than `k` distinct shares survive,
+//! * [`header`] — share versioning: the [`ShareHeader`] sealed in
+//!   front of every stored or shipped share, so quorum reads only
+//!   combine shares of one item generation and repair re-materializes
+//!   with the stored generation's `(k, m)` (used by `dh_replica`).
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod gf256;
+pub mod header;
 pub mod rs;
 
-pub use rs::{decode, encode, Share};
+pub use header::{open, seal, sealed_len, HeaderError, ShareHeader, HEADER_BYTES};
+pub use rs::{decode, encode, try_decode, DecodeError, Share};

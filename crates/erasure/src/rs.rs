@@ -6,6 +6,7 @@
 
 use crate::gf256::Gf256;
 use bytes::Bytes;
+use std::fmt;
 
 /// One coded share.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -15,6 +16,39 @@ pub struct Share {
     /// Payload (all shares of an item have equal length).
     pub data: Bytes,
 }
+
+/// Why a reconstruction failed. Decoding with too few shares is an
+/// expected runtime condition of the replicated store (more than
+/// `m − k` covers gone), so it is a typed error, never a panic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Fewer than `k` *distinct* shares were supplied.
+    NotEnoughShares {
+        /// Distinct shares available.
+        have: usize,
+        /// The reconstruction threshold `k`.
+        need: usize,
+    },
+    /// The supplied shares disagree on the payload length.
+    LengthMismatch,
+    /// The shares are not a consistent codeword (mixed versions,
+    /// corrupted payloads, or a malformed length trailer).
+    Inconsistent,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::NotEnoughShares { have, need } => {
+                write!(f, "only {have} distinct shares, need {need} to reconstruct")
+            }
+            DecodeError::LengthMismatch => write!(f, "shares have unequal payload lengths"),
+            DecodeError::Inconsistent => write!(f, "shares do not form a consistent codeword"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
 
 /// Split `data` into `k` shards (padding with the length trailer) and
 /// produce `m` shares, any `k` of which reconstruct. `0 < k ≤ m ≤ 255`.
@@ -44,20 +78,28 @@ pub fn encode(data: &[u8], k: usize, m: usize) -> Vec<Share> {
 }
 
 /// Reconstruct the original data from any `k` distinct shares.
-/// Returns `None` if fewer than `k` distinct shares are supplied or
-/// the system is inconsistent.
+/// `Option` facade over [`try_decode`], kept for call sites that only
+/// care whether reconstruction succeeded.
 pub fn decode(shares: &[Share], k: usize) -> Option<Vec<u8>> {
+    try_decode(shares, k).ok()
+}
+
+/// Reconstruct the original data from any `k` distinct shares,
+/// reporting *why* on failure — too few shares left is the expected
+/// failure mode of a store that lost more than `m − k` covers, and
+/// callers distinguish it from genuine codeword corruption.
+pub fn try_decode(shares: &[Share], k: usize) -> Result<Vec<u8>, DecodeError> {
     let f = Gf256::new();
     // pick k distinct shares
     let mut seen = std::collections::HashSet::new();
     let chosen: Vec<&Share> =
         shares.iter().filter(|s| seen.insert(s.index)).take(k).collect();
     if chosen.len() < k {
-        return None;
+        return Err(DecodeError::NotEnoughShares { have: chosen.len(), need: k });
     }
     let shard_len = chosen[0].data.len();
     if chosen.iter().any(|s| s.data.len() != shard_len) {
-        return None;
+        return Err(DecodeError::LengthMismatch);
     }
     // Solve V · shards = shares where V[r][j] = x_r^j, x_r = index+1.
     // Gaussian elimination on the k×k Vandermonde with the share bytes
@@ -68,8 +110,9 @@ pub fn decode(shares: &[Share], k: usize) -> Option<Vec<u8>> {
         .collect();
     let mut rhs: Vec<Vec<u8>> = chosen.iter().map(|s| s.data.to_vec()).collect();
     for col in 0..k {
-        // pivot
-        let pivot = (col..k).find(|&r| mat[r][col] != 0)?;
+        // pivot (a Vandermonde system always has one; its absence
+        // means the share set was not a codeword)
+        let pivot = (col..k).find(|&r| mat[r][col] != 0).ok_or(DecodeError::Inconsistent)?;
         mat.swap(col, pivot);
         rhs.swap(col, pivot);
         let inv = f.inv(mat[col][col]);
@@ -104,7 +147,7 @@ pub fn decode(shares: &[Share], k: usize) -> Option<Vec<u8>> {
         padded.extend_from_slice(&row);
     }
     if padded.len() < 8 {
-        return None;
+        return Err(DecodeError::Inconsistent);
     }
     // the length trailer was appended at position data_len
     // scan: data_len = u64 at padded[data_len..data_len+8]; we know
@@ -120,10 +163,10 @@ pub fn decode(shares: &[Share], k: usize) -> Option<Vec<u8>> {
         le.copy_from_slice(&padded[cand..cand + 8]);
         let l = u64::from_be_bytes(le) as usize;
         if l == cand && padded[cand + 8..].iter().all(|&b| b == 0) {
-            return Some(padded[..cand].to_vec());
+            return Ok(padded[..cand].to_vec());
         }
     }
-    None
+    Err(DecodeError::Inconsistent)
 }
 
 #[cfg(test)]
@@ -186,6 +229,32 @@ mod tests {
         assert!(decode(&dup, 2).is_none());
     }
 
+    #[test]
+    fn too_few_shares_is_a_typed_error() {
+        let shares = encode(b"typed", 3, 6);
+        assert_eq!(
+            try_decode(&shares[..2], 3),
+            Err(DecodeError::NotEnoughShares { have: 2, need: 3 })
+        );
+        // duplicates don't count as distinct
+        let dup = vec![shares[0].clone(), shares[0].clone(), shares[0].clone()];
+        assert_eq!(
+            try_decode(&dup, 3),
+            Err(DecodeError::NotEnoughShares { have: 1, need: 3 })
+        );
+        assert_eq!(
+            try_decode(&[], 2),
+            Err(DecodeError::NotEnoughShares { have: 0, need: 2 })
+        );
+    }
+
+    #[test]
+    fn unequal_share_lengths_are_a_typed_error() {
+        let mut shares = encode(b"lengths", 2, 4);
+        shares[1].data = Bytes::from_static(b"x");
+        assert_eq!(try_decode(&shares[..2], 2), Err(DecodeError::LengthMismatch));
+    }
+
     proptest! {
         #[test]
         fn prop_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..200),
@@ -197,6 +266,38 @@ mod tests {
             subset.shuffle(&mut rng);
             subset.truncate(k);
             prop_assert_eq!(decode(&subset, k).expect("decode"), data);
+        }
+
+        #[test]
+        fn prop_drop_any_m_minus_k_still_roundtrips(
+            data in proptest::collection::vec(any::<u8>(), 0..150),
+            k in 1usize..7, extra in 0usize..7, seed: u64) {
+            // encode → drop any m−k shares → decode round-trips: the
+            // §6.2 durability substrate, for random (k, m, payload).
+            let m = k + extra;
+            let shares = encode(&data, k, m);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut survivors = shares;
+            survivors.shuffle(&mut rng);          // a *random* set of m−k losses
+            survivors.truncate(k);
+            prop_assert_eq!(try_decode(&survivors, k), Ok(data));
+        }
+
+        #[test]
+        fn prop_fewer_than_k_is_typed_not_panic(
+            data in proptest::collection::vec(any::<u8>(), 0..150),
+            k in 2usize..8, extra in 0usize..6, drop_to in 0usize..7, seed: u64) {
+            let m = k + extra;
+            let shares = encode(&data, k, m);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut subset = shares;
+            subset.shuffle(&mut rng);
+            subset.truncate(drop_to.min(k - 1));  // strictly fewer than k
+            let have = subset.len();
+            prop_assert_eq!(
+                try_decode(&subset, k),
+                Err(DecodeError::NotEnoughShares { have, need: k })
+            );
         }
     }
 }

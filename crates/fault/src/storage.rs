@@ -8,30 +8,51 @@
 //! Weatherspoon-Kubiatowicz).
 
 use crate::net::{OverlapNet, OverlapNodeId};
+use bytes::Bytes;
 use cd_core::point::Point;
-use dh_erasure::{decode, encode, Share};
+use dh_erasure::{encode, open, seal, try_decode, ShareHeader};
 use rand::Rng;
 use std::collections::HashMap;
 
 /// Erasure-coded item store layered over an [`OverlapNet`].
+///
+/// **Superseded by `dh_replica::ReplicatedDht`**, which runs the same
+/// §6.2 clique protocol as wire traffic through the event engine —
+/// with quorum reads, versioned overwrites and churn-driven repair —
+/// on any `CdNetwork` instance. This offline model survives as the
+/// overlapping-discretisation sketch, but it is *bridged onto the new
+/// subsystem's substrate* so the two cannot drift: shares rest on the
+/// shelves in the same sealed, versioned form
+/// ([`dh_erasure::header`]), reads filter to the newest complete
+/// version and reconstruct via [`dh_erasure::try_decode`], exactly as
+/// the replicated store does.
 pub struct ErasureStore {
     /// Reconstruction threshold `k`.
     pub k: usize,
-    /// Shares held per server, per item.
-    shelves: HashMap<(OverlapNodeId, u64), Share>,
+    /// Sealed shares held per server, per item (the `dh_replica`
+    /// shelf format: header ‖ payload).
+    shelves: HashMap<(OverlapNodeId, u64), Bytes>,
     /// Item locations (`h(item)`), fixed at store time.
     locations: HashMap<u64, Point>,
+    /// Per-item version counter (bumped on every overwrite).
+    versions: HashMap<u64, u32>,
 }
 
 impl ErasureStore {
     /// New store with reconstruction threshold `k`.
     pub fn new(k: usize) -> Self {
         assert!(k >= 1);
-        ErasureStore { k, shelves: HashMap::new(), locations: HashMap::new() }
+        ErasureStore {
+            k,
+            shelves: HashMap::new(),
+            locations: HashMap::new(),
+            versions: HashMap::new(),
+        }
     }
 
     /// Store `value` for `item` hashed to `location`: one share per
-    /// covering server. Returns the number of shares placed.
+    /// covering server, sealed with a fresh item version. Returns the
+    /// number of shares placed.
     pub fn put(&mut self, net: &OverlapNet, item: u64, location: Point, value: &[u8]) -> usize {
         let covers = net.covers_of(location);
         assert!(
@@ -40,18 +61,23 @@ impl ErasureStore {
             covers.len(),
             self.k
         );
-        let shares = encode(value, self.k, covers.len());
+        let version = self.versions.entry(item).and_modify(|v| *v += 1).or_insert(1);
+        let m = covers.len().min(255);
+        let shares = encode(value, self.k, m);
         for (server, share) in covers.iter().zip(shares) {
-            self.shelves.insert((*server, item), share);
+            let header =
+                ShareHeader { version: *version, index: share.index, k: self.k as u8, m: m as u8 };
+            self.shelves.insert((*server, item), seal(header, &share));
         }
         self.locations.insert(item, location);
-        covers.len()
+        m
     }
 
     /// Retrieve `item` from `from`: Simple Lookup to one live cover,
     /// then pull shares from the live covers (one hop each, clique)
-    /// until `k` are gathered. Returns the value and the number of
-    /// share-fetch messages, or `None` if reconstruction failed.
+    /// until `k` of the newest version are gathered. Returns the value
+    /// and the number of share-fetch messages, or `None` if
+    /// reconstruction failed.
     pub fn get(
         &self,
         net: &OverlapNet,
@@ -64,18 +90,43 @@ impl ErasureStore {
         if !route.ok {
             return None;
         }
+        let version = *self.versions.get(&item)?;
         let mut shares = Vec::new();
         let mut messages = route.hops.len() - 1;
         for server in net.live_covers_of(location) {
-            if let Some(share) = self.shelves.get(&(server, item)) {
-                shares.push(share.clone());
+            if let Some(sealed) = self.shelves.get(&(server, item)) {
                 messages += 1;
-                if shares.len() == self.k {
-                    break;
+                // an unopenable blob is one damaged share, not a
+                // failed read — the remaining covers still reconstruct
+                let Ok((header, share)) = open(sealed) else { continue };
+                // a quorum read only combines shares of one generation
+                if header.version == version {
+                    shares.push(share);
+                    if shares.len() == self.k {
+                        break;
+                    }
                 }
             }
         }
-        decode(&shares, self.k).map(|v| (v, messages))
+        try_decode(&shares, self.k).ok().map(|v| (v, messages))
+    }
+
+    /// Forget `item` entirely: its location, version and **every**
+    /// shelf entry, on whichever servers hold one. Returns the number
+    /// of shares freed. (Without this, shelves of removed items leaked
+    /// for the life of the store.)
+    pub fn remove(&mut self, item: u64) -> usize {
+        self.locations.remove(&item);
+        self.versions.remove(&item);
+        let before = self.shelves.len();
+        self.shelves.retain(|&(_, it), _| it != item);
+        before - self.shelves.len()
+    }
+
+    /// Number of shares currently on shelves (leak detector for
+    /// tests).
+    pub fn shelved(&self) -> usize {
+        self.shelves.len()
     }
 }
 
@@ -132,7 +183,7 @@ mod tests {
         let value = vec![0xAB; 4096];
         let loc = Point(rng.gen());
         let m = store.put(&net, 9, loc, &value);
-        let total: usize = store.shelves.values().map(|s| s.data.len()).sum();
+        let total: usize = store.shelves.values().map(|s| s.len()).sum();
         let replication_total = m * value.len();
         assert!(
             total * 3 < replication_total,
@@ -146,5 +197,35 @@ mod tests {
         let net = OverlapNet::build(64, &mut rng);
         let store = ErasureStore::new(2);
         assert!(store.get(&net, OverlapNodeId(0), 42, &mut rng).is_none());
+    }
+
+    #[test]
+    fn remove_frees_every_shelf_entry() {
+        let mut rng = seeded(5);
+        let net = OverlapNet::build(256, &mut rng);
+        let mut store = ErasureStore::new(3);
+        for item in 0..10u64 {
+            store.put(&net, item, Point(rng.gen()), b"short-lived");
+        }
+        assert!(store.shelved() > 0);
+        let freed: usize = (0..10u64).map(|item| store.remove(item)).sum();
+        assert_eq!(store.shelved(), 0, "remove must not leak shelves");
+        assert!(freed >= 30, "every placed share must be freed");
+        // removed items are gone for readers too
+        assert!(store.get(&net, OverlapNodeId(0), 3, &mut rng).is_none());
+        // double remove is a no-op
+        assert_eq!(store.remove(3), 0);
+    }
+
+    #[test]
+    fn overwrite_reads_back_the_newest_version() {
+        let mut rng = seeded(6);
+        let net = OverlapNet::build(256, &mut rng);
+        let mut store = ErasureStore::new(3);
+        let loc = Point(rng.gen());
+        store.put(&net, 8, loc, b"generation one");
+        store.put(&net, 8, loc, b"generation two");
+        let (v, _) = store.get(&net, OverlapNodeId(1), 8, &mut rng).expect("reconstructs");
+        assert_eq!(v, b"generation two");
     }
 }

@@ -56,6 +56,41 @@ pub trait Topology {
     fn greedy_step(&self, _p: Point, _target: Point) -> Point {
         panic!("this topology has no greedy routing")
     }
+    /// The ring successor of `n`. The replicated-storage scatter
+    /// (§6.2) uses it to enumerate the cover clique of an item — the
+    /// `m` consecutive covers starting at the server covering
+    /// `h(item)`. The default panics: only topologies that expose
+    /// their ring (e.g. `dh_dht::CdNetwork`) support replicated ops.
+    fn ring_succ(&self, _n: NodeId) -> NodeId {
+        panic!("this topology does not expose its ring")
+    }
+    /// The ring predecessor of `n` (see [`Self::ring_succ`]): lets a
+    /// coordinator that entered the clique mid-span walk back to the
+    /// clique primary.
+    fn ring_pred(&self, _n: NodeId) -> NodeId {
+        panic!("this topology does not expose its ring")
+    }
+}
+
+/// Read-only view of the share placement the storage layer maintains,
+/// consulted by the engine whenever a [`Wire::FetchShare`] arrives at
+/// a cover: the engine models the message flow of the §6.2 clique
+/// protocol, the actual share bytes live above it (`dh_replica`).
+pub trait ShareView {
+    /// The wire length in bytes of share `idx` of item `key` if
+    /// `node` currently holds it (latest version only), else `None`.
+    fn share_len(&self, node: NodeId, key: u64, idx: u8) -> Option<u32>;
+}
+
+/// The empty share store: no node holds anything. What [`Engine::run`]
+/// and [`Engine::run_with`] consult — sufficient for every non-
+/// replicated protocol and for replicated *writes*.
+pub struct NoShares;
+
+impl ShareView for NoShares {
+    fn share_len(&self, _node: NodeId, _key: u64, _idx: u8) -> Option<u32> {
+        None
+    }
 }
 
 /// The wire-level view of a route: servers visited (consecutive
@@ -186,6 +221,15 @@ pub struct OpOutcome {
     /// DH routing: the path-tree level at which phase 2 entered the
     /// climb (the trace length − 1).
     pub entered_at: Option<u32>,
+    /// Replicated ops: the cover clique the scatter fanned out to —
+    /// share index `i` belongs on `holders[i]`. Empty otherwise.
+    pub holders: Vec<NodeId>,
+    /// Replicated ops: for `PutShares`, the share indices whose
+    /// [`Wire::StoreShare`] arrived intact at their holder (all
+    /// attempts — these shares really are placed); for `GetShares`,
+    /// the indices gathered on the completing attempt, in arrival
+    /// order (the first `k` reconstruct at quorum).
+    pub shares: Vec<u8>,
 }
 
 /// Per-op routing machine state.
@@ -202,10 +246,31 @@ enum Machine {
     Dh2 { idx: usize },
     /// Greedy routing: current continuous position of the message.
     Greedy { p: Point },
+    /// Replicated op (§6.2): the route reached the clique and the
+    /// coordinator fanned `StoreShare`/`FetchShare` out to the covers;
+    /// the op now waits for its quorum of acks/replies.
+    Scatter,
     /// Completed.
     Done,
     /// Abandoned after retry exhaustion.
     Failed,
+}
+
+/// Scatter-phase bookkeeping of a replicated op: the clique and which
+/// share indices have been placed, acknowledged or gathered. Boxed
+/// into the op lazily — non-replicated ops never allocate it.
+#[derive(Default)]
+struct ReplicaState {
+    /// The covers of the item, in share-index order.
+    holders: Vec<NodeId>,
+    /// Indices whose `StoreShare` arrived intact (all attempts).
+    stored: Vec<u8>,
+    /// Indices acked to the coordinator on the current attempt.
+    acked: Vec<u8>,
+    /// Indices that answered a fetch on the current attempt.
+    replied: Vec<u8>,
+    /// Indices found on the current attempt, in arrival order.
+    gathered: Vec<u8>,
 }
 
 struct Op {
@@ -230,6 +295,7 @@ struct Op {
     serve_level: Option<u32>,
     serve_at: Option<Point>,
     entered_at: Option<u32>,
+    replica: Option<Box<ReplicaState>>,
 }
 
 enum EventKind {
@@ -453,6 +519,7 @@ impl<'g, G: Topology, T: Transport> Engine<'g, G, T> {
             serve_level: None,
             serve_at: None,
             entered_at: None,
+            replica: None,
         });
         let at = t.max(self.clock);
         self.push_event(at, EventKind::Start { op: id }, Lane::Start);
@@ -468,9 +535,10 @@ impl<'g, G: Topology, T: Transport> Engine<'g, G, T> {
         self.dispatch(env, bytes);
     }
 
-    /// Run to quiescence with no cache layer attached.
+    /// Run to quiescence with no cache layer and no share store
+    /// attached.
     pub fn run(&mut self) {
-        self.run_with(|_, _, _, _| false);
+        self.run_core(&mut |_, _, _, _| false, &NoShares);
     }
 
     /// Run to quiescence. `serve(node, item, point, level)` is
@@ -480,6 +548,21 @@ impl<'g, G: Topology, T: Transport> Engine<'g, G, T> {
     /// (level 0) completes the op regardless, mirroring "the root is
     /// always active".
     pub fn run_with(&mut self, mut serve: impl FnMut(NodeId, u64, Point, u32) -> bool) {
+        self.run_core(&mut serve, &NoShares);
+    }
+
+    /// Run to quiescence with a share store attached: every
+    /// [`Wire::FetchShare`] a cover receives is answered by consulting
+    /// `view` — what quorum reads ([`Action::GetShares`]) need.
+    pub fn run_with_shares<V: ShareView>(&mut self, view: &V) {
+        self.run_core(&mut |_, _, _, _| false, view);
+    }
+
+    fn run_core<V: ShareView>(
+        &mut self,
+        serve: &mut impl FnMut(NodeId, u64, Point, u32) -> bool,
+        view: &V,
+    ) {
         while let Some(ev) = self.queue.pop() {
             debug_assert!(ev.at >= self.clock, "time went backwards");
             debug_assert!(ev.seq < self.seq, "event from the future");
@@ -487,10 +570,10 @@ impl<'g, G: Topology, T: Transport> Engine<'g, G, T> {
             match ev.kind {
                 EventKind::Start { op } => {
                     self.start_op(op);
-                    self.advance(op, &mut serve);
+                    self.advance_or_enter(op, serve, view);
                 }
-                EventKind::Deliver { env } => self.deliver(env, &mut serve),
-                EventKind::Timer { op, attempt, step } => self.timer(op, attempt, step, &mut serve),
+                EventKind::Deliver { env } => self.deliver(env, serve, view),
+                EventKind::Timer { op, attempt, step } => self.timer(op, attempt, step, serve, view),
             }
         }
     }
@@ -519,6 +602,16 @@ impl<'g, G: Topology, T: Transport> Engine<'g, G, T> {
 
     fn outcome_sans_path(&self, op: &Op) -> OpOutcome {
         let ok = matches!(op.machine, Machine::Done);
+        let (holders, shares) = match &op.replica {
+            Some(rep) => (
+                rep.holders.clone(),
+                match op.action {
+                    Action::PutShares { .. } => rep.stored.clone(),
+                    _ => rep.gathered.clone(),
+                },
+            ),
+            None => (Vec::new(), Vec::new()),
+        };
         OpOutcome {
             action: op.action,
             ok,
@@ -534,6 +627,8 @@ impl<'g, G: Topology, T: Transport> Engine<'g, G, T> {
             serve_level: op.serve_level,
             serve_at: op.serve_at,
             entered_at: op.entered_at,
+            holders,
+            shares,
         }
     }
 
@@ -634,12 +729,19 @@ impl<'g, G: Topology, T: Transport> Engine<'g, G, T> {
 
     /// Take local steps for `op` at its current node until it either
     /// completes or must send a message (sent here), then return.
-    fn advance(&mut self, id: OpId, serve: &mut impl FnMut(NodeId, u64, Point, u32) -> bool) {
+    fn advance<V: ShareView>(
+        &mut self,
+        id: OpId,
+        serve: &mut impl FnMut(NodeId, u64, Point, u32) -> bool,
+        view: &V,
+    ) {
         loop {
             let op = &mut self.ops[id as usize];
             let cur = op.cur;
             match op.machine {
                 Machine::Pending | Machine::Done | Machine::Failed => return,
+                // waiting for acks/replies from the clique
+                Machine::Scatter => return,
                 Machine::Fast { p, remaining } => {
                     if remaining == 0 {
                         op.machine = Machine::FastRing;
@@ -655,7 +757,7 @@ impl<'g, G: Topology, T: Transport> Engine<'g, G, T> {
                     let seg = self.net.segment_of(cur);
                     if seg.contains(op.target) {
                         op.path.push(cur, op.target);
-                        self.complete(id);
+                        self.arrive(id, view);
                         return;
                     }
                     // fixed-point truncation correction along the ring
@@ -697,7 +799,7 @@ impl<'g, G: Topology, T: Transport> Engine<'g, G, T> {
                 Machine::Greedy { p } => {
                     if self.net.segment_of(cur).contains(op.target) {
                         op.path.push(cur, op.target);
-                        self.complete(id);
+                        self.arrive(id, view);
                         return;
                     }
                     // cur covers p and not the target, so p ≠ target
@@ -725,7 +827,7 @@ impl<'g, G: Topology, T: Transport> Engine<'g, G, T> {
                     }
                     if idx == t {
                         debug_assert!(self.net.segment_of(cur).contains(op.target));
-                        self.complete(id);
+                        self.arrive(id, view);
                         return;
                     }
                     op.machine = Machine::Dh2 { idx: idx + 1 };
@@ -794,35 +896,320 @@ impl<'g, G: Topology, T: Transport> Engine<'g, G, T> {
         );
     }
 
-    fn deliver(&mut self, env: Envelope, serve: &mut impl FnMut(NodeId, u64, Point, u32) -> bool) {
-        self.stats.delivered += 1;
-        let Wire::LookupStep { op: id, attempt, step, .. } = env.msg else {
-            return; // bare protocol message: accounted, no machine
+    /// Is `node` within the §6.2 cover clique of `item` — one of the
+    /// `m` ring-consecutive covers starting at the cover of `item`?
+    /// (`node` is a clique member iff walking at most `m − 1` ring
+    /// predecessors reaches the segment covering `item`.)
+    fn in_clique(&self, node: NodeId, item: Point, m: u8) -> bool {
+        let mut cur = node;
+        for _ in 0..m {
+            if self.net.segment_of(cur).contains(item) {
+                return true;
+            }
+            cur = self.net.ring_pred(cur);
+        }
+        false
+    }
+
+    /// Step the op's machine — but a replicated op whose message
+    /// already sits on a clique member skips the rest of the route and
+    /// enters the scatter right there: §6.2 only needs the route to
+    /// locate *one* cover, the clique reaches the rest in one hop.
+    /// (This is also what makes quorum ops reachable around a dead
+    /// primary: any live cover the route touches can coordinate.)
+    fn advance_or_enter<V: ShareView>(
+        &mut self,
+        id: OpId,
+        serve: &mut impl FnMut(NodeId, u64, Point, u32) -> bool,
+        view: &V,
+    ) {
+        let op = &self.ops[id as usize];
+        let entry = match op.action {
+            Action::PutShares { item, m, .. } | Action::GetShares { item, m, .. } => {
+                let routing = !matches!(
+                    op.machine,
+                    Machine::Scatter | Machine::Done | Machine::Failed
+                );
+                (routing && self.in_clique(op.cur, item, m)).then_some(())
+            }
+            _ => None,
         };
-        // an id this engine never issued (a hand-crafted send) is
-        // ignored like any other stale traffic
+        if entry.is_some() {
+            self.begin_scatter(id, view);
+        } else {
+            self.advance(id, serve, view);
+        }
+    }
+
+    /// A routed op's message reached the node covering its target:
+    /// plain ops complete here; replicated ops enter the clique
+    /// scatter instead.
+    fn arrive<V: ShareView>(&mut self, id: OpId, view: &V) {
+        if self.ops[id as usize].action.is_replicated() {
+            self.begin_scatter(id, view);
+        } else {
+            self.complete(id);
+        }
+    }
+
+    /// Enter the §6.2 clique protocol: the node the route landed on
+    /// becomes the coordinator, enumerates the item's cover clique
+    /// over the ring (every member is one hop away — the clique
+    /// property), and fans one `StoreShare`/`FetchShare` out per
+    /// cover; its own share is a free local step. One progress timer
+    /// covers the whole round: if the quorum is not reached in time,
+    /// the op restarts end to end like any other routed op.
+    fn begin_scatter<V: ShareView>(&mut self, id: OpId, view: &V) {
+        let op = &self.ops[id as usize];
+        let cur = op.cur;
+        let (key, m, item, put, share_len) = match op.action {
+            Action::PutShares { key, len, m, item, .. } => (key, m, item, true, len),
+            Action::GetShares { key, m, item, .. } => (key, m, item, false, 0),
+            _ => unreachable!("arrive() gates on is_replicated"),
+        };
+        // walk back to the clique primary (the cover of h(item)): the
+        // route may have entered the clique at any member
+        let mut primary = cur;
+        let mut steps = 0u32;
+        while !self.net.segment_of(primary).contains(item) {
+            primary = self.net.ring_pred(primary);
+            steps += 1;
+            assert!(
+                steps <= 2 * u32::from(m),
+                "coordinator {cur} is not within the clique of {item:?}"
+            );
+        }
+        // the clique: m consecutive covers, truncated if the whole
+        // ring is smaller than m
+        let mut holders: Vec<NodeId> = Vec::with_capacity(m as usize);
+        let mut h = primary;
+        for _ in 0..m {
+            holders.push(h);
+            h = self.net.ring_succ(h);
+            if h == primary {
+                break;
+            }
+        }
+        let op = &mut self.ops[id as usize];
+        op.step += 1;
+        let (attempt, step) = (op.attempt, op.step);
+        let rep = op.replica.get_or_insert_with(Default::default);
+        rep.acked.clear();
+        rep.replied.clear();
+        rep.gathered.clear();
+        rep.holders.clear();
+        rep.holders.extend_from_slice(&holders);
+        op.machine = Machine::Scatter;
+        for (i, &holder) in holders.iter().enumerate() {
+            let idx = i as u8;
+            if holder == cur {
+                let rep = self.ops[id as usize].replica.as_mut().expect("just set");
+                if put {
+                    if !rep.stored.contains(&idx) {
+                        rep.stored.push(idx);
+                    }
+                    rep.acked.push(idx);
+                } else {
+                    rep.replied.push(idx);
+                    if view.share_len(holder, key, idx).is_some() {
+                        rep.gathered.push(idx);
+                    }
+                }
+            } else {
+                let msg = if put {
+                    Wire::StoreShare { op: id, attempt, idx, key, len: share_len }
+                } else {
+                    Wire::FetchShare { op: id, attempt, idx, key }
+                };
+                self.send_replica(id, cur, holder, msg);
+            }
+        }
+        let timeout = self.retry.timeout;
+        self.push_event(
+            self.clock + timeout,
+            EventKind::Timer { op: id, attempt, step },
+            Lane::Timer,
+        );
+        self.check_quorum(id);
+    }
+
+    /// Completion test of the scatter phase: a put completes at `k`
+    /// acks (write quorum), a get at `k` gathered shares — or once
+    /// every cover answered (the item may simply have fewer than `k`
+    /// live shares; the driver decides what that means).
+    fn check_quorum(&mut self, id: OpId) {
+        let op = &self.ops[id as usize];
+        if !matches!(op.machine, Machine::Scatter) {
+            return;
+        }
+        let rep = op.replica.as_ref().expect("scatter state exists");
+        let (put, k) = match op.action {
+            Action::PutShares { k, .. } => (true, k),
+            Action::GetShares { k, .. } => (false, k),
+            _ => unreachable!("only replicated ops scatter"),
+        };
+        let need = (k as usize).min(rep.holders.len());
+        let done = if put {
+            rep.acked.len() >= need
+        } else {
+            rep.gathered.len() >= need || rep.replied.len() == rep.holders.len()
+        };
+        if done {
+            self.complete(id);
+        }
+    }
+
+    /// Emit one clique-protocol message (scatter fan-out, ack or
+    /// reply), charged to the op. No per-message timer: the scatter
+    /// round is covered by a single progress timer.
+    fn send_replica(&mut self, id: OpId, src: NodeId, dst: NodeId, msg: Wire) {
+        let bytes = msg.wire_bytes();
+        let op = &mut self.ops[id as usize];
+        op.msgs += 1;
+        op.bytes += bytes;
+        self.dispatch(Envelope { src, dst, msg, corrupt: false }, bytes);
+    }
+
+    fn deliver<V: ShareView>(
+        &mut self,
+        env: Envelope,
+        serve: &mut impl FnMut(NodeId, u64, Point, u32) -> bool,
+        view: &V,
+    ) {
+        self.stats.delivered += 1;
+        match env.msg {
+            Wire::LookupStep { op: id, attempt, step, .. } => {
+                // an id this engine never issued (a hand-crafted send)
+                // is ignored like any other stale traffic
+                let Some(op) = self.ops.get_mut(id as usize) else {
+                    self.stats.stale += 1;
+                    return;
+                };
+                if matches!(op.machine, Machine::Done | Machine::Failed)
+                    || attempt != op.attempt
+                    || step != op.step
+                {
+                    self.stats.stale += 1;
+                    return;
+                }
+                op.cur = env.dst;
+                op.corrupt |= env.corrupt;
+                self.advance_or_enter(id, serve, view);
+            }
+            Wire::StoreShare { op: id, attempt, idx, .. } => {
+                self.deliver_store(&env, id, attempt, idx)
+            }
+            Wire::ShareAck { op: id, attempt, idx } => self.deliver_ack(&env, id, attempt, idx),
+            Wire::FetchShare { op: id, attempt, idx, key } => {
+                self.deliver_fetch(&env, id, attempt, idx, key, view)
+            }
+            Wire::ShareReply { op: id, attempt, idx, found, .. } => {
+                self.deliver_reply(&env, id, attempt, idx, found)
+            }
+            _ => {} // bare protocol message: accounted, no machine
+        }
+    }
+
+    /// Holder side of a replicated put: record the placement and ack.
+    fn deliver_store(&mut self, env: &Envelope, id: OpId, attempt: u32, idx: u8) {
         let Some(op) = self.ops.get_mut(id as usize) else {
             self.stats.stale += 1;
             return;
         };
-        if matches!(op.machine, Machine::Done | Machine::Failed)
-            || attempt != op.attempt
-            || step != op.step
+        // a corrupted share fails the holder's integrity check and is
+        // never stored — the write quorum, not this holder, recovers
+        if attempt != op.attempt || matches!(op.machine, Machine::Failed) || env.corrupt {
+            self.stats.stale += 1;
+            return;
+        }
+        let rep = op.replica.get_or_insert_with(Default::default);
+        if !rep.stored.contains(&idx) {
+            rep.stored.push(idx);
+        }
+        // late arrivals past quorum still place their share (recorded
+        // above) but the ack could no longer matter — stay quiet
+        if !matches!(op.machine, Machine::Done) {
+            self.send_replica(id, env.dst, env.src, Wire::ShareAck { op: id, attempt, idx });
+        }
+    }
+
+    /// Coordinator side of a replicated put: count the ack toward the
+    /// write quorum.
+    fn deliver_ack(&mut self, env: &Envelope, id: OpId, attempt: u32, idx: u8) {
+        let Some(op) = self.ops.get_mut(id as usize) else {
+            self.stats.stale += 1;
+            return;
+        };
+        if attempt != op.attempt || !matches!(op.machine, Machine::Scatter) || env.corrupt {
+            self.stats.stale += 1;
+            return;
+        }
+        let rep = op.replica.as_mut().expect("scatter state exists");
+        if !rep.acked.contains(&idx) {
+            rep.acked.push(idx);
+        }
+        self.check_quorum(id);
+    }
+
+    /// Holder side of a quorum read: consult the share store, answer.
+    fn deliver_fetch<V: ShareView>(
+        &mut self,
+        env: &Envelope,
+        id: OpId,
+        attempt: u32,
+        idx: u8,
+        key: u64,
+        view: &V,
+    ) {
+        let Some(op) = self.ops.get(id as usize) else {
+            self.stats.stale += 1;
+            return;
+        };
+        if attempt != op.attempt
+            || matches!(op.machine, Machine::Done | Machine::Failed)
+            || env.corrupt
         {
             self.stats.stale += 1;
             return;
         }
-        op.cur = env.dst;
-        op.corrupt |= env.corrupt;
-        self.advance(id, serve);
+        let (found, len) = match view.share_len(env.dst, key, idx) {
+            Some(len) => (true, len),
+            None => (false, 0),
+        };
+        let reply = Wire::ShareReply { op: id, attempt, idx, key, found, len };
+        self.send_replica(id, env.dst, env.src, reply);
     }
 
-    fn timer(
+    /// Coordinator side of a quorum read: count the reply; the first
+    /// `k` found shares reconstruct.
+    fn deliver_reply(&mut self, env: &Envelope, id: OpId, attempt: u32, idx: u8, found: bool) {
+        let Some(op) = self.ops.get_mut(id as usize) else {
+            self.stats.stale += 1;
+            return;
+        };
+        // a corrupted reply fails its integrity check: it never counts
+        // toward the quorum (false message injection cannot fake reads)
+        if attempt != op.attempt || !matches!(op.machine, Machine::Scatter) || env.corrupt {
+            self.stats.stale += 1;
+            return;
+        }
+        let rep = op.replica.as_mut().expect("scatter state exists");
+        if !rep.replied.contains(&idx) {
+            rep.replied.push(idx);
+            if found {
+                rep.gathered.push(idx);
+            }
+        }
+        self.check_quorum(id);
+    }
+
+    fn timer<V: ShareView>(
         &mut self,
         id: OpId,
         attempt: u32,
         step: u32,
         serve: &mut impl FnMut(NodeId, u64, Point, u32) -> bool,
+        view: &V,
     ) {
         let op = &mut self.ops[id as usize];
         if matches!(op.machine, Machine::Done | Machine::Failed)
@@ -846,7 +1233,7 @@ impl<'g, G: Topology, T: Transport> Engine<'g, G, T> {
         op.entered_at = None;
         self.stats.retries += 1;
         self.start_op(id);
-        self.advance(id, serve);
+        self.advance_or_enter(id, serve, view);
     }
 
     fn complete(&mut self, id: OpId) {
@@ -905,6 +1292,13 @@ mod tests {
             // chord-style: the largest 2⁻ⁱ not overshooting the target
             let d = target.offset_from(p);
             p.wrapping_add(1u64 << (63 - d.leading_zeros()))
+        }
+        fn ring_succ(&self, n: NodeId) -> NodeId {
+            NodeId((n.0 + 1) % self.ps.len() as u32)
+        }
+        fn ring_pred(&self, n: NodeId) -> NodeId {
+            let len = self.ps.len() as u32;
+            NodeId((n.0 + len - 1) % len)
         }
     }
 
@@ -1164,6 +1558,177 @@ mod tests {
             let global = ops[2 * k + 1];
             assert_eq!(odd.outcome(id).path, all.outcome(global).path, "op {k} diverged");
         }
+    }
+
+    /// A share table for the replica tests: `(node, key, idx) → len`.
+    struct TableShares(std::collections::HashMap<(u32, u64, u8), u32>);
+
+    impl ShareView for TableShares {
+        fn share_len(&self, node: NodeId, key: u64, idx: u8) -> Option<u32> {
+            self.0.get(&(node.0, key, idx)).copied()
+        }
+    }
+
+    /// The clique of `item` on the `Complete` ring: `m` consecutive
+    /// servers starting at the cover.
+    fn clique(net: &Complete, item: Point, m: u8) -> Vec<NodeId> {
+        let mut out = vec![net.cover(item)];
+        for _ in 1..m {
+            out.push(net.ring_succ(*out.last().unwrap()));
+        }
+        out
+    }
+
+    #[test]
+    fn replicated_put_places_all_shares_and_completes_at_quorum() {
+        let net = Complete::new(16, 2);
+        let item = Point(u64::MAX / 3);
+        let cover = net.cover(item);
+        let mut eng = Engine::new(&net, Inline, 101);
+        let action = Action::PutShares { key: 7, len: 32, m: 5, k: 3, item };
+        let op = eng.submit(RouteKind::Fast, cover, item, action);
+        eng.run();
+        let out = eng.outcome(op);
+        assert!(out.ok);
+        assert_eq!(out.dest, Some(cover), "the primary cover coordinates");
+        assert_eq!(out.holders, clique(&net, item, 5));
+        let mut stored = out.shares.clone();
+        stored.sort_unstable();
+        assert_eq!(stored, vec![0, 1, 2, 3, 4], "under Inline every share lands");
+        // origin covers the item: 4 remote StoreShares + 4 acks, no
+        // routing messages
+        assert_eq!(out.msgs, 8);
+        assert_eq!(out.attempts, 1);
+    }
+
+    #[test]
+    fn quorum_read_gathers_first_k_shares() {
+        let net = Complete::new(16, 2);
+        let item = Point(12345 << 32);
+        let (m, k, key) = (5u8, 3u8, 9u64);
+        let holders = clique(&net, item, m);
+        let mut table = std::collections::HashMap::new();
+        for (i, h) in holders.iter().enumerate() {
+            table.insert((h.0, key, i as u8), 40u32);
+        }
+        let view = TableShares(table);
+        let mut eng = Engine::new(&net, Inline, 103);
+        let from = NodeId((net.cover(item).0 + 7) % 16);
+        let op = eng.submit(RouteKind::Fast, from, item, Action::GetShares { key, m, k, item });
+        eng.run_with_shares(&view);
+        let out = eng.outcome(op);
+        assert!(out.ok);
+        assert_eq!(out.holders, holders);
+        assert_eq!(out.shares.len(), k as usize, "first k of m responses reconstruct");
+        // the reply bytes include the share payloads
+        assert!(out.bytes >= 3 * 40);
+    }
+
+    #[test]
+    fn fail_stop_minority_does_not_block_the_quorum() {
+        let net = Complete::new(16, 2);
+        let item = Point(0xABCD_EF01_2345_6789);
+        let (m, k, key) = (5u8, 3u8, 11u64);
+        let holders = clique(&net, item, m);
+        // fail m−k holders, but never the coordinating primary
+        let mut faulty = Faulty::new(Inline, FaultModel::FailStop);
+        faulty.fail(holders[2]);
+        faulty.fail(holders[4]);
+        let cover = holders[0];
+        let mut eng = Engine::new(&net, faulty, 107)
+            .with_retry(RetryPolicy { timeout: 64, max_attempts: 4 });
+        let put = eng.submit(
+            RouteKind::Fast,
+            cover,
+            item,
+            Action::PutShares { key, len: 24, m, k, item },
+        );
+        eng.run();
+        let out = eng.outcome(put);
+        assert!(out.ok, "k live covers are a write quorum");
+        let mut stored = out.shares.clone();
+        stored.sort_unstable();
+        assert_eq!(stored, vec![0, 1, 3], "dead covers cannot store");
+        // now read back through the same fault pattern
+        let mut table = std::collections::HashMap::new();
+        for &i in &out.shares {
+            table.insert((holders[i as usize].0, key, i), 24u32);
+        }
+        let mut faulty = Faulty::new(Inline, FaultModel::FailStop);
+        faulty.fail(holders[2]);
+        faulty.fail(holders[4]);
+        let mut eng = Engine::new(&net, faulty, 109)
+            .with_retry(RetryPolicy { timeout: 64, max_attempts: 4 });
+        let get = eng.submit(RouteKind::Fast, cover, item, Action::GetShares { key, m, k, item });
+        eng.run_with_shares(&TableShares(table));
+        let out = eng.outcome(get);
+        assert!(out.ok, "k live shares are a read quorum");
+        let mut gathered = out.shares.clone();
+        gathered.sort_unstable();
+        assert_eq!(gathered, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn missing_item_read_completes_once_every_cover_answered() {
+        let net = Complete::new(16, 2);
+        let item = Point(42);
+        let mut eng = Engine::new(&net, Inline, 113);
+        let op = eng.submit(
+            RouteKind::Fast,
+            NodeId(3),
+            item,
+            Action::GetShares { key: 99, m: 4, k: 2, item },
+        );
+        eng.run_with_shares(&NoShares);
+        let out = eng.outcome(op);
+        assert!(out.ok, "a complete round of not-founds is an answer, not a timeout");
+        assert!(out.shares.is_empty());
+        assert_eq!(out.attempts, 1);
+    }
+
+    #[test]
+    fn replicated_ops_survive_drops_via_retry() {
+        let net = Complete::new(16, 2);
+        let item = Point(u64::MAX / 5);
+        let mut eng = Engine::new(&net, Sim::new(7).with_drop(0.2), 127)
+            .with_retry(RetryPolicy { timeout: 200, max_attempts: 12 });
+        let op = eng.submit(
+            RouteKind::Fast,
+            NodeId(0),
+            item,
+            Action::PutShares { key: 5, len: 16, m: 4, k: 2, item },
+        );
+        eng.run();
+        let out = eng.outcome(op);
+        assert!(out.ok, "retry must absorb 20% loss");
+        assert!(out.shares.len() >= 2, "at least the quorum was placed");
+    }
+
+    #[test]
+    fn corrupted_shares_and_replies_never_count() {
+        // every node lies: StoreShares arrive corrupted, so no share is
+        // ever placed and the put must exhaust its retries
+        let net = Complete::new(16, 2);
+        let item = Point(u64::MAX / 7);
+        let mut liars = Faulty::new(Inline, FaultModel::FalseMessageInjection);
+        for i in 0..16 {
+            liars.fail(NodeId(i));
+        }
+        let cover = net.cover(item);
+        let from = NodeId((cover.0 + 5) % 16);
+        let mut eng = Engine::new(&net, liars, 131)
+            .with_retry(RetryPolicy { timeout: 64, max_attempts: 3 });
+        let op = eng.submit(
+            RouteKind::Fast,
+            from,
+            item,
+            Action::PutShares { key: 3, len: 8, m: 4, k: 3, item },
+        );
+        eng.run();
+        let out = eng.outcome(op);
+        assert!(!out.ok, "a quorum of corrupted shares must not commit");
+        // only the coordinator's own (local, message-free) share stands
+        assert_eq!(out.shares, vec![0]);
     }
 
     #[test]

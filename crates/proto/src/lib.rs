@@ -7,7 +7,9 @@
 //!
 //! * [`wire::Wire`] — the typed RPC vocabulary of the Distance Halving
 //!   system (`LookupStep`, `JoinSplit`, `LeaveMerge`, `NeighborDiff`,
-//!   `Put`/`Get`/`Remove`, `CacheServe`), with per-message byte
+//!   `Put`/`Get`/`Remove`, `CacheServe`, and the §6.2 replication
+//!   vocabulary: `StoreShare`/`ShareAck`, `FetchShare`/`ShareReply`,
+//!   `ShareDigest`/`RepairPull`/`RepairPush`), with per-message byte
 //!   accounting;
 //! * [`transport::Transport`] — the pluggable delivery substrate.
 //!   [`transport::Inline`] is zero-overhead direct dispatch (routes
@@ -55,9 +57,9 @@ pub mod shard;
 pub mod transport;
 pub mod wire;
 
-pub use engine::{Engine, EngineStats, OpOutcome, Path, RetryPolicy, Topology};
+pub use engine::{Engine, EngineStats, NoShares, OpOutcome, Path, RetryPolicy, ShareView, Topology};
 pub use fault::{FaultModel, Faulty};
 pub use node::NodeId;
-pub use shard::{run_sharded, OpSpec, ShardedRun};
+pub use shard::{run_sharded, run_sharded_shares, OpSpec, ShardedRun};
 pub use transport::{Delivery, Inline, Recorder, Replay, Sim, Trace, Transport};
 pub use wire::{Envelope, OpId, Wire};

@@ -25,7 +25,7 @@
 //! `std::thread::scope` chunks under the hood), and the merge restores
 //! global op order, so results are independent of the worker count.
 
-use crate::engine::{Engine, EngineStats, OpOutcome, RetryPolicy, Topology};
+use crate::engine::{Engine, EngineStats, NoShares, OpOutcome, RetryPolicy, ShareView, Topology};
 use crate::transport::Transport;
 use crate::wire::{Action, RouteKind};
 use crate::node::NodeId;
@@ -79,6 +79,30 @@ where
     T: Transport + Send,
     F: Fn(usize) -> T + Sync,
 {
+    run_sharded_shares(net, seed, retry, shards, ops, make_transport, &NoShares)
+}
+
+/// [`run_sharded`] with a share store attached: every shard engine
+/// answers the `FetchShare` messages of replicated ops
+/// ([`crate::wire::Action::GetShares`]) from `view`. The view is
+/// read-only and shared across shards, so the determinism contract is
+/// unchanged — the sharded batch over `Inline` is bit-identical to
+/// the single-engine run for any shard and thread count.
+pub fn run_sharded_shares<G, T, F, V>(
+    net: &G,
+    seed: u64,
+    retry: RetryPolicy,
+    shards: usize,
+    ops: &[OpSpec],
+    make_transport: F,
+    view: &V,
+) -> ShardedRun<T>
+where
+    G: Topology + Sync,
+    T: Transport + Send,
+    F: Fn(usize) -> T + Sync,
+    V: ShareView + Sync,
+{
     assert!(shards >= 1, "need at least one shard");
     let shards = shards.min(ops.len()).max(1);
     // with_max_len(1): each shard is one coarse unit of work — one
@@ -104,7 +128,7 @@ where
                     (i, id)
                 })
                 .collect();
-            eng.run();
+            eng.run_with_shares(view);
             let outs: Vec<(usize, OpOutcome)> =
                 ids.into_iter().map(|(i, id)| (i, eng.take_outcome(id))).collect();
             (eng.stats, outs, eng.into_transport())

@@ -63,6 +63,45 @@ pub enum Action {
         /// Item key.
         item: u64,
     },
+    /// Replicated store (§6.2): route to the clique entry, then fan
+    /// one [`Wire::StoreShare`] out to each of the `m` covers of
+    /// `item`; the op completes once `k` covers acknowledged (write
+    /// quorum).
+    PutShares {
+        /// Item key.
+        key: u64,
+        /// Per-share payload size in bytes (header included).
+        len: u32,
+        /// Total number of shares / clique size.
+        m: u8,
+        /// Reconstruction threshold (write quorum).
+        k: u8,
+        /// The item's hashed location `h(key)` — the clique is the `m`
+        /// consecutive covers starting at the server covering this
+        /// point, wherever the routed phase entered it.
+        item: Point,
+    },
+    /// Quorum read (§6.2): route to the clique entry, then fan one
+    /// [`Wire::FetchShare`] out per cover; the first `k` found
+    /// responses reconstruct, so the op completes at quorum without
+    /// waiting for stragglers (or once every cover has answered).
+    GetShares {
+        /// Item key.
+        key: u64,
+        /// Total number of shares / clique size.
+        m: u8,
+        /// Reconstruction threshold (read quorum).
+        k: u8,
+        /// The item's hashed location `h(key)`.
+        item: Point,
+    },
+}
+
+impl Action {
+    /// Is this a replicated (clique fan-out) storage action?
+    pub fn is_replicated(&self) -> bool {
+        matches!(self, Action::PutShares { .. } | Action::GetShares { .. })
+    }
 }
 
 /// A typed RPC between two servers.
@@ -104,6 +143,87 @@ pub enum Wire {
         /// Number of table entries the receiver must refresh.
         entries: u32,
     },
+    /// Clique fan-out of a replicated put (§6.2): the coordinator
+    /// hands cover `idx` its Reed-Solomon share of `key`. Stamped with
+    /// the op header so stale attempts are recognised; the holder
+    /// answers with [`Wire::ShareAck`].
+    StoreShare {
+        /// The replicated op this share placement belongs to.
+        op: OpId,
+        /// Retry attempt number of the op.
+        attempt: u32,
+        /// Share index within the clique (`0..m`).
+        idx: u8,
+        /// Item key.
+        key: u64,
+        /// Share payload size in bytes (header included).
+        len: u32,
+    },
+    /// A cover's acknowledgement that it durably holds share `idx`
+    /// of the op's item.
+    ShareAck {
+        /// The replicated op.
+        op: OpId,
+        /// Attempt stamp echoed from the [`Wire::StoreShare`].
+        attempt: u32,
+        /// Acknowledged share index.
+        idx: u8,
+    },
+    /// Clique fan-out of a quorum read (§6.2): ask cover `idx` for its
+    /// share of `key`. Answered by [`Wire::ShareReply`].
+    FetchShare {
+        /// The replicated op.
+        op: OpId,
+        /// Retry attempt number of the op.
+        attempt: u32,
+        /// Share index within the clique.
+        idx: u8,
+        /// Item key.
+        key: u64,
+    },
+    /// A cover's answer to [`Wire::FetchShare`]: whether it holds the
+    /// share and, if so, the share payload (charged by `len`).
+    ShareReply {
+        /// The replicated op.
+        op: OpId,
+        /// Attempt stamp echoed from the request.
+        attempt: u32,
+        /// Share index this reply is about.
+        idx: u8,
+        /// Item key.
+        key: u64,
+        /// Does the sender hold the share?
+        found: bool,
+        /// Share payload size in bytes (0 when `!found`).
+        len: u32,
+    },
+    /// Anti-entropy digest: a compact list of `(key, version)` entries
+    /// the sender believes the receiver should hold. Exchanged after
+    /// churn shifts cover membership; mismatches trigger
+    /// [`Wire::RepairPull`]. Bare protocol message (no op machine).
+    ShareDigest {
+        /// Number of digest entries carried.
+        keys: u32,
+    },
+    /// Repair: a fresh cover asks a live holder for its share of `key`
+    /// so the missing share can be re-materialized from any `k`
+    /// holders. Answered by [`Wire::RepairPush`].
+    RepairPull {
+        /// Item key being repaired.
+        key: u64,
+        /// Share index the *sender* needs to re-materialize.
+        idx: u8,
+    },
+    /// Repair data transfer: a live holder ships its share of `key`
+    /// back to the repairing cover.
+    RepairPush {
+        /// Item key being repaired.
+        key: u64,
+        /// Share index of the shipped share.
+        idx: u8,
+        /// Share payload size in bytes (header included).
+        len: u32,
+    },
 }
 
 impl Wire {
@@ -124,18 +244,38 @@ impl Wire {
                             Action::Put { len, .. } => 12 + u64::from(*len),
                             Action::Get { .. } | Action::Remove { .. } => 8,
                             Action::CacheServe { .. } => 8,
+                            // key + per-share len + (m, k) + item point;
+                            // the routed request carries no share data —
+                            // shares travel in StoreShare/ShareReply
+                            Action::PutShares { .. } => 22,
+                            Action::GetShares { .. } => 18,
                         }
                 }
                 Wire::JoinSplit { .. } => 8,
                 Wire::LeaveMerge { items } => 4 + 16 * u64::from(*items),
                 Wire::NeighborDiff { entries } => 4 + 12 * u64::from(*entries),
+                // key + idx + len field + the share payload itself
+                Wire::StoreShare { len, .. } => 13 + u64::from(*len),
+                Wire::ShareAck { .. } => 1,
+                Wire::FetchShare { .. } => 9,
+                Wire::ShareReply { found, len, .. } => {
+                    13 + if *found { 1 + u64::from(*len) } else { 1 }
+                }
+                // one (key, version) entry per digest line
+                Wire::ShareDigest { keys } => 4 + 12 * u64::from(*keys),
+                Wire::RepairPull { .. } => 9,
+                Wire::RepairPush { len, .. } => 13 + u64::from(*len),
             }
     }
 
     /// The op this message belongs to, if it is a routed op message.
     pub fn op(&self) -> Option<OpId> {
         match self {
-            Wire::LookupStep { op, .. } => Some(*op),
+            Wire::LookupStep { op, .. }
+            | Wire::StoreShare { op, .. }
+            | Wire::ShareAck { op, .. }
+            | Wire::FetchShare { op, .. }
+            | Wire::ShareReply { op, .. } => Some(*op),
             _ => None,
         }
     }
@@ -147,6 +287,13 @@ impl Wire {
             Wire::JoinSplit { .. } => 1,
             Wire::LeaveMerge { .. } => 2,
             Wire::NeighborDiff { .. } => 3,
+            Wire::StoreShare { .. } => 4,
+            Wire::ShareAck { .. } => 5,
+            Wire::FetchShare { .. } => 6,
+            Wire::ShareReply { .. } => 7,
+            Wire::ShareDigest { .. } => 8,
+            Wire::RepairPull { .. } => 9,
+            Wire::RepairPush { .. } => 10,
         }
     }
 }
@@ -203,5 +350,32 @@ mod tests {
             action: Action::Locate,
         };
         assert!(mk(16).wire_bytes() > mk(0).wire_bytes());
+    }
+
+    #[test]
+    fn replica_messages_charge_share_payloads() {
+        let store = |len| Wire::StoreShare { op: 0, attempt: 1, idx: 3, key: 9, len };
+        assert_eq!(store(100).wire_bytes(), store(0).wire_bytes() + 100);
+        let reply = |found, len| Wire::ShareReply { op: 0, attempt: 1, idx: 3, key: 9, found, len };
+        assert!(reply(true, 64).wire_bytes() > reply(false, 0).wire_bytes());
+        // control messages are small: an ack is near the bare header
+        assert_eq!(Wire::ShareAck { op: 0, attempt: 1, idx: 3 }.wire_bytes(), Wire::HEADER_BYTES + 1);
+        // digests charge per entry, like NeighborDiff
+        assert_eq!(
+            Wire::ShareDigest { keys: 5 }.wire_bytes() - Wire::ShareDigest { keys: 0 }.wire_bytes(),
+            5 * 12
+        );
+        // the routed request never carries the payload itself
+        let routed = Wire::LookupStep {
+            op: 0,
+            attempt: 1,
+            step: 0,
+            at: Point(0),
+            digits: 0,
+            action: Action::PutShares { key: 9, len: 4096, m: 8, k: 4, item: Point(0) },
+        };
+        assert!(routed.wire_bytes() < 100);
+        assert!(Action::PutShares { key: 0, len: 0, m: 1, k: 1, item: Point(0) }.is_replicated());
+        assert!(!Action::Locate.is_replicated());
     }
 }

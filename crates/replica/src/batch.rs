@@ -1,0 +1,313 @@
+//! Parallel replicated batches on the sharded engine runtime.
+//!
+//! Mirrors `dh_dht::Dht::batch_over`, but runs on
+//! [`dh_proto::run_sharded_shares`]: the batch is partitioned
+//! round-robin across per-shard engines over the same topology, every
+//! op draws its randomness from its **global** batch index, and the
+//! shard engines answer `FetchShare` probes from the shared pre-batch
+//! shelf view. The merged result is therefore a pure function of
+//! `(seed, shards)` — independent of the worker-thread count — and
+//! under [`dh_proto::Inline`] bit-identical to submitting the same
+//! ops one at a time with their global indices.
+//!
+//! Semantics: **reads see the pre-batch snapshot** (the routing phase
+//! is read-only, as in `Dht::batch_over`), and **writes apply
+//! sequentially in batch order** in phase 2 — so two puts to one key
+//! version deterministically, and a get never observes a half-applied
+//! batch.
+
+use crate::{ReplicatedDht, ShelfView};
+use bytes::Bytes;
+use cd_core::graph::ContinuousGraph;
+use dh_dht::network::NodeId;
+use dh_dht::proto::route_kind;
+use dh_erasure::{encode, sealed_len, Share};
+use dh_proto::engine::{EngineStats, OpOutcome, RetryPolicy};
+use dh_proto::shard::{run_sharded_shares, OpSpec};
+use dh_proto::transport::Transport;
+use dh_proto::wire::Action;
+
+/// One operation of a replicated batch.
+#[derive(Clone, Debug)]
+pub struct ReplicaOp {
+    /// Originating server.
+    pub from: NodeId,
+    /// What to do.
+    pub action: ReplicaAction,
+}
+
+/// The verb of a [`ReplicaOp`].
+#[derive(Clone, Debug)]
+pub enum ReplicaAction {
+    /// Store `value` as shares on the clique of `key`.
+    Put {
+        /// Item key.
+        key: u64,
+        /// Payload.
+        value: Bytes,
+    },
+    /// Quorum-read the item under `key`.
+    Get {
+        /// Item key.
+        key: u64,
+    },
+}
+
+impl ReplicaAction {
+    /// The item key this op addresses.
+    pub fn key(&self) -> u64 {
+        match *self {
+            ReplicaAction::Put { key, .. } | ReplicaAction::Get { key } => key,
+        }
+    }
+}
+
+/// The result of one op of a replicated batch.
+#[derive(Debug)]
+pub struct ReplicaOutcome {
+    /// The engine outcome (route and share log by move).
+    pub outcome: OpOutcome,
+    /// `Get`: the reconstructed value (pre-batch snapshot).
+    pub value: Option<Bytes>,
+    /// `Put`: write quorum reached; `Get`: reconstruction succeeded.
+    pub applied: bool,
+}
+
+/// Run a batch of replicated ops over `shards` engines on the
+/// workspace thread pool. `make_transport(s)` builds shard `s`'s
+/// transport. Returns per-op results in batch order, the merged
+/// engine counters, and the shard transports (recorded traces, fault
+/// bookkeeping) in shard order. See the module docs for the snapshot
+/// semantics and the determinism contract.
+pub fn batch_over<G, T, F>(
+    dht: &mut ReplicatedDht<G>,
+    ops: &[ReplicaOp],
+    seed: u64,
+    retry: RetryPolicy,
+    shards: usize,
+    make_transport: F,
+) -> (Vec<ReplicaOutcome>, EngineStats, Vec<T>)
+where
+    G: ContinuousGraph,
+    T: Transport + Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let (m, k) = (dht.m(), dht.k());
+    // Pre-encode every put (the spec needs the sealed share length,
+    // phase 2 needs the shares themselves).
+    let encoded: Vec<Option<Vec<Share>>> = ops
+        .iter()
+        .map(|op| match &op.action {
+            ReplicaAction::Put { value, .. } => {
+                Some(encode(value, k as usize, m as usize))
+            }
+            ReplicaAction::Get { .. } => None,
+        })
+        .collect();
+    let specs: Vec<OpSpec> = ops
+        .iter()
+        .zip(&encoded)
+        .map(|(op, shares)| {
+            let key = op.action.key();
+            let item = dht.hash.point(key);
+            let action = match shares {
+                Some(shares) => Action::PutShares {
+                    key,
+                    len: sealed_len(shares[0].data.len()) as u32,
+                    m,
+                    k,
+                    item,
+                },
+                None => Action::GetShares { key, m, k, item },
+            };
+            OpSpec { at: 0, kind: route_kind(dht.kind), from: op.from, target: item, action }
+        })
+        .collect();
+
+    // Phase 1 — route + scatter in parallel against the pre-batch
+    // shelf snapshot (read-only).
+    let view = ShelfView { shelves: &dht.shelves };
+    let run = run_sharded_shares(&dht.net, seed, retry, shards, &specs, make_transport, &view);
+
+    // Phase 2a — reconstruct every get against the same snapshot.
+    let values: Vec<Option<Bytes>> = ops
+        .iter()
+        .zip(&run.outcomes)
+        .map(|(op, out)| match op.action {
+            ReplicaAction::Get { key } => dht.reconstruct(key, out),
+            ReplicaAction::Put { .. } => None,
+        })
+        .collect();
+
+    // Phase 2b — apply the writes sequentially in batch order.
+    let mut results = Vec::with_capacity(ops.len());
+    for ((op, out), (shares, value)) in
+        ops.iter().zip(run.outcomes).zip(encoded.into_iter().zip(values))
+    {
+        let applied = match (&op.action, shares) {
+            (ReplicaAction::Put { key, .. }, Some(shares)) => {
+                let point = dht.hash.point(*key);
+                dht.apply_put(*key, point, &shares, &out);
+                out.ok && !out.corrupt
+            }
+            _ => value.is_some(),
+        };
+        results.push(ReplicaOutcome { outcome: out, value, applied });
+    }
+    (results, run.stats, run.transports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ReplicatedDht;
+    use cd_core::pointset::PointSet;
+    use cd_core::rng::seeded;
+    use dh_dht::network::DhNetwork;
+    use dh_proto::transport::{Inline, Sim};
+    use rand::Rng;
+
+    fn mixed_ops(dht: &ReplicatedDht, n: u64, rng: &mut impl Rng) -> Vec<ReplicaOp> {
+        (0..n)
+            .map(|i| {
+                let from = dht.net.random_node(rng);
+                // distinct keys: batch reads see the pre-batch
+                // snapshot, so same-key put+get orders are a separate
+                // (sequential) concern
+                let action = if i % 3 == 0 {
+                    ReplicaAction::Get { key: i / 3 }
+                } else {
+                    ReplicaAction::Put {
+                        key: 1_000 + i,
+                        value: Bytes::from(vec![i as u8; 16]),
+                    }
+                };
+                ReplicaOp { from, action }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_equals_itself_across_shard_counts_inline() {
+        let mut rng = seeded(0xC0);
+        let net = DhNetwork::new(&PointSet::random(128, &mut rng));
+        let mut dht = ReplicatedDht::new(net, 8, 4, &mut rng);
+        for key in 0..20u64 {
+            let from = dht.net.random_node(&mut rng);
+            dht.put(from, key, Bytes::from(vec![key as u8; 16]), &mut rng);
+        }
+        let ops = mixed_ops(&dht, 60, &mut rng);
+        let runs: Vec<_> = [1usize, 3, 8]
+            .iter()
+            .map(|&shards| {
+                let mut clone_rng = seeded(0xC0);
+                let net = DhNetwork::new(&PointSet::random(128, &mut clone_rng));
+                let mut fresh = ReplicatedDht::new(net, 8, 4, &mut clone_rng);
+                for key in 0..20u64 {
+                    let from = fresh.net.random_node(&mut clone_rng);
+                    fresh.put(from, key, Bytes::from(vec![key as u8; 16]), &mut clone_rng);
+                }
+                let (results, stats, _) = batch_over(
+                    &mut fresh,
+                    &ops,
+                    0x5EED,
+                    RetryPolicy::default(),
+                    shards,
+                    |_| Inline,
+                );
+                let brief: Vec<(bool, Option<Bytes>, u64, u64)> = results
+                    .into_iter()
+                    .map(|r| (r.applied, r.value, r.outcome.msgs, r.outcome.bytes))
+                    .collect();
+                let placement: Vec<(u64, u32, usize)> = fresh
+                    .shelves
+                    .iter()
+                    .map(|(&key, it)| (key, it.version, it.holders.len()))
+                    .collect();
+                (brief, stats, placement)
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1], "1 vs 3 shards diverged");
+        assert_eq!(runs[0], runs[2], "1 vs 8 shards diverged");
+        // every put committed, every get of a stored key reconstructed
+        for (i, (applied, value, ..)) in runs[0].0.iter().enumerate() {
+            assert!(applied, "op {i} failed under Inline");
+            if let ReplicaAction::Get { key } = ops[i].action {
+                assert_eq!(value.as_ref().map(|b| b[0]), Some(key as u8));
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matches_sequential_ops_inline() {
+        let mk = || {
+            let mut rng = seeded(0xC1);
+            let net = DhNetwork::new(&PointSet::random(96, &mut rng));
+            let mut dht = ReplicatedDht::new(net, 6, 3, &mut rng);
+            for key in 0..10u64 {
+                let from = dht.net.random_node(&mut rng);
+                dht.put(from, key, Bytes::from(vec![key as u8; 8]), &mut rng);
+            }
+            (dht, rng)
+        };
+        let (mut batched, mut rng) = mk();
+        let ops = mixed_ops(&batched, 30, &mut rng);
+        let (results, _, _) =
+            batch_over(&mut batched, &ops, 0xFACE, RetryPolicy::default(), 4, |_| Inline);
+        // sequential reference: identical placement and values
+        let (mut seq, _) = mk();
+        for (i, op) in ops.iter().enumerate() {
+            match &op.action {
+                ReplicaAction::Put { key, value } => {
+                    // note: sequential puts use their own engine seeds,
+                    // but under Inline the placement (all m shares on
+                    // the clique) is seed-independent
+                    let (out, _) = seq.put_over(
+                        op.from,
+                        *key,
+                        value.clone(),
+                        Inline,
+                        0xFACE ^ i as u64,
+                        RetryPolicy::default(),
+                    );
+                    assert!(out.ok);
+                }
+                ReplicaAction::Get { key } => {
+                    let got = seq.get_over(
+                        op.from,
+                        *key,
+                        Inline,
+                        0xFACE ^ i as u64,
+                        RetryPolicy::default(),
+                    );
+                    assert_eq!(got.1, results[i].value, "get {i} diverged from sequential");
+                }
+            }
+        }
+        for (&key, it) in &batched.shelves {
+            let s = &seq.shelves[&key];
+            assert_eq!(it.version, s.version, "version of {key} diverged");
+            assert_eq!(it.holders.len(), s.holders.len());
+        }
+    }
+
+    #[test]
+    fn lossy_batches_are_deterministic_per_seed_and_shards() {
+        let run = || {
+            let mut rng = seeded(0xC2);
+            let net = DhNetwork::new(&PointSet::random(128, &mut rng));
+            let mut dht = ReplicatedDht::new(net, 8, 4, &mut rng);
+            let ops = mixed_ops(&dht, 40, &mut rng);
+            let retry = RetryPolicy { timeout: 2_048, max_attempts: 8 };
+            let (results, stats, _) = batch_over(&mut dht, &ops, 0xD06, retry, 4, |s| {
+                Sim::new(s as u64 ^ 0xBEEF).with_drop(0.02)
+            });
+            let brief: Vec<(bool, u64, u32)> = results
+                .iter()
+                .map(|r| (r.applied, r.outcome.msgs, r.outcome.attempts))
+                .collect();
+            (brief, stats)
+        };
+        assert_eq!(run(), run());
+    }
+}

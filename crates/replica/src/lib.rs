@@ -1,0 +1,705 @@
+//! # dh-replica — self-healing replicated storage on the wire engine
+//!
+//! §6.2 of Naor & Wieder observes that in the overlapping DHT all
+//! `Θ(log n)` servers covering `h(item)` form a **clique**, so an item
+//! need not be replicated whole: store it as Reed-Solomon shares, one
+//! per cover, and *any* `k` covers suffice to reconstruct (the
+//! digital-fountain suggestion, after Byers et al. and
+//! Weatherspoon-Kubiatowicz). This crate turns that observation into a
+//! wire protocol on the production stack:
+//!
+//! * [`ReplicatedDht<G>`] layers on [`dh_dht::CdNetwork`] +
+//!   [`dh_proto::Engine`], generically over every
+//!   [`ContinuousGraph`] instance (Distance Halving, Chord-like, de
+//!   Bruijn). An item's **cover clique** is the `m` ring-consecutive
+//!   servers starting at the server covering `h(item)`
+//!   ([`dh_dht::CdNetwork::clique_of`]).
+//! * **Writes** route a `PutShares` op to the clique, where the
+//!   coordinator fans one [`dh_proto::Wire::StoreShare`] out per cover
+//!   and completes at `k` acks (write quorum). **Reads** route
+//!   `GetShares` and complete when the first `k` of `m`
+//!   [`dh_proto::Wire::ShareReply`]s arrive — over [`Inline`], lossy
+//!   [`dh_proto::Sim`] and fail-stop [`dh_proto::Faulty`] transports
+//!   alike, with every message priced. The per-op state machines live
+//!   in the engine (`dh_proto::engine`), so replicated storage
+//!   inherits timeout/retry, stamps and determinism from the same
+//!   runtime as everything else.
+//! * **Self-healing**: [`ReplicatedDht::repair`] is the anti-entropy
+//!   pass hooked into [`ReplicatedDht::join_over`] /
+//!   [`ReplicatedDht::leave_over`] churn — when cover membership
+//!   shifts, digests ([`dh_proto::Wire::ShareDigest`]) flag
+//!   under-replicated keys and the fresh covers re-materialize their
+//!   shares from any `k` live holders
+//!   ([`dh_proto::Wire::RepairPull`]/[`dh_proto::Wire::RepairPush`]).
+//! * Shares rest and travel **sealed** ([`dh_erasure::header`]):
+//!   versioned, so quorum reads only combine shares of one item
+//!   generation and interrupted overwrites cannot be mistaken for
+//!   committed ones.
+//!
+//! Everything is deterministic under the engine's `(time, seq)`
+//! discipline: same seeds ⇒ identical traces, fingerprints and
+//! placements, for any thread count — [`batch::batch_over`] fans
+//! batches out over the sharded runtime
+//! ([`dh_proto::run_sharded_shares`]) with globally indexed per-op
+//! randomness, exactly like the plain storage layer.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod batch;
+pub mod repair;
+
+use bytes::Bytes;
+use cd_core::graph::ContinuousGraph;
+use cd_core::hashing::KWiseHash;
+use cd_core::point::Point;
+use dh_dht::network::{CdNetwork, DistanceHalving, NodeId};
+use dh_dht::proto::route_kind;
+use dh_dht::LookupKind;
+use dh_erasure::{encode, sealed_len, try_decode, Share};
+use dh_proto::engine::{Engine, OpOutcome, RetryPolicy, ShareView};
+use dh_proto::transport::{Inline, Transport};
+use dh_proto::wire::Action;
+use rand::Rng;
+use std::collections::BTreeMap;
+
+pub use batch::{batch_over, ReplicaAction, ReplicaOp, ReplicaOutcome};
+pub use repair::RepairReport;
+
+/// One placed share: which server holds it, of which item generation.
+#[derive(Clone, Debug)]
+pub(crate) struct Holder {
+    /// The server shelving the share.
+    pub node: NodeId,
+    /// The item generation this share encodes.
+    pub version: u32,
+    /// The share itself (unsealed; the header is re-derivable).
+    pub share: Share,
+}
+
+/// Everything the store knows about one item.
+#[derive(Clone, Debug)]
+pub(crate) struct ItemState {
+    /// The hashed location `h(key)` (fixed at first store).
+    pub point: Point,
+    /// The newest generation any cover may hold.
+    pub version: u32,
+    /// Share index → holder. `BTreeMap` so every scan over the
+    /// placement is deterministic (repair iterates this).
+    pub holders: BTreeMap<u8, Holder>,
+}
+
+impl ItemState {
+    /// The live shares of generation `version`, in index order.
+    pub(crate) fn shares_of(&self, version: u32) -> Vec<Share> {
+        self.holders
+            .values()
+            .filter(|h| h.version == version)
+            .map(|h| h.share.clone())
+            .collect()
+    }
+}
+
+/// The replicated storage layer: a network plus the placement hash,
+/// the replication geometry `(m, k)`, and the shelves.
+///
+/// Mirrors [`dh_dht::Dht`] in shape; where `Dht` stores one copy at
+/// the covering server, this stores `m` sealed Reed-Solomon shares on
+/// the item's cover clique, any `k` of which reconstruct.
+///
+/// Drive churn through [`Self::join_over`]/[`Self::leave_over`] (or
+/// call [`Self::repair`] yourself after mutating `net` directly):
+/// repair is what re-materializes shares after membership shifts, and
+/// the shelves of a departed server must be dropped before its slab
+/// slot can be reused.
+pub struct ReplicatedDht<G: ContinuousGraph = DistanceHalving> {
+    /// The overlay network.
+    pub net: CdNetwork<G>,
+    /// The item-placement hash function.
+    pub hash: KWiseHash,
+    /// Which lookup algorithm routes the ops.
+    pub kind: LookupKind,
+    /// Total shares per item (clique size).
+    m: u8,
+    /// Reconstruction threshold / quorum size.
+    k: u8,
+    /// Item key → placement state.
+    pub(crate) shelves: BTreeMap<u64, ItemState>,
+}
+
+/// The engine's read-only window into the shelves: answers
+/// `FetchShare` probes for the **newest generation only**, so a quorum
+/// completion always means `k` same-version shares.
+pub(crate) struct ShelfView<'a> {
+    pub shelves: &'a BTreeMap<u64, ItemState>,
+}
+
+impl ShareView for ShelfView<'_> {
+    fn share_len(&self, node: NodeId, key: u64, idx: u8) -> Option<u32> {
+        let item = self.shelves.get(&key)?;
+        let h = item.holders.get(&idx)?;
+        (h.node == node && h.version == item.version)
+            .then(|| sealed_len(h.share.data.len()) as u32)
+    }
+}
+
+impl<G: ContinuousGraph> ReplicatedDht<G> {
+    /// Wrap a network with replication geometry `(m, k)` — `m` shares
+    /// per item, any `k` reconstruct — and a freshly drawn
+    /// `log₂ n`-wise independent placement hash. Routes with the
+    /// instance's native lookup by default.
+    pub fn new(net: CdNetwork<G>, m: u8, k: u8, rng: &mut impl Rng) -> Self {
+        assert!(k >= 1 && k <= m, "need 1 ≤ k ≤ m, got k = {k}, m = {m}");
+        // a clique truncated below k can never reach a read quorum —
+        // refuse the geometry rather than storing unreadable items
+        assert!(
+            net.len() >= k as usize,
+            "network of {} servers cannot host a k = {k} quorum",
+            net.len()
+        );
+        let bits = (net.len().max(2) as f64).log2().ceil() as usize + 1;
+        ReplicatedDht {
+            hash: KWiseHash::new(bits, rng),
+            kind: net.native_kind(),
+            net,
+            m,
+            k,
+            shelves: BTreeMap::new(),
+        }
+    }
+
+    /// Total shares per item.
+    pub fn m(&self) -> u8 {
+        self.m
+    }
+
+    /// Reconstruction threshold.
+    pub fn k(&self) -> u8 {
+        self.k
+    }
+
+    /// Number of items the store knows about.
+    pub fn items(&self) -> usize {
+        self.shelves.len()
+    }
+
+    /// Total shares currently on shelves (leak/repair observability).
+    pub fn shelved_shares(&self) -> usize {
+        self.shelves.values().map(|it| it.holders.len()).sum()
+    }
+
+    /// The cover clique of `key` right now, in share-index order.
+    pub fn clique(&self, key: u64) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.m as usize);
+        self.net.clique_of(self.hash.point(key), self.m as usize, &mut out);
+        out
+    }
+
+    /// The sealed on-wire/on-shelf size of one share of a `len`-byte
+    /// value under this store's geometry.
+    pub fn share_wire_len(&self, len: usize) -> u32 {
+        // encode() pads to k shards after an 8-byte length trailer
+        sealed_len((len + 8).div_ceil(self.k as usize)) as u32
+    }
+
+    /// Store `value` under `key` over an arbitrary transport: the
+    /// `PutShares` op routes to the clique, the coordinator scatters
+    /// one sealed share per cover, and the op completes at `k` acks.
+    /// Every share whose `StoreShare` arrived intact is placed — also
+    /// on a failed op (those covers really hold it; repair or a
+    /// re-put reconciles). Returns the op outcome and the number of
+    /// shares placed.
+    pub fn put_over<T: Transport>(
+        &mut self,
+        from: NodeId,
+        key: u64,
+        value: Bytes,
+        transport: T,
+        seed: u64,
+        retry: RetryPolicy,
+    ) -> (OpOutcome, usize) {
+        let point = self.hash.point(key);
+        let shares = encode(&value, self.k as usize, self.m as usize);
+        let len = sealed_len(shares[0].data.len()) as u32;
+        let action = Action::PutShares { key, len, m: self.m, k: self.k, item: point };
+        let mut eng = Engine::new(&self.net, transport, seed).with_retry(retry);
+        let op = eng.submit(route_kind(self.kind), from, point, action);
+        eng.run();
+        let out = eng.take_outcome(op);
+        let placed = self.apply_put(key, point, &shares, &out);
+        (out, placed)
+    }
+
+    /// Place the shares a put outcome reports as stored. Returns the
+    /// share count. Two safety rules mirror the single-copy path:
+    ///
+    /// * a request that arrived **corrupted** is rejected wholesale —
+    ///   the holders' integrity checks fail every share derived from
+    ///   it, so nothing lands (false message injection cannot fake a
+    ///   write);
+    /// * only a **committed** write (quorum of acks) advances the
+    ///   generation reads serve. A torn write parks its shares under a
+    ///   fresh higher version without touching `item.version`, so the
+    ///   last committed generation stays readable wherever ≥ `k` of
+    ///   its shares survive, and repair's newest-quorum rule later
+    ///   promotes or discards the torn generation.
+    pub(crate) fn apply_put(
+        &mut self,
+        key: u64,
+        point: Point,
+        shares: &[Share],
+        out: &OpOutcome,
+    ) -> usize {
+        if out.shares.is_empty() || out.corrupt {
+            return 0;
+        }
+        let item = self
+            .shelves
+            .entry(key)
+            .or_insert(ItemState { point, version: 0, holders: BTreeMap::new() });
+        // strictly above every share ever placed, so two torn writes
+        // can never park different payloads under one version
+        let version = item
+            .holders
+            .values()
+            .map(|h| h.version)
+            .max()
+            .unwrap_or(0)
+            .max(item.version)
+            + 1;
+        for &idx in &out.shares {
+            let node = out.holders[idx as usize];
+            item.holders
+                .insert(idx, Holder { node, version, share: shares[idx as usize].clone() });
+        }
+        if out.ok {
+            item.version = version;
+        }
+        out.shares.len()
+    }
+
+    /// [`Self::put_over`] on the zero-overhead [`Inline`] transport.
+    /// Panics if the write quorum was not reached (impossible inline).
+    pub fn put(&mut self, from: NodeId, key: u64, value: Bytes, rng: &mut impl Rng) -> usize {
+        let (out, placed) =
+            self.put_over(from, key, value, Inline, rng.gen(), RetryPolicy::default());
+        assert!(out.ok, "Inline transport cannot miss a write quorum");
+        placed
+    }
+
+    /// Quorum read over an arbitrary transport, coordinated by the
+    /// clique primary: the op routes to `h(key)`, the coordinator fans
+    /// `FetchShare` out, and the first `k` found replies reconstruct.
+    /// `None` means the item is absent, under-quorum, or the route
+    /// failed (a dead primary — see [`Self::get_quorum`] for
+    /// client-side failover).
+    pub fn get_over<T: Transport>(
+        &self,
+        from: NodeId,
+        key: u64,
+        transport: T,
+        seed: u64,
+        retry: RetryPolicy,
+    ) -> (OpOutcome, Option<Bytes>) {
+        let point = self.hash.point(key);
+        self.get_via(from, key, point, transport, seed, retry)
+    }
+
+    /// One quorum-read attempt routed at `target` (a clique member's
+    /// identifier point, or `h(key)` itself for the primary).
+    fn get_via<T: Transport>(
+        &self,
+        from: NodeId,
+        key: u64,
+        target: Point,
+        transport: T,
+        seed: u64,
+        retry: RetryPolicy,
+    ) -> (OpOutcome, Option<Bytes>) {
+        let point = self.hash.point(key);
+        let action = Action::GetShares { key, m: self.m, k: self.k, item: point };
+        let mut eng = Engine::new(&self.net, transport, seed).with_retry(retry);
+        let op = eng.submit(route_kind(self.kind), from, target, action);
+        eng.run_with_shares(&ShelfView { shelves: &self.shelves });
+        let out = eng.take_outcome(op);
+        let value = self.reconstruct(key, &out);
+        (out, value)
+    }
+
+    /// Decode the value a completed quorum read gathered.
+    pub(crate) fn reconstruct(&self, key: u64, out: &OpOutcome) -> Option<Bytes> {
+        if !out.ok || out.corrupt {
+            return None;
+        }
+        let item = self.shelves.get(&key)?;
+        let shares: Vec<Share> = out
+            .shares
+            .iter()
+            .filter_map(|&idx| {
+                let h = item.holders.get(&idx)?;
+                (h.node == out.holders[idx as usize] && h.version == item.version)
+                    .then(|| h.share.clone())
+            })
+            .collect();
+        try_decode(&shares, self.k as usize).ok().map(Bytes::from)
+    }
+
+    /// [`Self::get_over`] on [`Inline`].
+    pub fn get(&self, from: NodeId, key: u64, rng: &mut impl Rng) -> Option<Bytes> {
+        self.get_over(from, key, Inline, rng.gen(), RetryPolicy::default()).1
+    }
+
+    /// Quorum read with client-side failover: try the clique primary
+    /// first, then each further cover as coordinator (routing to its
+    /// identifier point), re-drawing the origin per attempt and
+    /// cycling the clique a few rounds, until one attempt
+    /// reconstructs. With `m` shares, threshold `k` and at most
+    /// `m − k` fail-stopped covers, some live cover coordinates a
+    /// successful quorum — and a route entering the clique at *any*
+    /// live member begins the scatter there, so the guarantee is
+    /// independent of **which** covers died, the primary included.
+    /// Re-randomizing the origin matters for deterministically routed
+    /// instances (Chord-like greedy): a blocked approach path is
+    /// origin-dependent, so a different vantage point unblocks it.
+    /// `make_transport(attempt)` builds each attempt's transport
+    /// (reproduce the same fault set in each).
+    pub fn get_quorum<T: Transport>(
+        &self,
+        from: NodeId,
+        key: u64,
+        make_transport: impl Fn(usize) -> T,
+        seed: u64,
+        retry: RetryPolicy,
+    ) -> Option<Bytes> {
+        /// Clique sweeps before giving up. Generous because a
+        /// deterministically routed instance (Chord-like) can have
+        /// its approach to a given coordinator blocked by a dead
+        /// cover on the path — each fresh origin re-rolls the dyadic
+        /// approach, so sweeps are independent trials.
+        const ROUNDS: usize = 12;
+        let point = self.hash.point(key);
+        let mut clique = Vec::with_capacity(self.m as usize);
+        self.net.clique_of(point, self.m as usize, &mut clique);
+        for round in 0..ROUNDS {
+            for (j, &coord) in clique.iter().enumerate() {
+                let attempt = round * clique.len() + j;
+                let origin = if attempt == 0 {
+                    from
+                } else {
+                    let mut rng = cd_core::rng::sub_rng(seed ^ 0x0E16, attempt as u64);
+                    self.net.random_node(&mut rng)
+                };
+                let target = if j == 0 { point } else { self.net.node(coord).x };
+                let (out, value) = self.get_via(
+                    origin,
+                    key,
+                    target,
+                    make_transport(attempt),
+                    cd_core::rng::subseed(seed, attempt as u64),
+                    retry,
+                );
+                if out.ok {
+                    if let Some(v) = value {
+                        return Some(v);
+                    }
+                    // completed below quorum ⇒ the every-cover-answered
+                    // path fired: a definitive miss for this placement,
+                    // so failing over cannot find more shares
+                    if out.shares.len() < self.k as usize {
+                        return None;
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Delete `key`: a routed `Remove` reaches the clique primary,
+    /// which tombstones the item across the clique (one digest per
+    /// cover). Returns the op outcome and whether the item existed.
+    /// Frees every shelf entry of the item — nothing leaks.
+    pub fn remove_over<T: Transport>(
+        &mut self,
+        from: NodeId,
+        key: u64,
+        transport: T,
+        seed: u64,
+        retry: RetryPolicy,
+    ) -> (OpOutcome, bool) {
+        let point = self.hash.point(key);
+        let mut eng = Engine::new(&self.net, transport, seed).with_retry(retry);
+        let op = eng.submit(route_kind(self.kind), from, point, Action::Remove { key });
+        eng.run();
+        let out = eng.take_outcome(op);
+        let existed = out.ok && !out.corrupt && self.shelves.contains_key(&key);
+        if existed {
+            // tombstone fan-out: the primary tells every other cover
+            // to drop its share (clique edges, one hop each)
+            let primary = out.dest.expect("completed");
+            let mut clique = Vec::with_capacity(self.m as usize);
+            self.net.clique_of(point, self.m as usize, &mut clique);
+            for &h in &clique {
+                if h != primary {
+                    eng.send(primary, h, dh_proto::wire::Wire::ShareDigest { keys: 1 });
+                }
+            }
+            eng.run();
+            self.shelves.remove(&key);
+        }
+        (out, existed)
+    }
+
+    /// [`Self::remove_over`] on [`Inline`].
+    pub fn remove(&mut self, from: NodeId, key: u64, rng: &mut impl Rng) -> bool {
+        self.remove_over(from, key, Inline, rng.gen(), RetryPolicy::default()).1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cd_core::pointset::PointSet;
+    use cd_core::rng::seeded;
+    use dh_dht::network::DhNetwork;
+    use dh_proto::transport::Sim;
+    use dh_proto::{FaultModel, Faulty};
+
+    fn store(n: usize, m: u8, k: u8, seed: u64) -> (ReplicatedDht, rand::rngs::StdRng) {
+        let mut rng = seeded(seed);
+        let net = DhNetwork::new(&PointSet::random(n, &mut rng));
+        (ReplicatedDht::new(net, m, k, &mut rng), rng)
+    }
+
+    #[test]
+    fn put_places_m_shares_on_the_clique() {
+        let (mut dht, mut rng) = store(128, 8, 4, 0xA0);
+        for key in 0..40u64 {
+            let from = dht.net.random_node(&mut rng);
+            let placed = dht.put(from, key, Bytes::from(format!("value-{key}")), &mut rng);
+            assert_eq!(placed, 8, "Inline places every share");
+            let clique = dht.clique(key);
+            let item = &dht.shelves[&key];
+            assert_eq!(item.holders.len(), 8);
+            for (idx, h) in &item.holders {
+                assert_eq!(h.node, clique[*idx as usize], "share {idx} on the wrong cover");
+            }
+        }
+        assert_eq!(dht.shelved_shares(), 40 * 8);
+    }
+
+    #[test]
+    fn put_then_quorum_get_roundtrips() {
+        let (mut dht, mut rng) = store(128, 8, 4, 0xA1);
+        for key in 0..60u64 {
+            let from = dht.net.random_node(&mut rng);
+            let value = Bytes::from(format!("quorum payload {key}"));
+            dht.put(from, key, value.clone(), &mut rng);
+            let from2 = dht.net.random_node(&mut rng);
+            assert_eq!(dht.get(from2, key, &mut rng), Some(value));
+        }
+    }
+
+    #[test]
+    fn missing_key_reads_none_without_retry_storm() {
+        let (dht, mut rng) = store(64, 6, 3, 0xA2);
+        let from = dht.net.random_node(&mut rng);
+        let (out, value) = dht.get_over(from, 999, Inline, 7, RetryPolicy::default());
+        assert!(out.ok, "a full round of not-founds is an answer");
+        assert_eq!(out.attempts, 1);
+        assert_eq!(value, None);
+    }
+
+    #[test]
+    fn overwrite_reads_back_newest_generation() {
+        let (mut dht, mut rng) = store(96, 6, 3, 0xA3);
+        let from = dht.net.random_node(&mut rng);
+        dht.put(from, 5, Bytes::from_static(b"first"), &mut rng);
+        dht.put(from, 5, Bytes::from_static(b"second"), &mut rng);
+        assert_eq!(dht.get(from, 5, &mut rng), Some(Bytes::from_static(b"second")));
+        assert_eq!(dht.shelves[&5].version, 2);
+        assert_eq!(dht.shelves[&5].holders.len(), 6, "overwrites reuse the shelves");
+    }
+
+    #[test]
+    fn remove_frees_all_shelves() {
+        let (mut dht, mut rng) = store(96, 6, 3, 0xA4);
+        let from = dht.net.random_node(&mut rng);
+        dht.put(from, 1, Bytes::from_static(b"ephemeral"), &mut rng);
+        assert_eq!(dht.shelved_shares(), 6);
+        assert!(dht.remove(from, 1, &mut rng));
+        assert_eq!(dht.shelved_shares(), 0, "remove must not leak shelves");
+        assert_eq!(dht.get(from, 1, &mut rng), None);
+        assert!(!dht.remove(from, 1, &mut rng), "double remove is a no-op");
+    }
+
+    #[test]
+    fn survives_fail_stop_of_any_m_minus_k_covers() {
+        // The §6.2 durability property, with the adversary choosing
+        // the failed covers — the primary included: every item stays
+        // readable at quorum through client-side failover.
+        let (mut dht, mut rng) = store(128, 5, 3, 0xA5);
+        dht.kind = LookupKind::DistanceHalving; // randomized routes for failover
+        let value = Bytes::from_static(b"survives any m-k failures");
+        let from = dht.net.random_node(&mut rng);
+        dht.put(from, 77, value.clone(), &mut rng);
+        let clique = dht.clique(77);
+        // every pair of failed covers (m − k = 2 of 5), all C(5,2) = 10
+        for a in 0..5usize {
+            for b in (a + 1)..5 {
+                let dead = [clique[a], clique[b]];
+                let mk = |_: usize| {
+                    let mut f = Faulty::new(Inline, FaultModel::FailStop);
+                    f.fail(dead[0]);
+                    f.fail(dead[1]);
+                    f
+                };
+                // the reader must itself be alive
+                let from = loop {
+                    let f = dht.net.random_node(&mut rng);
+                    if f != dead[0] && f != dead[1] {
+                        break f;
+                    }
+                };
+                let retry = RetryPolicy { timeout: 128, max_attempts: 6 };
+                let got = dht.get_quorum(from, 77, mk, 0xFEE7 ^ (a as u64) << 8 ^ b as u64, retry);
+                assert_eq!(
+                    got,
+                    Some(value.clone()),
+                    "item unreadable with covers {a} and {b} dead"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quorum_read_survives_a_lossy_transport() {
+        let (mut dht, mut rng) = store(128, 8, 4, 0xA6);
+        let retry = RetryPolicy { timeout: 4_096, max_attempts: 10 };
+        let mut stored = 0usize;
+        let mut fetched = 0usize;
+        for key in 0..40u64 {
+            let from = dht.net.random_node(&mut rng);
+            let sim = Sim::new(key ^ 0xC0).with_drop(0.03);
+            let (out, placed) =
+                dht.put_over(from, key, Bytes::from(vec![key as u8; 24]), sim, key, retry);
+            if out.ok {
+                stored += 1;
+                assert!(placed >= 4, "a committed write has at least a quorum of shares");
+                let sim = Sim::new(key ^ 0xD1).with_drop(0.03);
+                let (_, got) = dht.get_over(from, key, sim, key ^ 1, retry);
+                if got == Some(Bytes::from(vec![key as u8; 24])) {
+                    fetched += 1;
+                }
+            }
+        }
+        assert!(stored >= 36, "only {stored}/40 puts survived 3% loss with retries");
+        assert!(fetched >= stored - 2, "only {fetched}/{stored} quorum reads succeeded");
+    }
+
+    #[test]
+    fn false_message_injection_cannot_fake_writes() {
+        let (mut dht, mut rng) = store(96, 5, 3, 0xA7);
+        let from = dht.net.random_node(&mut rng);
+        let mut liars = Faulty::new(Inline, FaultModel::FalseMessageInjection);
+        for &id in dht.net.live() {
+            liars.fail(id);
+        }
+        let retry = RetryPolicy { timeout: 64, max_attempts: 3 };
+        let (out, placed) =
+            dht.put_over(from, 9, Bytes::from_static(b"evil"), liars, 0x11, retry);
+        if out.msgs > 0 {
+            assert!(!out.ok, "corrupted shares must not reach a write quorum");
+            if out.corrupt {
+                // the routed request itself lost integrity: rejected
+                // wholesale at application time
+                assert_eq!(placed, 0, "a corrupted request must place nothing");
+            } else {
+                // every remote StoreShare arrives corrupted and is
+                // rejected; only each attempt's coordinator-local
+                // share (message-free) can land
+                assert!(
+                    placed <= out.attempts as usize,
+                    "{placed} shares placed across {} attempts — a liar's share was accepted",
+                    out.attempts
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn torn_overwrite_keeps_the_committed_generation_readable() {
+        let (mut dht, mut rng) = store(96, 6, 3, 0xAB);
+        let v1 = Bytes::from_static(b"v1 committed");
+        let from = dht.net.random_node(&mut rng);
+        dht.put(from, 3, v1.clone(), &mut rng);
+        // fail-stop all covers but the first two: the overwrite can
+        // place at most 2 < k shares and must fail its write quorum
+        let clique = dht.clique(3);
+        let mut faulty = Faulty::new(Inline, FaultModel::FailStop);
+        for &c in &clique[2..] {
+            faulty.fail(c);
+        }
+        let retry = RetryPolicy { timeout: 64, max_attempts: 3 };
+        let (out, placed) =
+            dht.put_over(clique[0], 3, Bytes::from_static(b"v2 torn"), faulty, 0x7E41, retry);
+        assert!(!out.ok, "2 live covers cannot ack a k = 3 quorum");
+        assert_eq!(placed, 2, "the live covers really hold the torn shares");
+        // the committed generation stays readable right away — no
+        // repair needed: 4 of its 6 shares survived
+        assert_eq!(dht.get(clique[0], 3, &mut rng), Some(v1.clone()));
+        // and repair discards the under-quorum torn generation
+        let mut t = Inline;
+        let report = dht.repair(&mut t, 5);
+        assert_eq!(report.items_lost, 0);
+        assert_eq!(dht.get(clique[0], 3, &mut rng), Some(v1));
+    }
+
+    #[test]
+    fn quorum_miss_fails_over_only_until_definitive() {
+        // a miss on a healthy network is answered by the first
+        // coordinator (every cover replies not-found) — failover must
+        // stop there instead of sweeping the clique for rounds
+        let (dht, mut rng) = store(96, 6, 3, 0xAC);
+        let from = dht.net.random_node(&mut rng);
+        let got = dht.get_quorum(from, 424242, |_| Inline, 0x9, RetryPolicy::default());
+        assert_eq!(got, None);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = || {
+            let (mut dht, mut rng) = store(128, 8, 4, 0xA8);
+            let mut log: Vec<(u64, bool, u64, u64)> = Vec::new();
+            for key in 0..30u64 {
+                let from = dht.net.random_node(&mut rng);
+                let sim = Sim::new(key).with_drop(0.02);
+                let retry = RetryPolicy { timeout: 2_048, max_attempts: 8 };
+                let (out, _) =
+                    dht.put_over(from, key, Bytes::from(vec![key as u8; 16]), sim, key, retry);
+                log.push((key, out.ok, out.msgs, out.bytes));
+                let sim = Sim::new(key ^ 99).with_drop(0.02);
+                let (out, v) = dht.get_over(from, key, sim, key ^ 1, retry);
+                log.push((key, v.is_some(), out.msgs, out.bytes));
+            }
+            log
+        };
+        assert_eq!(run(), run(), "same seeds must reproduce the run exactly");
+    }
+
+    #[test]
+    fn works_on_chord_and_debruijn_instances() {
+        use cd_core::graph::{ChordLike, DeBruijn};
+        let mut rng = seeded(0xA9);
+        let chord = CdNetwork::build(ChordLike, &PointSet::random(96, &mut rng));
+        let mut dht = ReplicatedDht::new(chord, 6, 3, &mut rng);
+        let from = dht.net.random_node(&mut rng);
+        dht.put(from, 4, Bytes::from_static(b"chord"), &mut rng);
+        assert_eq!(dht.get(from, 4, &mut rng), Some(Bytes::from_static(b"chord")));
+
+        let db8 = CdNetwork::build(DeBruijn::new(8), &PointSet::random(96, &mut rng));
+        let mut dht = ReplicatedDht::new(db8, 6, 3, &mut rng);
+        let from = dht.net.random_node(&mut rng);
+        dht.put(from, 4, Bytes::from_static(b"debruijn"), &mut rng);
+        assert_eq!(dht.get(from, 4, &mut rng), Some(Bytes::from_static(b"debruijn")));
+    }
+}

@@ -1,0 +1,366 @@
+//! The self-healing pass: churn-driven share repair.
+//!
+//! Join splits a segment and leave merges one, so the cover clique of
+//! an item — the `m` ring-consecutive servers starting at the cover
+//! of `h(item)` — **shifts** under churn: fresh covers hold no share,
+//! a departed cover's shares are simply gone, and surviving shares may
+//! sit on servers that are no longer in the clique. The anti-entropy
+//! pass ([`ReplicatedDht::repair`]) detects that drift per item by
+//! digest exchange ([`Wire::ShareDigest`]) and re-materializes the
+//! placement: each cover missing its share pulls any `k` live shares
+//! ([`Wire::RepairPull`]/[`Wire::RepairPush`]), reconstructs the item
+//! (newest generation with a quorum of live shares — an interrupted
+//! overwrite rolls back, never mixes), re-encodes and shelves its
+//! share. The churn entry points [`ReplicatedDht::join_over`] and
+//! [`ReplicatedDht::leave_over`] run the wire-churn protocol of
+//! `dh_dht::proto` and then this pass, so a store driven through them
+//! is always fully replicated between churn events — which is exactly
+//! the induction step behind the durability guarantee (at most `m − k`
+//! losses between repairs keep every item at read quorum).
+//!
+//! Determinism: items are scanned in key order (`BTreeMap`), message
+//! costs run through the same seeded engine as every other protocol,
+//! and repair mutates shelves in scan order — so the whole pass
+//! fingerprints and replays like any routed batch.
+
+use crate::{Holder, ItemState, ReplicatedDht};
+use cd_core::graph::ContinuousGraph;
+use cd_core::point::Point;
+use cd_core::rng::splitmix64;
+use dh_dht::network::NodeId;
+use dh_dht::proto::{join_over, leave_over, ChurnMsgCost};
+use dh_dht::LookupKind;
+use dh_erasure::{encode, sealed_len, try_decode, Share};
+use dh_proto::engine::{Engine, RetryPolicy};
+use dh_proto::transport::Transport;
+use dh_proto::wire::Wire;
+use std::collections::BTreeMap;
+
+/// What one repair pass did and what it cost on the wire.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RepairReport {
+    /// Items scanned.
+    pub items_checked: usize,
+    /// Items whose placement had drifted from their current clique.
+    pub items_shifted: usize,
+    /// Shares re-materialized onto fresh covers.
+    pub shares_rebuilt: usize,
+    /// Items with fewer than `k` live shares in every generation —
+    /// unrecoverable (more than `m − k` covers lost between repairs).
+    pub items_lost: usize,
+    /// Digest + pull/push messages sent.
+    pub msgs: u64,
+    /// Modeled bytes of the above.
+    pub bytes: u64,
+}
+
+impl RepairReport {
+    /// Merge another pass's counters (e.g. the per-op reports of a
+    /// churn storm) by addition.
+    pub fn merge(&mut self, other: &RepairReport) {
+        self.items_checked += other.items_checked;
+        self.items_shifted += other.items_shifted;
+        self.shares_rebuilt += other.shares_rebuilt;
+        self.items_lost += other.items_lost;
+        self.msgs += other.msgs;
+        self.bytes += other.bytes;
+    }
+}
+
+impl<G: ContinuousGraph> ReplicatedDht<G> {
+    /// Drop every shelf entry held by `node` (it is leaving — its
+    /// shares go with it). Called before the slab slot can be reused.
+    pub(crate) fn drop_shelves_of(&mut self, node: NodeId) {
+        for item in self.shelves.values_mut() {
+            item.holders.retain(|_, h| h.node != node);
+        }
+    }
+
+    /// One anti-entropy pass over every item: detect placement drift
+    /// against the current cliques, re-materialize missing shares from
+    /// any `k` live holders, garbage-collect shares stranded outside
+    /// their clique. All message costs are priced through `transport`
+    /// on a fresh engine seeded by `seed`.
+    pub fn repair<T: Transport>(&mut self, transport: &mut T, seed: u64) -> RepairReport {
+        let mut report = RepairReport::default();
+        let (m, k) = (self.m as usize, self.k as usize);
+        let net = &self.net;
+        let mut eng = Engine::new(net, &mut *transport, seed);
+        let mut clique: Vec<NodeId> = Vec::with_capacity(m);
+        for (&key, item) in self.shelves.iter_mut() {
+            report.items_checked += 1;
+            net.clique_of(item.point, m, &mut clique);
+            if placement_matches(item, &clique) {
+                continue;
+            }
+            report.items_shifted += 1;
+            // digest exchange: the primary announces the item's
+            // expected generation across the clique; every mismatch
+            // below is what the digests flagged
+            for &h in &clique[1..] {
+                eng.send(clique[0], h, Wire::ShareDigest { keys: 1 });
+            }
+            // newest generation still holding a quorum of live shares
+            let Some((version, value)) = best_generation(item, k) else {
+                report.items_lost += 1;
+                continue;
+            };
+            // re-encode the full generation; every cover whose share
+            // is missing (or stale) pulls k shares and re-materializes
+            let shares = encode(&value, k, m.min(clique.len()).max(k));
+            let sealed = sealed_len(shares[0].data.len()) as u32;
+            let sources: Vec<NodeId> = item
+                .holders
+                .values()
+                .filter(|h| h.version == version)
+                .take(k)
+                .map(|h| h.node)
+                .collect();
+            let mut holders: BTreeMap<u8, Holder> = BTreeMap::new();
+            for (i, &cover) in clique.iter().enumerate() {
+                let idx = i as u8;
+                let stale = item
+                    .holders
+                    .get(&idx)
+                    .is_none_or(|h| h.node != cover || h.version != version);
+                if stale {
+                    report.shares_rebuilt += 1;
+                    for &src in &sources {
+                        if src != cover {
+                            eng.send(cover, src, Wire::RepairPull { key, idx });
+                            eng.send(src, cover, Wire::RepairPush { key, idx, len: sealed });
+                        }
+                    }
+                }
+                holders.insert(
+                    idx,
+                    Holder { node: cover, version, share: shares[i].clone() },
+                );
+            }
+            item.version = version;
+            item.holders = holders;
+        }
+        eng.run();
+        report.msgs = eng.stats.msgs;
+        report.bytes = eng.stats.bytes;
+        report
+    }
+
+    /// Algorithm Join as wire traffic plus the repair pass: the member
+    /// protocol of `dh_dht::proto::join_over`, then anti-entropy so
+    /// every clique the split shifted is fully replicated again.
+    /// Returns `None` on identifier collision or failed join lookup.
+    pub fn join_over<T: Transport>(
+        &mut self,
+        host: NodeId,
+        x: Point,
+        kind: LookupKind,
+        seed: u64,
+        transport: &mut T,
+        retry: RetryPolicy,
+    ) -> Option<(NodeId, ChurnMsgCost, RepairReport)> {
+        let (id, cost) = join_over(&mut self.net, host, x, kind, seed, transport, retry)?;
+        let report = self.repair(transport, splitmix64(seed ^ 0x5E1F));
+        Some((id, cost, report))
+    }
+
+    /// The simple Leave as wire traffic plus the repair pass: the
+    /// departing server's shelves vanish with it, the member protocol
+    /// of `dh_dht::proto::leave_over` runs, and anti-entropy
+    /// re-materializes the lost shares on the shifted cliques.
+    pub fn leave_over<T: Transport>(
+        &mut self,
+        id: NodeId,
+        transport: &mut T,
+        seed: u64,
+    ) -> (ChurnMsgCost, RepairReport) {
+        self.drop_shelves_of(id);
+        let cost = leave_over(&mut self.net, id, transport, seed);
+        let report = self.repair(transport, splitmix64(seed ^ 0x5E1F));
+        (cost, report)
+    }
+}
+
+/// Does the item's placement already match `clique` exactly — every
+/// cover holding its index of the current generation, nothing extra?
+fn placement_matches(item: &ItemState, clique: &[NodeId]) -> bool {
+    item.holders.len() == clique.len()
+        && clique.iter().enumerate().all(|(i, &cover)| {
+            item.holders
+                .get(&(i as u8))
+                .is_some_and(|h| h.node == cover && h.version == item.version)
+        })
+}
+
+/// The newest generation with at least `k` live shares, decoded.
+/// Scans versions newest-first so an interrupted overwrite (a partial
+/// newer generation) rolls back to the last complete one.
+fn best_generation(item: &ItemState, k: usize) -> Option<(u32, Vec<u8>)> {
+    let mut versions: Vec<u32> = item.holders.values().map(|h| h.version).collect();
+    versions.sort_unstable_by(|a, b| b.cmp(a));
+    versions.dedup();
+    for v in versions {
+        let shares: Vec<Share> = item.shares_of(v);
+        if shares.len() >= k {
+            if let Ok(value) = try_decode(&shares, k) {
+                return Some((v, value));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ReplicatedDht;
+    use bytes::Bytes;
+    use cd_core::pointset::PointSet;
+    use cd_core::rng::seeded;
+    use cd_core::Point as CPoint;
+    use dh_dht::network::DhNetwork;
+    use dh_proto::transport::{Inline, Recorder};
+    use rand::Rng;
+
+    fn store(n: usize, m: u8, k: u8, seed: u64) -> (ReplicatedDht, rand::rngs::StdRng) {
+        let mut rng = seeded(seed);
+        let net = DhNetwork::new(&PointSet::random(n, &mut rng));
+        (ReplicatedDht::new(net, m, k, &mut rng), rng)
+    }
+
+    /// Every item fully replicated on its current clique, and readable.
+    fn assert_healthy(dht: &ReplicatedDht, rng: &mut impl Rng) {
+        for (&key, item) in &dht.shelves {
+            let clique = dht.clique(key);
+            assert_eq!(item.holders.len(), clique.len(), "item {key} under-replicated");
+            for (idx, h) in &item.holders {
+                assert_eq!(h.node, clique[*idx as usize], "item {key} share {idx} misplaced");
+                assert_eq!(h.version, item.version);
+            }
+            let from = dht.net.random_node(rng);
+            assert!(dht.get(from, key, rng).is_some(), "item {key} unreadable");
+        }
+    }
+
+    #[test]
+    fn repair_is_a_noop_on_a_healthy_store() {
+        let (mut dht, mut rng) = store(96, 6, 3, 0xB0);
+        for key in 0..30u64 {
+            let from = dht.net.random_node(&mut rng);
+            dht.put(from, key, Bytes::from(vec![key as u8; 12]), &mut rng);
+        }
+        let mut t = Inline;
+        let report = dht.repair(&mut t, 1);
+        assert_eq!(report.items_checked, 30);
+        assert_eq!(report.items_shifted, 0);
+        assert_eq!(report.shares_rebuilt, 0);
+        assert_eq!(report.msgs, 0, "a healthy store exchanges nothing");
+    }
+
+    #[test]
+    fn leave_over_re_materializes_the_lost_shares() {
+        let (mut dht, mut rng) = store(96, 6, 3, 0xB1);
+        for key in 0..25u64 {
+            let from = dht.net.random_node(&mut rng);
+            dht.put(from, key, Bytes::from(format!("repair-{key}")), &mut rng);
+        }
+        let mut t = Inline;
+        let mut total = RepairReport::default();
+        for i in 0..20u64 {
+            let victim = dht.net.random_node(&mut rng);
+            let (_, report) = dht.leave_over(victim, &mut t, i);
+            assert_eq!(report.items_lost, 0, "one leave can never exceed m − k losses");
+            total.merge(&report);
+            assert_healthy(&dht, &mut rng);
+        }
+        assert!(total.shares_rebuilt > 0, "leaves of share-holding covers must trigger repair");
+        assert!(total.msgs > 0, "repair traffic must be priced");
+        for key in 0..25u64 {
+            let from = dht.net.random_node(&mut rng);
+            assert_eq!(
+                dht.get(from, key, &mut rng),
+                Some(Bytes::from(format!("repair-{key}"))),
+                "item {key} lost after churn + repair"
+            );
+        }
+    }
+
+    #[test]
+    fn join_over_heals_shifted_cliques() {
+        let (mut dht, mut rng) = store(64, 6, 3, 0xB2);
+        for key in 0..25u64 {
+            let from = dht.net.random_node(&mut rng);
+            dht.put(from, key, Bytes::from(format!("join-{key}")), &mut rng);
+        }
+        let mut t = Inline;
+        for i in 0..30u64 {
+            let host = dht.net.random_node(&mut rng);
+            let x = CPoint(rng.gen());
+            let kind = dht.kind;
+            if dht
+                .join_over(host, x, kind, i, &mut t, RetryPolicy::default())
+                .is_some()
+            {
+                assert_healthy(&dht, &mut rng);
+            }
+        }
+    }
+
+    #[test]
+    fn interrupted_overwrite_rolls_back_to_the_committed_generation() {
+        let (mut dht, mut rng) = store(96, 6, 3, 0xB3);
+        let from = dht.net.random_node(&mut rng);
+        dht.put(from, 7, Bytes::from_static(b"committed"), &mut rng);
+        // forge a partial newer generation: fewer than k shares of v2
+        let item = dht.shelves.get_mut(&7).unwrap();
+        item.version += 1;
+        let v2 = item.version;
+        let forged = encode(b"torn write", 3, 6);
+        for idx in 0..2u8 {
+            let h = item.holders.get_mut(&idx).unwrap();
+            h.version = v2;
+            h.share = forged[idx as usize].clone();
+        }
+        // the newest generation is now unreadable at quorum…
+        assert_eq!(dht.get(from, 7, &mut rng), None);
+        // …until repair rolls back to the last complete one
+        let mut t = Inline;
+        let report = dht.repair(&mut t, 9);
+        assert_eq!(report.items_lost, 0);
+        assert_eq!(dht.get(from, 7, &mut rng), Some(Bytes::from_static(b"committed")));
+    }
+
+    #[test]
+    fn losing_more_than_m_minus_k_between_repairs_is_reported() {
+        let (mut dht, mut rng) = store(128, 4, 3, 0xB4);
+        let from = dht.net.random_node(&mut rng);
+        dht.put(from, 1, Bytes::from_static(b"fragile"), &mut rng);
+        // kill 2 > m − k = 1 covers without repairing in between
+        let clique = dht.clique(1);
+        dht.drop_shelves_of(clique[0]);
+        dht.drop_shelves_of(clique[1]);
+        let mut t = Inline;
+        let report = dht.repair(&mut t, 3);
+        assert_eq!(report.items_lost, 1, "an unrecoverable item must be reported, not invented");
+    }
+
+    #[test]
+    fn repair_pass_is_deterministic_and_fingerprints() {
+        let run = || {
+            let (mut dht, mut rng) = store(96, 6, 3, 0xB5);
+            for key in 0..20u64 {
+                let from = dht.net.random_node(&mut rng);
+                dht.put(from, key, Bytes::from(vec![key as u8; 10]), &mut rng);
+            }
+            let mut rec = Recorder::new(Inline);
+            let mut reports = Vec::new();
+            for i in 0..10u64 {
+                let victim = dht.net.random_node(&mut rng);
+                let (_, report) = dht.leave_over(victim, &mut rec, i);
+                reports.push(report);
+            }
+            (reports, rec.trace.fingerprint())
+        };
+        assert_eq!(run(), run(), "repair must fingerprint identically per seed");
+    }
+}

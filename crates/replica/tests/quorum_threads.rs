@@ -1,0 +1,169 @@
+//! The durability matrix of the replicated store: after a churn storm
+//! (repair hooked in) **and** fail-stop of m − k covers per item, every
+//! item reconstructs at quorum — on all three topologies — and the
+//! parallel batch driver is bit-identical at 1, 2 and 8 worker
+//! threads (fixed shard count, per-shard recorded fingerprints).
+
+use bytes::Bytes;
+use cd_core::graph::{ChordLike, ContinuousGraph, DeBruijn, DistanceHalving};
+use cd_core::pointset::PointSet;
+use cd_core::rng::seeded;
+use cd_core::Point;
+use dh_dht::CdNetwork;
+use dh_proto::engine::RetryPolicy;
+use dh_proto::transport::{Inline, Recorder, Sim};
+use dh_proto::{FaultModel, Faulty};
+use dh_replica::{batch_over, ReplicaAction, ReplicaOp, ReplicatedDht};
+use rand::Rng;
+
+const THREAD_MATRIX: [usize; 3] = [1, 2, 8];
+
+/// Run `f` with the pool pinned to `threads` workers, restoring auto
+/// detection afterwards.
+fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    rayon::set_num_threads(threads);
+    let out = f();
+    rayon::set_num_threads(0);
+    out
+}
+
+fn churned_store<G: ContinuousGraph>(
+    graph: G,
+    seed: u64,
+) -> (ReplicatedDht<G>, Vec<(u64, Bytes)>, rand::rngs::StdRng) {
+    let mut rng = seeded(seed);
+    let net = CdNetwork::build(graph, &PointSet::random(96, &mut rng));
+    let mut dht = ReplicatedDht::new(net, 6, 3, &mut rng);
+    let mut items = Vec::new();
+    for key in 0..40u64 {
+        let from = dht.net.random_node(&mut rng);
+        let value = Bytes::from(format!("durability-{key}"));
+        dht.put(from, key, value.clone(), &mut rng);
+        items.push((key, value));
+    }
+    // a churn burst with repair hooked in: placements shift, shares
+    // are re-materialized
+    let mut transport = Inline;
+    for i in 0..60u64 {
+        if dht.net.len() > 32 && rng.gen_bool(0.5) {
+            let v = dht.net.random_node(&mut rng);
+            let (_, report) = dht.leave_over(v, &mut transport, i);
+            assert_eq!(report.items_lost, 0);
+        } else {
+            let host = dht.net.random_node(&mut rng);
+            let kind = dht.kind;
+            dht.join_over(host, Point(rng.gen()), kind, i, &mut transport, RetryPolicy::default());
+        }
+    }
+    (dht, items, rng)
+}
+
+fn durability_after_churn<G: ContinuousGraph>(graph: G, seed: u64) {
+    let (mut dht, items, mut rng) = churned_store(graph, seed);
+    dht.kind = dht.net.native_kind();
+    for (key, value) in &items {
+        // the adversary picks m − k covers to fail-stop — rotate
+        // through every aligned triple so the primary is covered too
+        let clique = dht.clique(*key);
+        for rot in 0..3usize {
+            let dead: Vec<_> = (0..3).map(|i| clique[(rot * 2 + i) % 6]).collect();
+            let mk = |_: usize| {
+                let mut f = Faulty::new(Inline, FaultModel::FailStop);
+                for &d in &dead {
+                    f.fail(d);
+                }
+                f
+            };
+            // the reader must itself be alive (a fail-stopped origin
+            // cannot send anything at all)
+            let from = loop {
+                let f = dht.net.random_node(&mut rng);
+                if !dead.contains(&f) {
+                    break f;
+                }
+            };
+            let retry = RetryPolicy { timeout: 128, max_attempts: 6 };
+            let got = dht.get_quorum(from, *key, mk, seed ^ (*key << 4) ^ rot as u64, retry);
+            assert_eq!(
+                got.as_ref(),
+                Some(value),
+                "item {key} unreadable with covers {dead:?} fail-stopped (rotation {rot})"
+            );
+        }
+    }
+}
+
+#[test]
+fn durability_after_churn_dh() {
+    durability_after_churn(DistanceHalving::binary(), 0xD0A1);
+}
+
+#[test]
+fn durability_after_churn_chord() {
+    durability_after_churn(ChordLike, 0xD0A2);
+}
+
+#[test]
+fn durability_after_churn_debruijn8() {
+    durability_after_churn(DeBruijn::new(8), 0xD0A3);
+}
+
+/// One full batch run at a given thread count: outcomes, final
+/// placement, merged stats and the per-shard recorded fingerprints.
+type BatchKey = (Vec<(bool, Option<Bytes>, u64, u64)>, Vec<(u64, u32, usize)>, Vec<u64>);
+
+fn batch_at(threads: usize, lossy: bool) -> BatchKey {
+    with_threads(threads, || {
+        let mut rng = seeded(0xBA7C);
+        let net = CdNetwork::build(DistanceHalving::binary(), &PointSet::random(256, &mut rng));
+        let mut dht = ReplicatedDht::new(net, 8, 4, &mut rng);
+        for key in 0..30u64 {
+            let from = dht.net.random_node(&mut rng);
+            dht.put(from, key, Bytes::from(vec![key as u8; 20]), &mut rng);
+        }
+        let ops: Vec<ReplicaOp> = (0..120u64)
+            .map(|i| {
+                let from = dht.net.random_node(&mut rng);
+                let action = if i % 3 == 0 {
+                    ReplicaAction::Get { key: i % 30 }
+                } else {
+                    ReplicaAction::Put { key: 500 + i, value: Bytes::from(vec![i as u8; 24]) }
+                };
+                ReplicaOp { from, action }
+            })
+            .collect();
+        let retry = RetryPolicy { timeout: 2_048, max_attempts: 8 };
+        let (results, _stats, transports) = batch_over(&mut dht, &ops, 0x5EED, retry, 4, |s| {
+            Recorder::new(if lossy {
+                Sim::new(s as u64 ^ 0xFA11).with_drop(0.02)
+            } else {
+                Sim::new(s as u64 ^ 0xFA11)
+            })
+        });
+        let brief = results
+            .into_iter()
+            .map(|r| (r.applied, r.value, r.outcome.msgs, r.outcome.bytes))
+            .collect();
+        let placement: Vec<(u64, u32, usize)> = (0..30u64)
+            .chain(500..620)
+            .filter_map(|key| {
+                let clique = dht.clique(key);
+                let from = clique[0];
+                dht.get(from, key, &mut rng).map(|v| (key, v.len() as u32, clique.len()))
+            })
+            .collect();
+        // the shard recorders pin the entire event schedule
+        let fps: Vec<u64> = transports.iter().map(|t| t.trace.fingerprint()).collect();
+        (brief, placement, fps)
+    })
+}
+
+#[test]
+fn replicated_batches_are_bit_identical_at_1_2_8_threads() {
+    for lossy in [false, true] {
+        let runs: Vec<BatchKey> =
+            THREAD_MATRIX.iter().map(|&t| batch_at(t, lossy)).collect();
+        assert_eq!(runs[0], runs[1], "1 vs 2 threads diverged (lossy = {lossy})");
+        assert_eq!(runs[0], runs[2], "1 vs 8 threads diverged (lossy = {lossy})");
+    }
+}

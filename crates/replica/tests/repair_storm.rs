@@ -1,0 +1,123 @@
+//! Repair under a churn storm: across 1k interleaved
+//! join/leave/put/get operations — churn driven through the wire
+//! protocol with the anti-entropy pass hooked in — every stored item
+//! must stay **readable at quorum** and fully replicated on its
+//! current cover clique, on all three topology instances (Distance
+//! Halving, Chord-like, base-8 de Bruijn). Mirrors
+//! `crates/dht/tests/storage_churn.rs`, with the §6.2 replicated
+//! store in place of the single-copy one.
+
+use bytes::Bytes;
+use cd_core::graph::{ChordLike, ContinuousGraph, DeBruijn, DistanceHalving};
+use cd_core::pointset::PointSet;
+use cd_core::rng::seeded;
+use cd_core::Point;
+use dh_dht::CdNetwork;
+use dh_proto::engine::RetryPolicy;
+use dh_proto::transport::Inline;
+use dh_replica::ReplicatedDht;
+use rand::Rng;
+use std::collections::BTreeMap;
+
+fn value_of(key: u64) -> Bytes {
+    Bytes::from(format!("storm-item-{key}"))
+}
+
+/// Every live item is fully replicated on its current clique and
+/// reconstructs at quorum from a random origin.
+fn check_all<G: ContinuousGraph>(
+    dht: &ReplicatedDht<G>,
+    live: &BTreeMap<u64, Bytes>,
+    rng: &mut impl Rng,
+) {
+    for (&key, want) in live {
+        let clique = dht.clique(key);
+        assert_eq!(clique.len(), dht.m() as usize, "network shrank below m");
+        let from = dht.net.random_node(rng);
+        let got = dht.get(from, key, rng);
+        assert_eq!(got.as_ref(), Some(want), "item {key} unreadable at quorum mid-storm");
+    }
+}
+
+fn storm<G: ContinuousGraph>(graph: G, seed: u64) {
+    let mut rng = seeded(seed);
+    let net = CdNetwork::build(graph, &PointSet::random(64, &mut rng));
+    let mut dht = ReplicatedDht::new(net, 8, 4, &mut rng);
+    let mut transport = Inline;
+    // BTreeMap: deterministic iteration, so the storm replays
+    let mut live: BTreeMap<u64, Bytes> = BTreeMap::new();
+    let mut next_key = 0u64;
+    let mut ops = 0usize;
+    let mut lost_total = 0usize;
+    while ops < 1_000 {
+        match rng.gen_range(0..4u32) {
+            // leave: the departing cover's shares vanish; repair
+            // re-materializes them before the next operation
+            0 if dht.net.len() > 24 => {
+                let v = dht.net.random_node(&mut rng);
+                let (_, report) = dht.leave_over(v, &mut transport, ops as u64);
+                lost_total += report.items_lost;
+            }
+            // join: the split shifts every clique containing the
+            // split node; repair reassigns the share indices
+            1 => {
+                let host = dht.net.random_node(&mut rng);
+                let x = Point(rng.gen());
+                let kind = dht.kind;
+                if dht
+                    .join_over(host, x, kind, ops as u64, &mut transport, RetryPolicy::default())
+                    .is_none()
+                {
+                    continue; // identifier collision: redraw
+                }
+            }
+            2 => {
+                let key = next_key;
+                next_key += 1;
+                let from = dht.net.random_node(&mut rng);
+                let placed = dht.put(from, key, value_of(key), &mut rng);
+                assert_eq!(placed, 8, "Inline must place the full clique");
+                live.insert(key, value_of(key));
+            }
+            _ => {
+                // a quorum read of a random live item must succeed
+                // mid-storm
+                if let Some((&key, want)) =
+                    live.range(rng.gen::<u64>() % next_key.max(1)..).next()
+                {
+                    let from = dht.net.random_node(&mut rng);
+                    assert_eq!(
+                        dht.get(from, key, &mut rng).as_ref(),
+                        Some(want),
+                        "item {key} lost mid-storm"
+                    );
+                }
+            }
+        }
+        ops += 1;
+        if ops.is_multiple_of(250) {
+            dht.net.validate();
+            check_all(&dht, &live, &mut rng);
+        }
+    }
+    assert_eq!(lost_total, 0, "single-leave churn with repair can never lose an item");
+    assert!(live.len() > 100, "the storm must have stored a real population");
+    assert_eq!(dht.items(), live.len(), "shelves must track the live population");
+    dht.net.validate();
+    check_all(&dht, &live, &mut rng);
+}
+
+#[test]
+fn repair_churn_storm_dh() {
+    storm(DistanceHalving::binary(), 0xF0A1);
+}
+
+#[test]
+fn repair_churn_storm_chord() {
+    storm(ChordLike, 0xF0A2);
+}
+
+#[test]
+fn repair_churn_storm_debruijn8() {
+    storm(DeBruijn::new(8), 0xF0A3);
+}
