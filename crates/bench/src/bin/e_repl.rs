@@ -19,14 +19,22 @@
 //! printed combined fingerprint pins the schedule (CI asserts it, as
 //! for `e_msgs`/`e_table1`).
 //!
+//! With `--backend file` the identical scenario runs over the
+//! crash-consistent WAL shelves (`dh_store::FileShelves`) instead of
+//! RAM — the fingerprint must not move, because the backend is
+//! invisible to the protocol — and an extra row prices the recovery
+//! scan: the WAL of the full scenario is reopened cold and the replay
+//! throughput (ns/share, MB/s) is reported.
+//!
 //! ```sh
 //! cargo run --release --bin e_repl                      # n = 10k
-//! cargo run --release --bin e_repl -- 10000 2000 7 [expect-fp-hex] [--threads N]
+//! cargo run --release --bin e_repl -- 10000 2000 7 [expect-fp-hex] \
+//!     [--threads N] [--backend mem|file]
 //! ```
 
 use bytes::Bytes;
 use cd_bench::bench_json::{self, Record};
-use cd_bench::{claim, parse_threads, section, MASTER_SEED};
+use cd_bench::{claim, parse_backend_file, parse_threads, section, MASTER_SEED};
 use cd_core::pointset::PointSet;
 use cd_core::rng::{seeded, subseed};
 use cd_core::stats::Table;
@@ -34,7 +42,8 @@ use cd_core::Point;
 use dh_dht::DhNetwork;
 use dh_proto::engine::RetryPolicy;
 use dh_proto::transport::{Inline, Recorder, Sim};
-use dh_replica::{batch_over, RepairReport, ReplicaAction, ReplicaOp, ReplicatedDht};
+use dh_replica::{batch_over, RepairReport, ReplicaAction, ReplicaOp, ReplicatedDht, Shelves};
+use dh_store::{FileShelves, MemShelves, ScratchPath};
 use rand::Rng;
 use std::time::Instant;
 
@@ -60,11 +69,12 @@ struct ScenarioOut {
 
 /// The recorded scenario: puts, quorum gets, then a churn burst with
 /// repair — all through one Recorder so the fingerprint pins every
-/// transport decision of the whole run.
-fn scenario(n: usize, items: usize, seed: u64) -> ScenarioOut {
+/// transport decision of the whole run. Generic over the shelf
+/// backend: the RAM and WAL runs must print the same fingerprint.
+fn scenario<S: Shelves>(n: usize, items: usize, seed: u64, shelves: S) -> ScenarioOut {
     let mut rng = seeded(seed ^ 0x0E75);
     let net = DhNetwork::new(&PointSet::random(n, &mut rng));
-    let mut dht = ReplicatedDht::new(net, M, K, &mut rng);
+    let mut dht = ReplicatedDht::with_shelves(net, M, K, shelves, &mut rng);
     let mut rec = Recorder::new(Sim::new(seed).with_latency(4, 16, 4));
     let retry = RetryPolicy { timeout: 4_096, max_attempts: 8 };
 
@@ -145,10 +155,15 @@ fn scenario(n: usize, items: usize, seed: u64) -> ScenarioOut {
 
 /// The parallel batch pass: `batch_over` on the sharded runtime,
 /// returning comparable metrics plus ops/s for one thread count.
-fn batch_pass(n: usize, ops_n: usize, seed: u64) -> (Vec<(bool, u64, u64)>, f64) {
+fn batch_pass<S: Shelves + Sync>(
+    n: usize,
+    ops_n: usize,
+    seed: u64,
+    shelves: S,
+) -> (Vec<(bool, u64, u64)>, f64) {
     let mut rng = seeded(seed ^ 0x0E75);
     let net = DhNetwork::new(&PointSet::random(n, &mut rng));
-    let mut dht = ReplicatedDht::new(net, M, K, &mut rng);
+    let mut dht = ReplicatedDht::with_shelves(net, M, K, shelves, &mut rng);
     for key in 0..64u64 {
         let from = dht.net.random_node(&mut rng);
         dht.put(from, key, value_of(key), &mut rng);
@@ -178,9 +193,35 @@ fn batch_pass(n: usize, ops_n: usize, seed: u64) -> (Vec<(bool, u64, u64)>, f64)
     (brief, ops_n as f64 / secs)
 }
 
+/// The recovery-scan measurement: reopen a closed scenario WAL cold
+/// and price the replay.
+struct RecoverScan {
+    ns_per_share: f64,
+    mb_per_s: f64,
+    shares: usize,
+    records: usize,
+    wal_len: u64,
+}
+
+fn measure_recovery(path: &std::path::Path) -> RecoverScan {
+    let t0 = Instant::now();
+    let reopened = FileShelves::open(path).expect("reopen scenario WAL");
+    let secs = t0.elapsed().as_secs_f64();
+    assert_eq!(reopened.recovery().skipped, 0, "a clean close must replay losslessly");
+    let shares = reopened.shelved_shares().max(1);
+    RecoverScan {
+        ns_per_share: secs * 1e9 / shares as f64,
+        mb_per_s: reopened.wal_len() as f64 / 1e6 / secs.max(1e-12),
+        shares,
+        records: reopened.recovery().records,
+        wal_len: reopened.wal_len(),
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let threads = parse_threads(&mut args);
+    let file_backend = parse_backend_file(&mut args);
     if let Some(t) = threads {
         rayon::set_num_threads(t);
     }
@@ -191,15 +232,28 @@ fn main() {
     let expect_fp: Option<u64> =
         args.next().and_then(|a| u64::from_str_radix(a.trim_start_matches("0x"), 16).ok());
     let workers = threads.unwrap_or_else(rayon::current_num_threads);
+    let backend = if file_backend { "file" } else { "mem" };
 
     println!(
-        "# E-repl — replicated storage on the wire (n = {n}, items = {items}, m = {M}, k = {K}, seed = {seed:#x})"
+        "# E-repl — replicated storage on the wire (n = {n}, items = {items}, m = {M}, k = {K}, seed = {seed:#x}, backend = {backend})"
     );
 
     section("share placement, quorum reads and repair (Sim transport, recorded)");
-    let out = scenario(n, items, seed);
-    // the determinism witness: the identical scenario, recorded again
-    let out2 = scenario(n, items, seed);
+    // run the scenario twice (determinism witness); on the file
+    // backend keep the first run's WAL around for the recovery scan
+    let (out, out2, recover) = if file_backend {
+        let keep = ScratchPath::new("e-repl-scenario");
+        let twin = ScratchPath::new("e-repl-twin");
+        let out =
+            scenario(n, items, seed, FileShelves::open(keep.path()).expect("open WAL"));
+        let out2 =
+            scenario(n, items, seed, FileShelves::open(twin.path()).expect("open WAL"));
+        (out, out2, Some(measure_recovery(keep.path())))
+    } else {
+        let out = scenario(n, items, seed, MemShelves::new());
+        let out2 = scenario(n, items, seed, MemShelves::new());
+        (out, out2, None)
+    };
     assert_eq!(
         out.fingerprint, out2.fingerprint,
         "same seed must reproduce the identical replicated event trace"
@@ -233,6 +287,18 @@ fn main() {
     );
     println!("fingerprint (recorded scenario): {:#018x}", out.fingerprint);
 
+    if let Some(scan) = &recover {
+        section("recovery scan (cold WAL reopen after a clean close)");
+        println!(
+            "replayed {} records / {} shares from a {:.1} MB log: {:.0} ns/share, {:.1} MB/s",
+            scan.records,
+            scan.shares,
+            scan.wal_len as f64 / 1e6,
+            scan.ns_per_share,
+            scan.mb_per_s
+        );
+    }
+
     // sanity: the scatter term dominates the routing term
     let logn = (n as f64).log2();
     let scatter = 2.0 * (M as f64 - 1.0); // store+ack / fetch+reply per remote cover
@@ -247,13 +313,24 @@ fn main() {
     );
 
     section("parallel batches on the sharded runtime");
+    // each batch pass gets its own shelves (a fresh scratch WAL on the
+    // file backend), so the 1-vs-max-threads bit-identity check also
+    // witnesses backend independence
+    let batch_on = |seed: u64| -> (Vec<(bool, u64, u64)>, f64) {
+        if file_backend {
+            let scratch = ScratchPath::new("e-repl-batch");
+            batch_pass(n, 1_024, seed, FileShelves::open(scratch.path()).expect("open WAL"))
+        } else {
+            batch_pass(n, 1_024, seed, MemShelves::new())
+        }
+    };
     let t_max = workers.max(1);
     let (brief_1, _) = {
         rayon::set_num_threads(1);
-        batch_pass(n, 1_024, seed)
+        batch_on(seed)
     };
     rayon::set_num_threads(t_max);
-    let (brief_t, ops_per_s) = batch_pass(n, 1_024, seed);
+    let (brief_t, ops_per_s) = batch_on(seed);
     rayon::set_num_threads(threads.unwrap_or(0));
     assert_eq!(brief_1, brief_t, "batch results must be bit-identical at 1 vs {t_max} threads");
     println!("batch_over: 1024 mixed ops, shards = 8, threads = {t_max}: {ops_per_s:.0} ops/s");
@@ -275,21 +352,34 @@ fn main() {
         ),
     );
 
-    let records = vec![
-        Record::new("e_repl/put_sim", n, out.put_ns)
+    // mem-backend rows keep their historical names so the perf
+    // trajectory in BENCH_ops.json stays continuous; the WAL backend
+    // gets `_file`-suffixed rows plus the recovery-scan throughput
+    let (put_row, get_row, churn_row, batch_row) = if file_backend {
+        ("e_repl/put_file", "e_repl/get_file", "e_repl/repair_churn_file", "e_repl/batch_file")
+    } else {
+        ("e_repl/put_sim", "e_repl/get_sim", "e_repl/repair_churn", "e_repl/batch_inline")
+    };
+    let mut records = vec![
+        Record::new(put_row, n, out.put_ns)
             .with_msgs(out.put_msgs, out.put_bytes)
             .with_threads(workers),
-        Record::new("e_repl/get_sim", n, out.get_ns)
+        Record::new(get_row, n, out.get_ns)
             .with_msgs(out.get_msgs, out.get_bytes)
             .with_threads(workers),
-        Record::new("e_repl/repair_churn", n, out.repair_ns)
+        Record::new(churn_row, n, out.repair_ns)
             .with_msgs(
                 out.repair.msgs as f64 / out.churn_ops as f64,
                 out.repair.bytes as f64 / out.churn_ops as f64,
             )
             .with_threads(workers),
-        Record::new("e_repl/batch_inline", n, 1e9 / ops_per_s.max(1e-9)).with_threads(t_max),
+        Record::new(batch_row, n, 1e9 / ops_per_s.max(1e-9)).with_threads(t_max),
     ];
+    if let Some(scan) = &recover {
+        records.push(
+            Record::new("e_repl/recover_scan", n, scan.ns_per_share).with_threads(workers),
+        );
+    }
     let path = std::env::var("BENCH_JSON").unwrap_or_else(|_| "BENCH_ops.json".to_string());
     match bench_json::append(&path, &records) {
         Ok(()) => println!("\nappended {} records to {path}", records.len()),

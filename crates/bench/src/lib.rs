@@ -44,6 +44,22 @@ pub fn parse_threads(args: &mut Vec<String>) -> Option<usize> {
     Some(threads)
 }
 
+/// Strip a `--backend mem|file` flag out of `args` and return whether
+/// the file (WAL) backend was requested. Panics on an unknown value
+/// so a typo'd sweep fails loudly instead of benchmarking RAM.
+pub fn parse_backend_file(args: &mut Vec<String>) -> bool {
+    let Some(pos) = args.iter().position(|a| a == "--backend") else {
+        return false;
+    };
+    let file = match args.get(pos + 1).map(String::as_str) {
+        Some("file") => true,
+        Some("mem") => false,
+        other => panic!("--backend needs `mem` or `file`, got {other:?}"),
+    };
+    args.drain(pos..=pos + 1);
+    file
+}
+
 /// Print a paper-vs-measured comparison line.
 pub fn claim(paper: &str, measured: impl std::fmt::Display) {
     println!("- paper: {paper}");

@@ -76,9 +76,9 @@ pub fn seal(header: ShareHeader, share: &Share) -> Bytes {
     Bytes::from(out)
 }
 
-/// Unframe a sealed share: the header back out, and the payload as a
-/// [`Share`] ready for [`crate::try_decode`].
-pub fn open(sealed: &[u8]) -> Result<(ShareHeader, Share), HeaderError> {
+/// Parse and validate the header of a sealed buffer (shared by
+/// [`open`] and [`open_shared`]).
+fn parse_header(sealed: &[u8]) -> Result<ShareHeader, HeaderError> {
     if sealed.len() < HEADER_BYTES {
         return Err(HeaderError::Truncated);
     }
@@ -90,8 +90,26 @@ pub fn open(sealed: &[u8]) -> Result<(ShareHeader, Share), HeaderError> {
     if k == 0 || k > m || index >= m {
         return Err(HeaderError::BadParams);
     }
-    let header = ShareHeader { version, index, k, m };
-    let share = Share { index, data: Bytes::from(sealed[HEADER_BYTES..].to_vec()) };
+    Ok(ShareHeader { version, index, k, m })
+}
+
+/// Unframe a sealed share: the header back out, and the payload as a
+/// [`Share`] ready for [`crate::try_decode`]. Copies the payload; use
+/// [`open_shared`] when the sealed form is already a [`Bytes`].
+pub fn open(sealed: &[u8]) -> Result<(ShareHeader, Share), HeaderError> {
+    let header = parse_header(sealed)?;
+    let share =
+        Share { index: header.index, data: Bytes::from(sealed[HEADER_BYTES..].to_vec()) };
+    Ok((header, share))
+}
+
+/// Zero-copy [`open`]: the returned share's payload is a
+/// [`Bytes::slice`] window into `sealed`, sharing its backing
+/// allocation. This is how the WAL shelf store (`dh_store`) serves
+/// shares straight out of the recovered file buffer without copying.
+pub fn open_shared(sealed: &Bytes) -> Result<(ShareHeader, Share), HeaderError> {
+    let header = parse_header(sealed)?;
+    let share = Share { index: header.index, data: sealed.slice(HEADER_BYTES..) };
     Ok((header, share))
 }
 
@@ -118,6 +136,19 @@ mod tests {
             assert_eq!(share.index, i as u8);
             assert_eq!(share.data, s.data);
         }
+    }
+
+    #[test]
+    fn open_shared_is_a_window_not_a_copy() {
+        let shares = encode(b"zero copy payload", 2, 4);
+        let hdr = ShareHeader { version: 7, index: shares[1].index, k: 2, m: 4 };
+        let sealed = seal(hdr, &shares[1]);
+        let (back, share) = open_shared(&sealed).expect("roundtrip");
+        assert_eq!(back, hdr);
+        assert_eq!(share.data, shares[1].data);
+        // same visible bytes as the copying path
+        let (_, copied) = open(&sealed).unwrap();
+        assert_eq!(share.data, copied.data);
     }
 
     #[test]

@@ -28,5 +28,5 @@ pub mod gf256;
 pub mod header;
 pub mod rs;
 
-pub use header::{open, seal, sealed_len, HeaderError, ShareHeader, HEADER_BYTES};
+pub use header::{open, open_shared, seal, sealed_len, HeaderError, ShareHeader, HEADER_BYTES};
 pub use rs::{decode, encode, try_decode, DecodeError, Share};

@@ -8,11 +8,11 @@
 //! Weatherspoon-Kubiatowicz).
 
 use crate::net::{OverlapNet, OverlapNodeId};
-use bytes::Bytes;
 use cd_core::point::Point;
-use dh_erasure::{encode, open, seal, try_decode, ShareHeader};
+use dh_erasure::{encode, try_decode, Share, ShareHeader};
+use dh_proto::node::NodeId;
+use dh_store::{Holder, MemShelves, ShelfError, Shelves};
 use rand::Rng;
-use std::collections::HashMap;
 
 /// Erasure-coded item store layered over an [`OverlapNet`].
 ///
@@ -20,39 +20,44 @@ use std::collections::HashMap;
 /// §6.2 clique protocol as wire traffic through the event engine —
 /// with quorum reads, versioned overwrites and churn-driven repair —
 /// on any `CdNetwork` instance. This offline model survives as the
-/// overlapping-discretisation sketch, but it is *bridged onto the new
-/// subsystem's substrate* so the two cannot drift: shares rest on the
-/// shelves in the same sealed, versioned form
-/// ([`dh_erasure::header`]), reads filter to the newest complete
-/// version and reconstruct via [`dh_erasure::try_decode`], exactly as
-/// the replicated store does.
-pub struct ErasureStore {
+/// overlapping-discretisation sketch, but it is *routed through the
+/// new subsystem's substrate* so the two cannot drift: shares rest on
+/// a [`dh_store::Shelves`] backend in the same sealed, versioned form
+/// ([`dh_erasure::header`]), writes follow the park-then-commit
+/// discipline, and reads filter to the committed generation and
+/// reconstruct via [`dh_erasure::try_decode`], exactly as the
+/// replicated store does. Generic over the backend, so the sketch runs
+/// over a crash-consistent [`dh_store::FileShelves`] WAL as readily as
+/// over RAM.
+pub struct ErasureStore<S: Shelves = MemShelves> {
     /// Reconstruction threshold `k`.
     pub k: usize,
-    /// Sealed shares held per server, per item (the `dh_replica`
-    /// shelf format: header ‖ payload).
-    shelves: HashMap<(OverlapNodeId, u64), Bytes>,
-    /// Item locations (`h(item)`), fixed at store time.
-    locations: HashMap<u64, Point>,
-    /// Per-item version counter (bumped on every overwrite).
-    versions: HashMap<u64, u32>,
+    /// The shelf backend: item → placement, sealed shares keyed by
+    /// cover index (the `dh_replica` shelf format).
+    pub shelves: S,
 }
 
-impl ErasureStore {
-    /// New store with reconstruction threshold `k`.
+impl ErasureStore<MemShelves> {
+    /// New store with reconstruction threshold `k`, on the in-memory
+    /// backend.
     pub fn new(k: usize) -> Self {
+        ErasureStore::with_shelves(k, MemShelves::new())
+    }
+}
+
+impl<S: Shelves> ErasureStore<S> {
+    /// New store with reconstruction threshold `k` over an explicit
+    /// backend — e.g. a reopened [`dh_store::FileShelves`] carrying
+    /// the shares a previous process shelved.
+    pub fn with_shelves(k: usize, shelves: S) -> Self {
         assert!(k >= 1);
-        ErasureStore {
-            k,
-            shelves: HashMap::new(),
-            locations: HashMap::new(),
-            versions: HashMap::new(),
-        }
+        ErasureStore { k, shelves }
     }
 
     /// Store `value` for `item` hashed to `location`: one share per
-    /// covering server, sealed with a fresh item version. Returns the
-    /// number of shares placed.
+    /// covering server, sealed with a fresh item version, parked and
+    /// then committed (the atomic write sequence). Returns the number
+    /// of shares placed.
     pub fn put(&mut self, net: &OverlapNet, item: u64, location: Point, value: &[u8]) -> usize {
         let covers = net.covers_of(location);
         assert!(
@@ -61,54 +66,73 @@ impl ErasureStore {
             covers.len(),
             self.k
         );
-        let version = self.versions.entry(item).and_modify(|v| *v += 1).or_insert(1);
+        let version = self.shelves.map().get(&item).map(|it| it.version).unwrap_or(0) + 1;
         let m = covers.len().min(255);
         let shares = encode(value, self.k, m);
-        for (server, share) in covers.iter().zip(shares) {
+        for (i, (server, share)) in covers.iter().zip(shares).enumerate() {
             let header =
-                ShareHeader { version: *version, index: share.index, k: self.k as u8, m: m as u8 };
-            self.shelves.insert((*server, item), seal(header, &share));
+                ShareHeader { version, index: share.index, k: self.k as u8, m: m as u8 };
+            let holder = Holder::seal(NodeId(server.0), header, &share);
+            self.shelves.park(item, location, i as u8, holder);
         }
-        self.locations.insert(item, location);
+        self.shelves.commit(item, version);
         m
     }
 
     /// Retrieve `item` from `from`: Simple Lookup to one live cover,
     /// then pull shares from the live covers (one hop each, clique)
-    /// until `k` of the newest version are gathered. Returns the value
-    /// and the number of share-fetch messages, or `None` if
-    /// reconstruction failed.
+    /// until `k` of the committed generation are gathered. Returns the
+    /// value and the number of share-fetch messages, or the typed
+    /// reason the read failed — a [`ShelfError::Missing`] item is an
+    /// answer, a [`ShelfError::Corrupt`] one is an integrity incident.
     pub fn get(
         &self,
         net: &OverlapNet,
         from: OverlapNodeId,
         item: u64,
         rng: &mut impl Rng,
-    ) -> Option<(Vec<u8>, usize)> {
-        let location = *self.locations.get(&item)?;
+    ) -> Result<(Vec<u8>, usize), ShelfError> {
+        let state = self.shelves.map().get(&item).ok_or(ShelfError::Missing)?;
+        let location = state.point;
         let route = net.simple_lookup(from, location, rng);
         if !route.ok {
-            return None;
+            return Err(ShelfError::Unreachable);
         }
-        let version = *self.versions.get(&item)?;
-        let mut shares = Vec::new();
+        let version = state.version;
+        let mut shares: Vec<Share> = Vec::new();
+        let mut damaged = 0usize;
         let mut messages = route.hops.len() - 1;
         for server in net.live_covers_of(location) {
-            if let Some(sealed) = self.shelves.get(&(server, item)) {
+            let held = state
+                .holders
+                .values()
+                .find(|h| h.node == NodeId(server.0) && h.version == version);
+            if let Some(holder) = held {
                 messages += 1;
                 // an unopenable blob is one damaged share, not a
                 // failed read — the remaining covers still reconstruct
-                let Ok((header, share)) = open(sealed) else { continue };
-                // a quorum read only combines shares of one generation
-                if header.version == version {
-                    shares.push(share);
-                    if shares.len() == self.k {
-                        break;
+                match holder.share() {
+                    Some(share) => {
+                        shares.push(share);
+                        if shares.len() == self.k {
+                            break;
+                        }
                     }
+                    None => damaged += 1,
                 }
             }
         }
-        try_decode(&shares, self.k).ok().map(|v| (v, messages))
+        if shares.len() < self.k {
+            return Err(if damaged > 0 {
+                ShelfError::Corrupt { intact: shares.len(), damaged, needed: self.k }
+            } else {
+                ShelfError::UnderQuorum { intact: shares.len(), needed: self.k }
+            });
+        }
+        match try_decode(&shares, self.k) {
+            Ok(value) => Ok((value, messages)),
+            Err(_) => Err(ShelfError::Corrupt { intact: shares.len(), damaged, needed: self.k }),
+        }
     }
 
     /// Forget `item` entirely: its location, version and **every**
@@ -116,17 +140,16 @@ impl ErasureStore {
     /// of shares freed. (Without this, shelves of removed items leaked
     /// for the life of the store.)
     pub fn remove(&mut self, item: u64) -> usize {
-        self.locations.remove(&item);
-        self.versions.remove(&item);
-        let before = self.shelves.len();
-        self.shelves.retain(|&(_, it), _| it != item);
-        before - self.shelves.len()
+        let freed =
+            self.shelves.map().get(&item).map(|it| it.holders.len()).unwrap_or(0);
+        self.shelves.remove(item);
+        freed
     }
 
     /// Number of shares currently on shelves (leak detector for
     /// tests).
     pub fn shelved(&self) -> usize {
-        self.shelves.len()
+        self.shelves.shelved_shares()
     }
 }
 
@@ -165,7 +188,7 @@ mod tests {
                     break id;
                 }
             };
-            if let Some((v, _)) = store.get(&net, from, 1, &mut rng) {
+            if let Ok((v, _)) = store.get(&net, from, 1, &mut rng) {
                 assert_eq!(v, b"resilient");
                 ok += 1;
             }
@@ -183,7 +206,13 @@ mod tests {
         let value = vec![0xAB; 4096];
         let loc = Point(rng.gen());
         let m = store.put(&net, 9, loc, &value);
-        let total: usize = store.shelves.values().map(|s| s.len()).sum();
+        let total: usize = store
+            .shelves
+            .map()
+            .values()
+            .flat_map(|it| it.holders.values())
+            .map(|h| h.sealed.len())
+            .sum();
         let replication_total = m * value.len();
         assert!(
             total * 3 < replication_total,
@@ -192,11 +221,14 @@ mod tests {
     }
 
     #[test]
-    fn missing_item_returns_none() {
+    fn missing_item_is_a_typed_answer() {
         let mut rng = seeded(4);
         let net = OverlapNet::build(64, &mut rng);
         let store = ErasureStore::new(2);
-        assert!(store.get(&net, OverlapNodeId(0), 42, &mut rng).is_none());
+        assert_eq!(
+            store.get(&net, OverlapNodeId(0), 42, &mut rng).unwrap_err(),
+            ShelfError::Missing
+        );
     }
 
     #[test]
@@ -212,7 +244,10 @@ mod tests {
         assert_eq!(store.shelved(), 0, "remove must not leak shelves");
         assert!(freed >= 30, "every placed share must be freed");
         // removed items are gone for readers too
-        assert!(store.get(&net, OverlapNodeId(0), 3, &mut rng).is_none());
+        assert_eq!(
+            store.get(&net, OverlapNodeId(0), 3, &mut rng).unwrap_err(),
+            ShelfError::Missing
+        );
         // double remove is a no-op
         assert_eq!(store.remove(3), 0);
     }
@@ -227,5 +262,53 @@ mod tests {
         store.put(&net, 8, loc, b"generation two");
         let (v, _) = store.get(&net, OverlapNodeId(1), 8, &mut rng).expect("reconstructs");
         assert_eq!(v, b"generation two");
+    }
+
+    #[test]
+    fn damaged_blobs_report_corrupt_not_missing() {
+        let mut rng = seeded(7);
+        let net = OverlapNet::build(64, &mut rng);
+        let mut store = ErasureStore::new(3);
+        let loc = Point(rng.gen());
+        store.put(&net, 2, loc, b"integrity matters");
+        // smash every sealed blob of the item
+        let damaged: Vec<(u8, Holder)> = store.shelves.map()[&2]
+            .holders
+            .iter()
+            .map(|(&idx, h)| {
+                let mut bad = h.sealed.to_vec();
+                for b in bad.iter_mut() {
+                    *b ^= 0xFF;
+                }
+                (idx, Holder { node: h.node, version: h.version, sealed: bytes::Bytes::from(bad) })
+            })
+            .collect();
+        for (idx, holder) in damaged {
+            store.shelves.park(2, loc, idx, holder);
+        }
+        let err = store.get(&net, OverlapNodeId(1), 2, &mut rng).unwrap_err();
+        assert!(
+            matches!(err, ShelfError::Corrupt { intact: 0, needed: 3, .. }),
+            "all-damaged item must read as Corrupt, got {err}"
+        );
+    }
+
+    #[test]
+    fn runs_over_a_file_backed_wal() {
+        use dh_store::{FileShelves, ScratchPath};
+        let scratch = ScratchPath::new("fault-store");
+        let mut rng = seeded(8);
+        let net = OverlapNet::build(128, &mut rng);
+        let loc = Point(rng.gen());
+        {
+            let shelves = FileShelves::open(scratch.path()).unwrap();
+            let mut store = ErasureStore::with_shelves(3, shelves);
+            store.put(&net, 11, loc, b"persistent sketch");
+        }
+        // a fresh process reopens the WAL and serves the same item
+        let shelves = FileShelves::open(scratch.path()).unwrap();
+        let store = ErasureStore::with_shelves(3, shelves);
+        let (v, _) = store.get(&net, OverlapNodeId(5), 11, &mut rng).expect("recovers");
+        assert_eq!(v, b"persistent sketch");
     }
 }

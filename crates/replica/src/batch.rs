@@ -16,7 +16,7 @@
 //! version deterministically, and a get never observes a half-applied
 //! batch.
 
-use crate::{ReplicatedDht, ShelfView};
+use crate::ReplicatedDht;
 use bytes::Bytes;
 use cd_core::graph::ContinuousGraph;
 use dh_dht::network::NodeId;
@@ -26,6 +26,7 @@ use dh_proto::engine::{EngineStats, OpOutcome, RetryPolicy};
 use dh_proto::shard::{run_sharded_shares, OpSpec};
 use dh_proto::transport::Transport;
 use dh_proto::wire::Action;
+use dh_store::{ShelfView, Shelves};
 
 /// One operation of a replicated batch.
 #[derive(Clone, Debug)]
@@ -79,8 +80,8 @@ pub struct ReplicaOutcome {
 /// engine counters, and the shard transports (recorded traces, fault
 /// bookkeeping) in shard order. See the module docs for the snapshot
 /// semantics and the determinism contract.
-pub fn batch_over<G, T, F>(
-    dht: &mut ReplicatedDht<G>,
+pub fn batch_over<G, S, T, F>(
+    dht: &mut ReplicatedDht<G, S>,
     ops: &[ReplicaOp],
     seed: u64,
     retry: RetryPolicy,
@@ -89,6 +90,7 @@ pub fn batch_over<G, T, F>(
 ) -> (Vec<ReplicaOutcome>, EngineStats, Vec<T>)
 where
     G: ContinuousGraph,
+    S: Shelves + Sync,
     T: Transport + Send,
     F: Fn(usize) -> T + Sync,
 {
@@ -126,7 +128,7 @@ where
 
     // Phase 1 — route + scatter in parallel against the pre-batch
     // shelf snapshot (read-only).
-    let view = ShelfView { shelves: &dht.shelves };
+    let view = ShelfView(&dht.shelves);
     let run = run_sharded_shares(&dht.net, seed, retry, shards, &specs, make_transport, &view);
 
     // Phase 2a — reconstruct every get against the same snapshot.
@@ -221,6 +223,7 @@ mod tests {
                     .collect();
                 let placement: Vec<(u64, u32, usize)> = fresh
                     .shelves
+                    .map()
                     .iter()
                     .map(|(&key, it)| (key, it.version, it.holders.len()))
                     .collect();
@@ -284,8 +287,8 @@ mod tests {
                 }
             }
         }
-        for (&key, it) in &batched.shelves {
-            let s = &seq.shelves[&key];
+        for (&key, it) in batched.shelves.map() {
+            let s = &seq.shelves.map()[&key];
             assert_eq!(it.version, s.version, "version of {key} diverged");
             assert_eq!(it.holders.len(), s.holders.len());
         }

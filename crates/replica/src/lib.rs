@@ -56,49 +56,17 @@ use cd_core::point::Point;
 use dh_dht::network::{CdNetwork, DistanceHalving, NodeId};
 use dh_dht::proto::route_kind;
 use dh_dht::LookupKind;
-use dh_erasure::{encode, sealed_len, try_decode, Share};
-use dh_proto::engine::{Engine, OpOutcome, RetryPolicy, ShareView};
+use dh_erasure::{encode, sealed_len, try_decode, Share, ShareHeader};
+use dh_proto::engine::{Engine, OpOutcome, RetryPolicy};
 use dh_proto::transport::{Inline, Transport};
 use dh_proto::wire::Action;
 use rand::Rng;
-use std::collections::BTreeMap;
 
 pub use batch::{batch_over, ReplicaAction, ReplicaOp, ReplicaOutcome};
+pub use dh_store::{
+    FileShelves, Holder, ItemState, MemShelves, ShelfError, ShelfView, Shelves,
+};
 pub use repair::RepairReport;
-
-/// One placed share: which server holds it, of which item generation.
-#[derive(Clone, Debug)]
-pub(crate) struct Holder {
-    /// The server shelving the share.
-    pub node: NodeId,
-    /// The item generation this share encodes.
-    pub version: u32,
-    /// The share itself (unsealed; the header is re-derivable).
-    pub share: Share,
-}
-
-/// Everything the store knows about one item.
-#[derive(Clone, Debug)]
-pub(crate) struct ItemState {
-    /// The hashed location `h(key)` (fixed at first store).
-    pub point: Point,
-    /// The newest generation any cover may hold.
-    pub version: u32,
-    /// Share index → holder. `BTreeMap` so every scan over the
-    /// placement is deterministic (repair iterates this).
-    pub holders: BTreeMap<u8, Holder>,
-}
-
-impl ItemState {
-    /// The live shares of generation `version`, in index order.
-    pub(crate) fn shares_of(&self, version: u32) -> Vec<Share> {
-        self.holders
-            .values()
-            .filter(|h| h.version == version)
-            .map(|h| h.share.clone())
-            .collect()
-    }
-}
 
 /// The replicated storage layer: a network plus the placement hash,
 /// the replication geometry `(m, k)`, and the shelves.
@@ -107,12 +75,18 @@ impl ItemState {
 /// the covering server, this stores `m` sealed Reed-Solomon shares on
 /// the item's cover clique, any `k` of which reconstruct.
 ///
+/// Generic over the [`Shelves`] storage backend: [`MemShelves`] (the
+/// default) keeps shares in RAM, [`dh_store::FileShelves`] puts a
+/// crash-consistent write-ahead log beneath the same five verbs — the
+/// protocol code is identical over either, so traces, placements and
+/// fingerprints do not depend on the backend.
+///
 /// Drive churn through [`Self::join_over`]/[`Self::leave_over`] (or
 /// call [`Self::repair`] yourself after mutating `net` directly):
 /// repair is what re-materializes shares after membership shifts, and
 /// the shelves of a departed server must be dropped before its slab
 /// slot can be reused.
-pub struct ReplicatedDht<G: ContinuousGraph = DistanceHalving> {
+pub struct ReplicatedDht<G: ContinuousGraph = DistanceHalving, S: Shelves = MemShelves> {
     /// The overlay network.
     pub net: CdNetwork<G>,
     /// The item-placement hash function.
@@ -123,32 +97,28 @@ pub struct ReplicatedDht<G: ContinuousGraph = DistanceHalving> {
     m: u8,
     /// Reconstruction threshold / quorum size.
     k: u8,
-    /// Item key → placement state.
-    pub(crate) shelves: BTreeMap<u64, ItemState>,
+    /// Item key → placement state, behind the storage backend.
+    pub shelves: S,
 }
 
-/// The engine's read-only window into the shelves: answers
-/// `FetchShare` probes for the **newest generation only**, so a quorum
-/// completion always means `k` same-version shares.
-pub(crate) struct ShelfView<'a> {
-    pub shelves: &'a BTreeMap<u64, ItemState>,
-}
-
-impl ShareView for ShelfView<'_> {
-    fn share_len(&self, node: NodeId, key: u64, idx: u8) -> Option<u32> {
-        let item = self.shelves.get(&key)?;
-        let h = item.holders.get(&idx)?;
-        (h.node == node && h.version == item.version)
-            .then(|| sealed_len(h.share.data.len()) as u32)
+impl<G: ContinuousGraph> ReplicatedDht<G, MemShelves> {
+    /// Wrap a network with replication geometry `(m, k)` — `m` shares
+    /// per item, any `k` reconstruct — and a freshly drawn
+    /// `log₂ n`-wise independent placement hash, on the in-memory
+    /// backend. Routes with the instance's native lookup by default.
+    pub fn new(net: CdNetwork<G>, m: u8, k: u8, rng: &mut impl Rng) -> Self {
+        ReplicatedDht::with_shelves(net, m, k, MemShelves::new(), rng)
     }
 }
 
-impl<G: ContinuousGraph> ReplicatedDht<G> {
-    /// Wrap a network with replication geometry `(m, k)` — `m` shares
-    /// per item, any `k` reconstruct — and a freshly drawn
-    /// `log₂ n`-wise independent placement hash. Routes with the
-    /// instance's native lookup by default.
-    pub fn new(net: CdNetwork<G>, m: u8, k: u8, rng: &mut impl Rng) -> Self {
+impl<G: ContinuousGraph, S: Shelves> ReplicatedDht<G, S> {
+    /// [`Self::new`] over an explicit storage backend — e.g. a
+    /// reopened [`dh_store::FileShelves`] carrying the shares a
+    /// previous process shelved. The placement hash is drawn from
+    /// `rng` exactly as in `new`, so a restart that rebuilds net and
+    /// hash from the same seeds sees every recovered share exactly
+    /// where repair expects it (restart without a repair storm).
+    pub fn with_shelves(net: CdNetwork<G>, m: u8, k: u8, shelves: S, rng: &mut impl Rng) -> Self {
         assert!(k >= 1 && k <= m, "need 1 ≤ k ≤ m, got k = {k}, m = {m}");
         // a clique truncated below k can never reach a read quorum —
         // refuse the geometry rather than storing unreadable items
@@ -164,7 +134,7 @@ impl<G: ContinuousGraph> ReplicatedDht<G> {
             net,
             m,
             k,
-            shelves: BTreeMap::new(),
+            shelves,
         }
     }
 
@@ -180,12 +150,12 @@ impl<G: ContinuousGraph> ReplicatedDht<G> {
 
     /// Number of items the store knows about.
     pub fn items(&self) -> usize {
-        self.shelves.len()
+        self.shelves.items()
     }
 
     /// Total shares currently on shelves (leak/repair observability).
     pub fn shelved_shares(&self) -> usize {
-        self.shelves.values().map(|it| it.holders.len()).sum()
+        self.shelves.shelved_shares()
     }
 
     /// The cover clique of `key` right now, in share-index order.
@@ -253,27 +223,33 @@ impl<G: ContinuousGraph> ReplicatedDht<G> {
         if out.shares.is_empty() || out.corrupt {
             return 0;
         }
-        let item = self
-            .shelves
-            .entry(key)
-            .or_insert(ItemState { point, version: 0, holders: BTreeMap::new() });
         // strictly above every share ever placed, so two torn writes
         // can never park different payloads under one version
-        let version = item
-            .holders
-            .values()
-            .map(|h| h.version)
-            .max()
+        let version = self
+            .shelves
+            .map()
+            .get(&key)
+            .map(|item| {
+                item.holders
+                    .values()
+                    .map(|h| h.version)
+                    .max()
+                    .unwrap_or(0)
+                    .max(item.version)
+            })
             .unwrap_or(0)
-            .max(item.version)
             + 1;
+        // the atomic write sequence: park every placed share first,
+        // commit last — on the WAL backend this is literally the
+        // on-disk record order, so a crash anywhere in between leaves
+        // the previous committed generation the readable one
         for &idx in &out.shares {
             let node = out.holders[idx as usize];
-            item.holders
-                .insert(idx, Holder { node, version, share: shares[idx as usize].clone() });
+            let header = ShareHeader { version, index: idx, k: self.k, m: self.m };
+            self.shelves.park(key, point, idx, Holder::seal(node, header, &shares[idx as usize]));
         }
         if out.ok {
-            item.version = version;
+            self.shelves.commit(key, version);
         }
         out.shares.len()
     }
@@ -320,7 +296,7 @@ impl<G: ContinuousGraph> ReplicatedDht<G> {
         let action = Action::GetShares { key, m: self.m, k: self.k, item: point };
         let mut eng = Engine::new(&self.net, transport, seed).with_retry(retry);
         let op = eng.submit(route_kind(self.kind), from, target, action);
-        eng.run_with_shares(&ShelfView { shelves: &self.shelves });
+        eng.run_with_shares(&ShelfView(&self.shelves));
         let out = eng.take_outcome(op);
         let value = self.reconstruct(key, &out);
         (out, value)
@@ -331,14 +307,15 @@ impl<G: ContinuousGraph> ReplicatedDht<G> {
         if !out.ok || out.corrupt {
             return None;
         }
-        let item = self.shelves.get(&key)?;
+        let item = self.shelves.map().get(&key)?;
         let shares: Vec<Share> = out
             .shares
             .iter()
             .filter_map(|&idx| {
                 let h = item.holders.get(&idx)?;
                 (h.node == out.holders[idx as usize] && h.version == item.version)
-                    .then(|| h.share.clone())
+                    .then(|| h.share())
+                    .flatten()
             })
             .collect();
         try_decode(&shares, self.k as usize).ok().map(Bytes::from)
@@ -431,7 +408,7 @@ impl<G: ContinuousGraph> ReplicatedDht<G> {
         let op = eng.submit(route_kind(self.kind), from, point, Action::Remove { key });
         eng.run();
         let out = eng.take_outcome(op);
-        let existed = out.ok && !out.corrupt && self.shelves.contains_key(&key);
+        let existed = out.ok && !out.corrupt && self.shelves.map().contains_key(&key);
         if existed {
             // tombstone fan-out: the primary tells every other cover
             // to drop its share (clique edges, one hop each)
@@ -444,7 +421,7 @@ impl<G: ContinuousGraph> ReplicatedDht<G> {
                 }
             }
             eng.run();
-            self.shelves.remove(&key);
+            self.shelves.remove(key);
         }
         (out, existed)
     }
@@ -478,7 +455,7 @@ mod tests {
             let placed = dht.put(from, key, Bytes::from(format!("value-{key}")), &mut rng);
             assert_eq!(placed, 8, "Inline places every share");
             let clique = dht.clique(key);
-            let item = &dht.shelves[&key];
+            let item = &dht.shelves.map()[&key];
             assert_eq!(item.holders.len(), 8);
             for (idx, h) in &item.holders {
                 assert_eq!(h.node, clique[*idx as usize], "share {idx} on the wrong cover");
@@ -516,8 +493,8 @@ mod tests {
         dht.put(from, 5, Bytes::from_static(b"first"), &mut rng);
         dht.put(from, 5, Bytes::from_static(b"second"), &mut rng);
         assert_eq!(dht.get(from, 5, &mut rng), Some(Bytes::from_static(b"second")));
-        assert_eq!(dht.shelves[&5].version, 2);
-        assert_eq!(dht.shelves[&5].holders.len(), 6, "overwrites reuse the shelves");
+        assert_eq!(dht.shelves.map()[&5].version, 2);
+        assert_eq!(dht.shelves.map()[&5].holders.len(), 6, "overwrites reuse the shelves");
     }
 
     #[test]

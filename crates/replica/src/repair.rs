@@ -23,18 +23,18 @@
 //! and repair mutates shelves in scan order — so the whole pass
 //! fingerprints and replays like any routed batch.
 
-use crate::{Holder, ItemState, ReplicatedDht};
+use crate::ReplicatedDht;
 use cd_core::graph::ContinuousGraph;
 use cd_core::point::Point;
 use cd_core::rng::splitmix64;
 use dh_dht::network::NodeId;
 use dh_dht::proto::{join_over, leave_over, ChurnMsgCost};
 use dh_dht::LookupKind;
-use dh_erasure::{encode, sealed_len, try_decode, Share};
+use dh_erasure::{encode, sealed_len, try_decode, Share, ShareHeader};
 use dh_proto::engine::{Engine, RetryPolicy};
 use dh_proto::transport::Transport;
 use dh_proto::wire::Wire;
-use std::collections::BTreeMap;
+use dh_store::{Holder, ItemState, Shelves};
 
 /// What one repair pass did and what it cost on the wire.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -67,13 +67,11 @@ impl RepairReport {
     }
 }
 
-impl<G: ContinuousGraph> ReplicatedDht<G> {
+impl<G: ContinuousGraph, S: Shelves> ReplicatedDht<G, S> {
     /// Drop every shelf entry held by `node` (it is leaving — its
     /// shares go with it). Called before the slab slot can be reused.
     pub(crate) fn drop_shelves_of(&mut self, node: NodeId) {
-        for item in self.shelves.values_mut() {
-            item.holders.retain(|_, h| h.node != node);
-        }
+        self.shelves.retire(node);
     }
 
     /// One anti-entropy pass over every item: detect placement drift
@@ -83,13 +81,14 @@ impl<G: ContinuousGraph> ReplicatedDht<G> {
     /// on a fresh engine seeded by `seed`.
     pub fn repair<T: Transport>(&mut self, transport: &mut T, seed: u64) -> RepairReport {
         let mut report = RepairReport::default();
-        let (m, k) = (self.m as usize, self.k as usize);
-        let net = &self.net;
-        let mut eng = Engine::new(net, &mut *transport, seed);
+        let (m, k) = (self.m() as usize, self.k() as usize);
+        let mut eng = Engine::new(&self.net, &mut *transport, seed);
         let mut clique: Vec<NodeId> = Vec::with_capacity(m);
-        for (&key, item) in self.shelves.iter_mut() {
+        let keys: Vec<u64> = self.shelves.map().keys().copied().collect();
+        for key in keys {
             report.items_checked += 1;
-            net.clique_of(item.point, m, &mut clique);
+            let item = &self.shelves.map()[&key];
+            self.net.clique_of(item.point, m, &mut clique);
             if placement_matches(item, &clique) {
                 continue;
             }
@@ -107,7 +106,9 @@ impl<G: ContinuousGraph> ReplicatedDht<G> {
             };
             // re-encode the full generation; every cover whose share
             // is missing (or stale) pulls k shares and re-materializes
-            let shares = encode(&value, k, m.min(clique.len()).max(k));
+            let point = item.point;
+            let m_actual = m.min(clique.len()).max(k);
+            let shares = encode(&value, k, m_actual);
             let sealed = sealed_len(shares[0].data.len()) as u32;
             let sources: Vec<NodeId> = item
                 .holders
@@ -116,29 +117,45 @@ impl<G: ContinuousGraph> ReplicatedDht<G> {
                 .take(k)
                 .map(|h| h.node)
                 .collect();
-            let mut holders: BTreeMap<u8, Holder> = BTreeMap::new();
+            let stale: Vec<bool> = clique
+                .iter()
+                .enumerate()
+                .map(|(i, &cover)| {
+                    item.holders
+                        .get(&(i as u8))
+                        .is_none_or(|h| h.node != cover || h.version != version)
+                })
+                .collect();
+            let stranded: Vec<u8> = item
+                .holders
+                .keys()
+                .copied()
+                .filter(|&idx| idx as usize >= clique.len())
+                .collect();
+            // apply with the same write discipline as a put — park the
+            // rebuilt shares, drop the stranded indices, commit last —
+            // so on a WAL backend a crash mid-repair still recovers to
+            // a generation repair can finish from
             for (i, &cover) in clique.iter().enumerate() {
                 let idx = i as u8;
-                let stale = item
-                    .holders
-                    .get(&idx)
-                    .is_none_or(|h| h.node != cover || h.version != version);
-                if stale {
-                    report.shares_rebuilt += 1;
-                    for &src in &sources {
-                        if src != cover {
-                            eng.send(cover, src, Wire::RepairPull { key, idx });
-                            eng.send(src, cover, Wire::RepairPush { key, idx, len: sealed });
-                        }
+                if !stale[i] {
+                    continue; // this cover already holds its share
+                }
+                report.shares_rebuilt += 1;
+                for &src in &sources {
+                    if src != cover {
+                        eng.send(cover, src, Wire::RepairPull { key, idx });
+                        eng.send(src, cover, Wire::RepairPush { key, idx, len: sealed });
                     }
                 }
-                holders.insert(
-                    idx,
-                    Holder { node: cover, version, share: shares[i].clone() },
-                );
+                let header =
+                    ShareHeader { version, index: idx, k: k as u8, m: m_actual as u8 };
+                self.shelves.park(key, point, idx, Holder::seal(cover, header, &shares[i]));
             }
-            item.version = version;
-            item.holders = holders;
+            for idx in stranded {
+                self.shelves.unpark(key, idx);
+            }
+            self.shelves.commit(key, version);
         }
         eng.run();
         report.msgs = eng.stats.msgs;
@@ -230,7 +247,7 @@ mod tests {
 
     /// Every item fully replicated on its current clique, and readable.
     fn assert_healthy(dht: &ReplicatedDht, rng: &mut impl Rng) {
-        for (&key, item) in &dht.shelves {
+        for (&key, item) in dht.shelves.map() {
             let clique = dht.clique(key);
             assert_eq!(item.holders.len(), clique.len(), "item {key} under-replicated");
             for (idx, h) in &item.holders {
@@ -311,16 +328,19 @@ mod tests {
         let (mut dht, mut rng) = store(96, 6, 3, 0xB3);
         let from = dht.net.random_node(&mut rng);
         dht.put(from, 7, Bytes::from_static(b"committed"), &mut rng);
-        // forge a partial newer generation: fewer than k shares of v2
-        let item = dht.shelves.get_mut(&7).unwrap();
-        item.version += 1;
-        let v2 = item.version;
+        // forge a partial newer generation: fewer than k shares of v2,
+        // through the same verbs a torn overwrite would have used
+        let (point, v2, nodes) = {
+            let item = &dht.shelves.map()[&7];
+            (item.point, item.version + 1, [item.holders[&0].node, item.holders[&1].node])
+        };
         let forged = encode(b"torn write", 3, 6);
         for idx in 0..2u8 {
-            let h = item.holders.get_mut(&idx).unwrap();
-            h.version = v2;
-            h.share = forged[idx as usize].clone();
+            let header = ShareHeader { version: v2, index: idx, k: 3, m: 6 };
+            let holder = Holder::seal(nodes[idx as usize], header, &forged[idx as usize]);
+            dht.shelves.park(7, point, idx, holder);
         }
+        dht.shelves.commit(7, v2);
         // the newest generation is now unreadable at quorum…
         assert_eq!(dht.get(from, 7, &mut rng), None);
         // …until repair rolls back to the last complete one

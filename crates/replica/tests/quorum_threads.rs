@@ -13,7 +13,8 @@ use dh_dht::CdNetwork;
 use dh_proto::engine::RetryPolicy;
 use dh_proto::transport::{Inline, Recorder, Sim};
 use dh_proto::{FaultModel, Faulty};
-use dh_replica::{batch_over, ReplicaAction, ReplicaOp, ReplicatedDht};
+use dh_replica::{batch_over, ReplicaAction, ReplicaOp, ReplicatedDht, Shelves};
+use dh_store::{FileShelves, MemShelves, ScratchPath};
 use rand::Rng;
 
 const THREAD_MATRIX: [usize; 3] = [1, 2, 8];
@@ -27,13 +28,14 @@ fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
     out
 }
 
-fn churned_store<G: ContinuousGraph>(
+fn churned_store<G: ContinuousGraph, S: Shelves>(
     graph: G,
     seed: u64,
-) -> (ReplicatedDht<G>, Vec<(u64, Bytes)>, rand::rngs::StdRng) {
+    shelves: S,
+) -> (ReplicatedDht<G, S>, Vec<(u64, Bytes)>, rand::rngs::StdRng) {
     let mut rng = seeded(seed);
     let net = CdNetwork::build(graph, &PointSet::random(96, &mut rng));
-    let mut dht = ReplicatedDht::new(net, 6, 3, &mut rng);
+    let mut dht = ReplicatedDht::with_shelves(net, 6, 3, shelves, &mut rng);
     let mut items = Vec::new();
     for key in 0..40u64 {
         let from = dht.net.random_node(&mut rng);
@@ -59,7 +61,11 @@ fn churned_store<G: ContinuousGraph>(
 }
 
 fn durability_after_churn<G: ContinuousGraph>(graph: G, seed: u64) {
-    let (mut dht, items, mut rng) = churned_store(graph, seed);
+    durability_after_churn_on(graph, seed, MemShelves::new());
+}
+
+fn durability_after_churn_on<G: ContinuousGraph, S: Shelves>(graph: G, seed: u64, shelves: S) {
+    let (mut dht, items, mut rng) = churned_store(graph, seed, shelves);
     dht.kind = dht.net.native_kind();
     for (key, value) in &items {
         // the adversary picks m − k covers to fail-stop — rotate
@@ -108,15 +114,29 @@ fn durability_after_churn_debruijn8() {
     durability_after_churn(DeBruijn::new(8), 0xD0A3);
 }
 
+/// The same churn + fail-stop durability matrix over the WAL backend:
+/// the store's durability guarantee must not depend on where the
+/// shares rest.
+#[test]
+fn durability_after_churn_dh_file_backed() {
+    let scratch = ScratchPath::new("durability-wal");
+    let shelves = FileShelves::open(scratch.path()).expect("open WAL");
+    durability_after_churn_on(DistanceHalving::binary(), 0xD0A1, shelves);
+}
+
 /// One full batch run at a given thread count: outcomes, final
 /// placement, merged stats and the per-shard recorded fingerprints.
 type BatchKey = (Vec<(bool, Option<Bytes>, u64, u64)>, Vec<(u64, u32, usize)>, Vec<u64>);
 
 fn batch_at(threads: usize, lossy: bool) -> BatchKey {
+    batch_at_on(threads, lossy, MemShelves::new())
+}
+
+fn batch_at_on<S: Shelves + Sync>(threads: usize, lossy: bool, shelves: S) -> BatchKey {
     with_threads(threads, || {
         let mut rng = seeded(0xBA7C);
         let net = CdNetwork::build(DistanceHalving::binary(), &PointSet::random(256, &mut rng));
-        let mut dht = ReplicatedDht::new(net, 8, 4, &mut rng);
+        let mut dht = ReplicatedDht::with_shelves(net, 8, 4, shelves, &mut rng);
         for key in 0..30u64 {
             let from = dht.net.random_node(&mut rng);
             dht.put(from, key, Bytes::from(vec![key as u8; 20]), &mut rng);
@@ -166,4 +186,16 @@ fn replicated_batches_are_bit_identical_at_1_2_8_threads() {
         assert_eq!(runs[0], runs[1], "1 vs 2 threads diverged (lossy = {lossy})");
         assert_eq!(runs[0], runs[2], "1 vs 8 threads diverged (lossy = {lossy})");
     }
+}
+
+/// Backend-independence of the parallel driver: a WAL-backed batch at
+/// 2 worker threads is bit-identical — outcomes, final placement,
+/// per-shard trace fingerprints — to the in-memory batch at 1 thread.
+#[test]
+fn file_backed_batches_match_memory_bit_for_bit() {
+    let mem = batch_at(1, true);
+    let scratch = ScratchPath::new("batch-wal");
+    let shelves = FileShelves::open(scratch.path()).expect("open WAL");
+    let file = batch_at_on(2, true, shelves);
+    assert_eq!(mem, file, "WAL backend diverged from memory under the sharded driver");
 }

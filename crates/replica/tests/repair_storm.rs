@@ -15,7 +15,8 @@ use cd_core::Point;
 use dh_dht::CdNetwork;
 use dh_proto::engine::RetryPolicy;
 use dh_proto::transport::Inline;
-use dh_replica::ReplicatedDht;
+use dh_replica::{MemShelves, ReplicatedDht, Shelves};
+use dh_store::{FileShelves, ScratchPath};
 use rand::Rng;
 use std::collections::BTreeMap;
 
@@ -25,8 +26,8 @@ fn value_of(key: u64) -> Bytes {
 
 /// Every live item is fully replicated on its current clique and
 /// reconstructs at quorum from a random origin.
-fn check_all<G: ContinuousGraph>(
-    dht: &ReplicatedDht<G>,
+fn check_all<G: ContinuousGraph, S: Shelves>(
+    dht: &ReplicatedDht<G, S>,
     live: &BTreeMap<u64, Bytes>,
     rng: &mut impl Rng,
 ) {
@@ -40,9 +41,13 @@ fn check_all<G: ContinuousGraph>(
 }
 
 fn storm<G: ContinuousGraph>(graph: G, seed: u64) {
+    storm_on(graph, seed, MemShelves::new());
+}
+
+fn storm_on<G: ContinuousGraph, S: Shelves>(graph: G, seed: u64, shelves: S) -> ReplicatedDht<G, S> {
     let mut rng = seeded(seed);
     let net = CdNetwork::build(graph, &PointSet::random(64, &mut rng));
-    let mut dht = ReplicatedDht::new(net, 8, 4, &mut rng);
+    let mut dht = ReplicatedDht::with_shelves(net, 8, 4, shelves, &mut rng);
     let mut transport = Inline;
     // BTreeMap: deterministic iteration, so the storm replays
     let mut live: BTreeMap<u64, Bytes> = BTreeMap::new();
@@ -105,6 +110,7 @@ fn storm<G: ContinuousGraph>(graph: G, seed: u64) {
     assert_eq!(dht.items(), live.len(), "shelves must track the live population");
     dht.net.validate();
     check_all(&dht, &live, &mut rng);
+    dht
 }
 
 #[test]
@@ -120,4 +126,25 @@ fn repair_churn_storm_chord() {
 #[test]
 fn repair_churn_storm_debruijn8() {
     storm(DeBruijn::new(8), 0xF0A3);
+}
+
+/// The same storm over the crash-consistent WAL backend: identical
+/// protocol behavior (the backend is invisible to the engine), the
+/// log stays bounded via auto-compaction, and the entire churned
+/// population survives a process restart byte for byte.
+#[test]
+fn repair_churn_storm_dh_file_backed() {
+    let scratch = ScratchPath::new("storm-wal");
+    let shelves = FileShelves::open(scratch.path()).expect("open WAL");
+    let dht = storm_on(DistanceHalving::binary(), 0xF0A1, shelves);
+    let survived = dht.shelves.map().clone();
+    assert!(
+        dht.shelves.wal_len() < 64 * (1 << 20),
+        "auto-compaction must bound a 1k-op storm's log"
+    );
+    drop(dht);
+    // restart: the reopened WAL replays to exactly the pre-death map
+    let reopened = FileShelves::open(scratch.path()).expect("reopen WAL");
+    assert_eq!(reopened.recovery().skipped, 0);
+    assert_eq!(reopened.map(), &survived, "restart must recover the churned population");
 }

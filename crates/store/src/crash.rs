@@ -1,0 +1,34 @@
+//! Deterministic crash injection for the WAL write path.
+//!
+//! A [`CrashPoint`] arms [`crate::FileShelves`] to die mid-write: the
+//! first `after_records` appended records land whole, the next (fatal)
+//! record gets only its first `torn_bytes` bytes, and from then on the
+//! store is **dead** — every further verb is ignored, exactly as if
+//! the process had been killed. Reopening the same path is the
+//! recovery under test: the scan must truncate the torn record and
+//! reproduce the state as of the last record boundary.
+//!
+//! Because both knobs are plain integers, a test can sweep *every*
+//! record boundary of an operation sequence (`after_records` in
+//! `0..total`) and every byte of the fatal record — the crash matrix —
+//! with no timing, threads or signals involved.
+
+/// Where to kill the write sequence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashPoint {
+    /// Records allowed to land whole before the crash. `0` dies on
+    /// the very first append.
+    pub after_records: u64,
+    /// Bytes of the fatal record that make it to disk (clamped to the
+    /// record's encoded length). `0` models a crash just before the
+    /// write; a partial count models a torn write.
+    pub torn_bytes: usize,
+}
+
+impl CrashPoint {
+    /// Crash after `after_records` whole records, with `torn_bytes`
+    /// of the next one on disk.
+    pub fn new(after_records: u64, torn_bytes: usize) -> CrashPoint {
+        CrashPoint { after_records, torn_bytes }
+    }
+}

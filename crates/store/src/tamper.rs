@@ -1,0 +1,193 @@
+//! File-layer fault injection and scratch-file plumbing for tests.
+//!
+//! [`TamperFile`] damages a **closed** WAL the way the world damages
+//! files — bit flips, zeroed ranges, truncation — so tests can assert
+//! that the recovery scan degrades record by record instead of
+//! failing. [`ScratchPath`] hands out collision-free temp paths and
+//! removes them on drop, so the crash matrix can open hundreds of
+//! stores without littering the filesystem (no `tempfile` crate in
+//! this offline workspace).
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static SCRATCH_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A unique temp-file path, removed (best-effort) on drop.
+pub struct ScratchPath {
+    path: PathBuf,
+}
+
+impl ScratchPath {
+    /// A fresh path under the system temp dir, unique per process and
+    /// call. The file itself is not created.
+    pub fn new(tag: &str) -> ScratchPath {
+        let seq = SCRATCH_SEQ.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir()
+            .join(format!("dh_store-{}-{seq}-{tag}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&path); // a crashed prior run's leftovers
+        ScratchPath { path }
+    }
+
+    /// The path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for ScratchPath {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+        let _ = std::fs::remove_file(self.path.with_extension("compact"));
+    }
+}
+
+/// One record frame of a WAL file, located by [`TamperFile::spans`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecordSpan {
+    /// File offset of the record's frame (its magic).
+    pub offset: u64,
+    /// Whole record length: frame + body.
+    pub len: u64,
+    /// The body's leading tag byte (1 = park, 2 = commit, 3 = remove,
+    /// 4 = retire, 5 = unpark).
+    pub tag: u8,
+}
+
+/// Corruption injector for a closed WAL file.
+pub struct TamperFile {
+    path: PathBuf,
+}
+
+impl TamperFile {
+    /// Tamper with the file at `path` (which must already exist).
+    pub fn new(path: impl AsRef<Path>) -> TamperFile {
+        TamperFile { path: path.as_ref().to_path_buf() }
+    }
+
+    /// Current file length.
+    pub fn len(&self) -> u64 {
+        std::fs::metadata(&self.path).map(|m| m.len()).unwrap_or(0)
+    }
+
+    /// True iff the file is empty or missing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Walk the record frames of the file (assuming an undamaged
+    /// log) and return their spans — what targeted tampering aims at.
+    pub fn spans(&self) -> Vec<RecordSpan> {
+        let buf = std::fs::read(&self.path).unwrap_or_default();
+        let magic = crate::wal::REC_MAGIC.to_le_bytes();
+        let mut out = Vec::new();
+        let mut pos = crate::wal::FILE_MAGIC.len();
+        while pos + crate::wal::FRAME_BYTES <= buf.len() && buf[pos..pos + 4] == magic {
+            let len =
+                u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().unwrap()) as usize;
+            let body = pos + crate::wal::FRAME_BYTES;
+            if body + len > buf.len() {
+                break;
+            }
+            out.push(RecordSpan {
+                offset: pos as u64,
+                len: (crate::wal::FRAME_BYTES + len) as u64,
+                tag: buf[body],
+            });
+            pos = body + len;
+        }
+        out
+    }
+
+    /// XOR `mask` into the byte at `offset` (a bit flip for a one-bit
+    /// mask).
+    pub fn flip(&self, offset: u64, mask: u8) {
+        let mut buf = std::fs::read(&self.path).expect("tamper target must exist");
+        let at = offset as usize;
+        assert!(at < buf.len(), "flip at {at} past end {}", buf.len());
+        buf[at] ^= mask;
+        std::fs::write(&self.path, buf).expect("tamper write");
+    }
+
+    /// Zero the byte range `[offset, offset + len)`.
+    pub fn zero(&self, offset: u64, len: u64) {
+        let mut buf = std::fs::read(&self.path).expect("tamper target must exist");
+        let (a, b) = (offset as usize, (offset + len) as usize);
+        assert!(b <= buf.len(), "zero range {a}..{b} past end {}", buf.len());
+        buf[a..b].fill(0);
+        std::fs::write(&self.path, buf).expect("tamper write");
+    }
+
+    /// Cut the file down to `len` bytes (a torn tail).
+    pub fn truncate(&self, len: u64) {
+        let buf = std::fs::read(&self.path).expect("tamper target must exist");
+        std::fs::write(&self.path, &buf[..(len as usize).min(buf.len())])
+            .expect("tamper write");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::file::FileShelves;
+    use crate::shelf::{Holder, Shelves};
+    use cd_core::point::Point;
+    use dh_erasure::{encode, ShareHeader};
+    use dh_proto::node::NodeId;
+
+    fn filled(path: &Path) -> u64 {
+        let mut s = FileShelves::open(path).unwrap();
+        for key in 0..3u64 {
+            let shares = encode(format!("tamper-{key}").as_bytes(), 2, 4);
+            for (idx, share) in shares.iter().enumerate() {
+                let header = ShareHeader { version: 1, index: idx as u8, k: 2, m: 4 };
+                s.park(key, Point(key), idx as u8, Holder::seal(NodeId(idx as u32), header, share));
+            }
+            s.commit(key, 1);
+        }
+        s.wal_len()
+    }
+
+    #[test]
+    fn spans_walk_the_whole_log() {
+        let scratch = ScratchPath::new("spans");
+        let len = filled(scratch.path());
+        let t = TamperFile::new(scratch.path());
+        let spans = t.spans();
+        assert_eq!(spans.len(), 15, "3 items × (4 parks + 1 commit)");
+        assert_eq!(spans.iter().filter(|s| s.tag == 2).count(), 3);
+        let end = spans.last().map(|s| s.offset + s.len).unwrap();
+        assert_eq!(end, len);
+        assert_eq!(t.len(), len);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn flip_zero_truncate_damage_recoverably() {
+        let scratch = ScratchPath::new("damage");
+        filled(scratch.path());
+        let t = TamperFile::new(scratch.path());
+        let spans = t.spans();
+        // flip a bit deep inside the first park record's body
+        let park = spans[0];
+        t.flip(park.offset + park.len - 3, 0x10);
+        let s = FileShelves::open(scratch.path()).unwrap();
+        assert_eq!(s.recovery().skipped, 1, "one flipped bit costs one record");
+        assert_eq!(s.map()[&0].shares_of(1).len(), 3, "the other shares survive");
+        drop(s);
+        // zero a whole interior record: still exactly one lost
+        let spans = TamperFile::new(scratch.path()).spans();
+        let mid = spans[6];
+        t.zero(mid.offset, mid.len);
+        let s = FileShelves::open(scratch.path()).unwrap();
+        assert!(s.recovery().skipped >= 1);
+        drop(s);
+        // tear the tail mid-record: truncated, earlier records intact
+        let spans = TamperFile::new(scratch.path()).spans();
+        let last = *spans.last().unwrap();
+        t.truncate(last.offset + 3);
+        let s = FileShelves::open(scratch.path()).unwrap();
+        assert!(s.recovery().torn_bytes > 0);
+        assert!(s.map().contains_key(&0), "early records must survive a torn tail");
+    }
+}

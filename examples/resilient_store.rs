@@ -45,7 +45,7 @@ fn main() {
                 break id;
             }
         };
-        if let Some((value, msgs)) = store.get(&net, from, item, &mut rng) {
+        if let Ok((value, msgs)) = store.get(&net, from, item, &mut rng) {
             assert_eq!(value, format!("document-{item}").as_bytes());
             ok += 1;
             if item < 3 {

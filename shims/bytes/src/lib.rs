@@ -1,43 +1,71 @@
 //! Offline shim for the subset of the `bytes` crate this workspace
 //! uses: an immutable, cheaply clonable byte buffer. Backed by
-//! `Arc<[u8]>`, so clones are reference bumps exactly like upstream.
+//! `Arc<[u8]>` plus a window, so clones are reference bumps and
+//! [`Bytes::slice`] is zero-copy exactly like upstream — the WAL shelf
+//! store (`dh_store`) leans on this to hand out share payloads as
+//! views into the single recovered file buffer.
 
 #![deny(unsafe_code)]
 
 use std::fmt;
-use std::ops::Deref;
+use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
-/// An immutable, reference-counted byte buffer.
-#[derive(Clone, PartialEq, Eq, Hash)]
+/// An immutable, reference-counted byte buffer (a window into a shared
+/// allocation).
+#[derive(Clone)]
 pub struct Bytes {
     data: Arc<[u8]>,
+    start: usize,
+    end: usize,
 }
 
 impl Bytes {
     /// An empty buffer.
     pub fn new() -> Self {
-        Bytes { data: Arc::from(&[][..]) }
+        Bytes { data: Arc::from(&[][..]), start: 0, end: 0 }
     }
 
     /// Wrap a static byte slice.
     pub fn from_static(bytes: &'static [u8]) -> Self {
-        Bytes { data: Arc::from(bytes) }
+        Bytes { data: Arc::from(bytes), start: 0, end: bytes.len() }
     }
 
     /// Length in bytes.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.end - self.start
     }
 
     /// True iff empty.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.start == self.end
     }
 
     /// Copy out to a `Vec`.
     pub fn to_vec(&self) -> Vec<u8> {
-        self.data.to_vec()
+        self[..].to_vec()
+    }
+
+    /// A zero-copy sub-window sharing the backing allocation: the
+    /// returned `Bytes` is a reference bump, never a copy. Panics if
+    /// the range is out of bounds (mirrors upstream `bytes`).
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let begin = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(
+            begin <= end && end <= self.len(),
+            "slice {begin}..{end} out of bounds of {} bytes",
+            self.len()
+        );
+        Bytes { data: self.data.clone(), start: self.start + begin, end: self.start + end }
     }
 }
 
@@ -50,19 +78,36 @@ impl Default for Bytes {
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.data
+        &self.data[self.start..self.end]
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self
+    }
+}
+
+// Equality and hashing follow the *visible contents* (as upstream):
+// two windows over different allocations with the same bytes are equal.
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self[..].hash(state);
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes { data: Arc::from(v) }
+        let end = v.len();
+        Bytes { data: Arc::from(v), start: 0, end }
     }
 }
 
@@ -80,14 +125,14 @@ impl From<&'static str> for Bytes {
 
 impl From<String> for Bytes {
     fn from(v: String) -> Self {
-        Bytes { data: Arc::from(v.into_bytes()) }
+        Bytes::from(v.into_bytes())
     }
 }
 
 impl fmt::Debug for Bytes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "b\"")?;
-        for &b in self.data.iter() {
+        for &b in self.iter() {
             if (0x20..0x7f).contains(&b) && b != b'"' && b != b'\\' {
                 write!(f, "{}", b as char)?;
             } else {
@@ -110,5 +155,39 @@ mod tests {
         assert_eq!(&a[..], &[1, 2, 3]);
         assert_eq!(Bytes::from_static(b"x").len(), 1);
         assert_eq!(Bytes::from("hi").to_vec(), b"hi".to_vec());
+    }
+
+    #[test]
+    fn slices_are_zero_copy_views() {
+        let a = Bytes::from(vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        let mid = a.slice(2..6);
+        assert_eq!(&mid[..], &[2, 3, 4, 5]);
+        assert_eq!(Arc::as_ptr(&a.data), Arc::as_ptr(&mid.data), "slice must share the backing");
+        let inner = mid.slice(1..=2);
+        assert_eq!(&inner[..], &[3, 4]);
+        assert_eq!(mid.slice(..).len(), 4);
+        assert!(a.slice(8..).is_empty());
+    }
+
+    #[test]
+    fn eq_and_hash_follow_contents_not_backing() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let whole = Bytes::from(vec![9, 9, 5, 6, 9]);
+        let window = whole.slice(2..4);
+        let fresh = Bytes::from(vec![5, 6]);
+        assert_eq!(window, fresh);
+        let h = |b: &Bytes| {
+            let mut s = DefaultHasher::new();
+            b.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(h(&window), h(&fresh));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_range_slice_panics() {
+        Bytes::from(vec![1, 2]).slice(1..4);
     }
 }

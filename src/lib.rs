@@ -19,4 +19,5 @@ pub use dh_erasure as erasure;
 pub use dh_fault as fault;
 pub use dh_proto as proto;
 pub use dh_replica as replica;
+pub use dh_store as store;
 pub use p2p_baselines as baselines;
