@@ -72,7 +72,7 @@ impl BucketRing {
 
     /// Total number of servers.
     pub fn len(&self) -> usize {
-        self.buckets.iter().map(|b| b.len()).sum()
+        self.buckets.iter().map(std::vec::Vec::len).sum()
     }
 
     /// True iff there are no servers (never, by construction).
@@ -87,7 +87,7 @@ impl BucketRing {
 
     /// Bucket sizes in ring order.
     pub fn bucket_sizes(&self) -> Vec<usize> {
-        self.buckets.iter().map(|b| b.len()).collect()
+        self.buckets.iter().map(std::vec::Vec::len).collect()
     }
 
     fn log_n(&self) -> f64 {

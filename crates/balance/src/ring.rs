@@ -22,7 +22,7 @@ impl Ring {
 
     /// Build from points (duplicates ignored).
     pub fn from_points(points: impl IntoIterator<Item = Point>) -> Self {
-        Ring { points: points.into_iter().map(|p| p.bits()).collect() }
+        Ring { points: points.into_iter().map(cd_core::Point::bits).collect() }
     }
 
     /// Number of points.

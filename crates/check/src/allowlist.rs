@@ -1,0 +1,46 @@
+//! The D5 allowlist: every `Ordering::Relaxed` site in the workspace,
+//! with the argument for why relaxed ordering is sound *there*.
+//!
+//! This list is deliberately a compiled constant, not a config file:
+//! adding a `Relaxed` means editing this crate, which puts the
+//! justification in front of a reviewer. Entries are keyed by file and
+//! carry the expected site count; detlint reports a finding when a
+//! file's actual count drifts from its entry (new unreviewed site, or
+//! a stale entry after a refactor) and when an entry names a file that
+//! no longer exists.
+
+/// One allowlisted file.
+#[derive(Clone, Copy, Debug)]
+pub struct RelaxedAllow {
+    /// Workspace-relative path (forward slashes).
+    pub file: &'static str,
+    /// Number of `Ordering::Relaxed` sites expected in non-test code.
+    pub sites: usize,
+    /// Why relaxed ordering is sound at those sites.
+    pub why: &'static str,
+}
+
+/// Every reviewed `Ordering::Relaxed` site in the workspace.
+pub const RELAXED_ALLOWLIST: &[RelaxedAllow] = &[
+    RelaxedAllow {
+        file: "crates/dht/src/metrics.rs",
+        sites: 4,
+        why: "per-message load counters are pure statistics: incremented during the parallel \
+              section, read only after the pool's scope join, which publishes every count; \
+              no protocol decision reads them concurrently",
+    },
+    RelaxedAllow {
+        file: "crates/store/src/tamper.rs",
+        sites: 1,
+        why: "scratch-file name uniquifier: the fetch_add only needs per-process uniqueness \
+              of the returned value, never cross-thread ordering, and the name stays out of \
+              every trace",
+    },
+    RelaxedAllow {
+        file: "shims/rayon/src/lib.rs",
+        sites: 1,
+        why: "the chunk-cursor claim: fetch_add(1, Relaxed) hands out each chunk index exactly \
+              once (RMW atomicity), claims commute, and results are published by the scope \
+              join, not the cursor — model-checked by dh_check's pool protocol tests",
+    },
+];

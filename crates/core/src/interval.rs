@@ -152,12 +152,12 @@ impl Interval {
     /// Image under the left map `ℓ(y) = y/2` — up to two arcs if `self`
     /// wraps. Exact on the fixed-point grid (see [`Self::image_child`]).
     pub fn image_left(&self) -> Pieces {
-        self.map_monotone(|p| p.left())
+        self.map_monotone(Point::left)
     }
 
     /// Image under the right map `r(y) = y/2 + 1/2`.
     pub fn image_right(&self) -> Pieces {
-        self.map_monotone(|p| p.right())
+        self.map_monotone(Point::right)
     }
 
     /// Image under the degree-∆ map `f_d(y) = y/∆ + d/∆`: the exact

@@ -143,7 +143,7 @@ impl Table {
     /// Render as GitHub-flavoured Markdown.
     pub fn to_markdown(&self) -> String {
         let ncol = self.headers.len();
-        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
         for row in &self.rows {
             for (i, c) in row.iter().enumerate() {
                 widths[i] = widths[i].max(c.len());

@@ -11,7 +11,7 @@
 
 use cd_core::interval::Interval;
 use cd_core::pointset::PointSet;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Exact degree/edge statistics of `G_~x` (ring edges excluded).
 #[derive(Clone, Debug)]
@@ -30,8 +30,8 @@ pub struct GraphStats {
 }
 
 /// Indices of segments intersecting any piece of the image set.
-fn covers(ps: &PointSet, pieces: impl IntoIterator<Item = Interval>) -> HashSet<usize> {
-    let mut out = HashSet::new();
+fn covers(ps: &PointSet, pieces: impl IntoIterator<Item = Interval>) -> BTreeSet<usize> {
+    let mut out = BTreeSet::new();
     for piece in pieces {
         out.extend(ps.indices_covering(&piece));
     }
@@ -40,9 +40,9 @@ fn covers(ps: &PointSet, pieces: impl IntoIterator<Item = Interval>) -> HashSet<
 
 /// Out-neighbor indices of segment `i` (targets of continuous edges
 /// whose source lies in `s(x_i)`), self included if applicable.
-pub fn out_neighbors(ps: &PointSet, i: usize, delta: u32) -> HashSet<usize> {
+pub fn out_neighbors(ps: &PointSet, i: usize, delta: u32) -> BTreeSet<usize> {
     let seg = ps.segment(i);
-    let mut ids = HashSet::new();
+    let mut ids = BTreeSet::new();
     for d in 0..delta {
         ids.extend(covers(ps, seg.image_child(d, delta).into_iter().flatten()));
     }
@@ -51,7 +51,7 @@ pub fn out_neighbors(ps: &PointSet, i: usize, delta: u32) -> HashSet<usize> {
 
 /// In-neighbor indices of segment `i` (sources of continuous edges
 /// whose target lies in `s(x_i)`), computed via the backward image.
-pub fn in_neighbors(ps: &PointSet, i: usize, delta: u32) -> HashSet<usize> {
+pub fn in_neighbors(ps: &PointSet, i: usize, delta: u32) -> BTreeSet<usize> {
     let seg = ps.segment(i);
     covers(ps, [seg.image_backward_delta(delta)])
 }
@@ -59,7 +59,7 @@ pub fn in_neighbors(ps: &PointSet, i: usize, delta: u32) -> HashSet<usize> {
 /// Compute exact graph statistics for degree parameter `delta`.
 pub fn graph_stats(ps: &PointSet, delta: u32) -> GraphStats {
     let n = ps.len();
-    let mut pairs: HashSet<(usize, usize)> = HashSet::new();
+    let mut pairs: BTreeSet<(usize, usize)> = BTreeSet::new();
     let mut max_out = 0usize;
     let mut max_in = 0usize;
     for i in 0..n {
@@ -98,11 +98,11 @@ pub fn check_debruijn_isomorphism(r: u32) -> Result<(), String> {
     };
     for i in 0..n {
         // our out-edges
-        let ours: HashSet<usize> = out_neighbors(&ps, i, 2).into_iter().collect();
+        let ours: BTreeSet<usize> = out_neighbors(&ps, i, 2).into_iter().collect();
         // De Bruijn out-edges of node rev(i): u → (u << 1 | b) mod n,
         // mapped back through the isomorphism.
         let u = rev(i);
-        let expect: HashSet<usize> =
+        let expect: BTreeSet<usize> =
             [0usize, 1].iter().map(|&b| rev(((u << 1) | b) & (n - 1))).collect();
         if ours != expect {
             return Err(format!(

@@ -111,7 +111,7 @@ pub fn reversal_permutation<G: ContinuousGraph>(net: &CdNetwork<G>) -> Vec<NodeI
     by_point.sort_by_key(|&id| net.node(id).x);
     let n = by_point.len();
     let mut perm = vec![NodeId(0); n];
-    let rank: std::collections::HashMap<NodeId, usize> =
+    let rank: std::collections::BTreeMap<NodeId, usize> =
         by_point.iter().enumerate().map(|(r, &id)| (id, r)).collect();
     for &id in net.live() {
         let r = rank[&id];

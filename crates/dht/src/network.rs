@@ -63,7 +63,7 @@ use cd_core::interval::Interval;
 use cd_core::point::Point;
 use cd_core::pointset::PointSet;
 use cd_core::Point as CPoint;
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::mem;
 
 // The recipe's instances are part of this crate's vocabulary: a
@@ -107,9 +107,9 @@ pub struct NodeState {
     /// The neighbor table (excluding self), sorted by segment start.
     pub neighbors: Vec<Neighbor>,
     /// Reverse index: nodes whose tables list this node.
-    pub watchers: HashSet<NodeId>,
+    pub watchers: BTreeSet<NodeId>,
     /// Stored data items, keyed by item key.
-    pub items: HashMap<u64, StoredItem>,
+    pub items: BTreeMap<u64, StoredItem>,
 }
 
 impl NodeState {
@@ -324,8 +324,8 @@ impl<G: ContinuousGraph> CdNetwork<G> {
                     x: points.point(i),
                     segment: points.segment(i),
                     neighbors,
-                    watchers: HashSet::new(),
-                    items: HashMap::new(),
+                    watchers: BTreeSet::new(),
+                    items: BTreeMap::new(),
                 })
             })
             .collect();
@@ -641,8 +641,8 @@ impl<G: ContinuousGraph> CdNetwork<G> {
                     x,
                     segment: give,
                     neighbors: Vec::new(),
-                    watchers: HashSet::new(),
-                    items: HashMap::new(),
+                    watchers: BTreeSet::new(),
+                    items: BTreeMap::new(),
                 });
                 id
             }
@@ -653,8 +653,8 @@ impl<G: ContinuousGraph> CdNetwork<G> {
                     x,
                     segment: give,
                     neighbors: Vec::new(),
-                    watchers: HashSet::new(),
-                    items: HashMap::new(),
+                    watchers: BTreeSet::new(),
+                    items: BTreeMap::new(),
                 }));
                 self.live_pos.push(0);
                 self.succ.push(id);
@@ -776,7 +776,7 @@ impl<G: ContinuousGraph> CdNetwork<G> {
         let merged =
             Interval::new(pred_seg.start(), (pred_seg.len() + seg.len()).min(cd_core::interval::FULL));
         self.node_mut(pred).segment = merged;
-        let items: Vec<(u64, StoredItem)> = self.node_mut(id).items.drain().collect();
+        let items: Vec<(u64, StoredItem)> = mem::take(&mut self.node_mut(id).items).into_iter().collect();
         self.node_mut(pred).items.extend(items);
         // unsplice the ring
         let after = self.succ[id.0 as usize];

@@ -113,7 +113,7 @@ impl Emulation {
         EmulationStats {
             max_guests_per_host: per_host.iter().copied().max().unwrap_or(0),
             max_guest_edges_per_host_edge: per_edge.values().copied().max().unwrap_or(0),
-            max_host_degree: adj.iter().map(|s| s.len()).max().unwrap_or(0),
+            max_host_degree: adj.iter().map(std::collections::BTreeSet::len).max().unwrap_or(0),
             rho: self.hosts.smoothness(),
         }
     }

@@ -133,8 +133,8 @@ impl GgExpander {
     /// `(max, mean)` degree of the Gabber-Galil edges — Corollary 5.2's
     /// `Θ(ρ)`.
     pub fn degree_stats(&self) -> (usize, f64) {
-        let max = self.gg_adj.iter().map(|a| a.len()).max().unwrap_or(0);
-        let sum: usize = self.gg_adj.iter().map(|a| a.len()).sum();
+        let max = self.gg_adj.iter().map(std::vec::Vec::len).max().unwrap_or(0);
+        let sum: usize = self.gg_adj.iter().map(std::vec::Vec::len).sum();
         (max, sum as f64 / self.len() as f64)
     }
 }

@@ -114,11 +114,11 @@ impl OverlapNet {
             pts.iter().rev().map(|&p| self.covers_of(p)).collect();
         // the querier itself receives the final step
         step_sets.push(vec![from]);
-        let mut belief: std::collections::HashMap<OverlapNodeId, bool> =
+        let mut belief: std::collections::BTreeMap<OverlapNodeId, bool> =
             step_sets[0].iter().map(|&id| (id, true)).collect();
         for w in step_sets.windows(2) {
             let (senders, receivers) = (&w[0], &w[1]);
-            let mut next: std::collections::HashMap<OverlapNodeId, bool> = Default::default();
+            let mut next: std::collections::BTreeMap<OverlapNodeId, bool> = Default::default();
             for &r in receivers {
                 let mut votes_true = 0usize;
                 let mut votes_false = 0usize;

@@ -14,7 +14,7 @@
 use cd_core::interval::Interval;
 use cd_core::point::Point;
 use rand::Rng;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Handle to a server of the overlapping network.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -46,7 +46,7 @@ pub struct OverlapNet {
     /// Longest segment (bounds cover scans).
     max_seg: u128,
     /// Currently failed servers.
-    pub failed: HashSet<OverlapNodeId>,
+    pub failed: BTreeSet<OverlapNodeId>,
     /// Failure semantics for `failed` servers.
     pub model: FaultModel,
 }
@@ -90,7 +90,7 @@ impl OverlapNet {
             xs.iter().enumerate().map(|(i, &b)| (b, OverlapNodeId(i as u32))).collect();
         let max_seg = nodes.iter().map(|nd| nd.segment.len()).max().expect("nonempty");
         let mut net =
-            OverlapNet { nodes, index, max_seg, failed: HashSet::new(), model: FaultModel::FailStop };
+            OverlapNet { nodes, index, max_seg, failed: BTreeSet::new(), model: FaultModel::FailStop };
         for i in 0..n {
             let id = OverlapNodeId(i as u32);
             net.nodes[i].neighbors = net.derive_neighbors(id);
@@ -167,7 +167,7 @@ impl OverlapNet {
     /// intersect `s`, `ℓ(s)`, `r(s)` or `b(s)`.
     fn derive_neighbors(&self, id: OverlapNodeId) -> Vec<OverlapNodeId> {
         let seg = self.nodes[id.0 as usize].segment;
-        let mut ids: HashSet<OverlapNodeId> = HashSet::new();
+        let mut ids: BTreeSet<OverlapNodeId> = BTreeSet::new();
         let mut arcs: Vec<Interval> = vec![seg];
         arcs.extend(seg.image_left().into_iter().flatten());
         arcs.extend(seg.image_right().into_iter().flatten());

@@ -141,8 +141,8 @@ impl TorusVoronoi {
     /// rectangle form is checked separately by the expander crate).
     pub fn area_smoothness(&self) -> f64 {
         let areas: Vec<f64> = (0..self.len()).map(|i| self.cell_area(i)).collect();
-        let min = areas.iter().cloned().fold(f64::INFINITY, f64::min);
-        let max = areas.iter().cloned().fold(0.0, f64::max);
+        let min = areas.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = areas.iter().copied().fold(0.0, f64::max);
         max / min
     }
 }

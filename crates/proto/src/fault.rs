@@ -13,7 +13,7 @@
 use crate::node::NodeId;
 use crate::transport::{Delivery, Transport};
 use crate::wire::Envelope;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Which failure model is active.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -42,13 +42,13 @@ pub struct Faulty<T> {
     /// The active failure semantics.
     pub model: FaultModel,
     /// The failed servers.
-    pub failed: HashSet<NodeId>,
+    pub failed: BTreeSet<NodeId>,
 }
 
 impl<T: Transport> Faulty<T> {
     /// Wrap `inner` with no failures yet.
     pub fn new(inner: T, model: FaultModel) -> Self {
-        Faulty { inner, model, failed: HashSet::new() }
+        Faulty { inner, model, failed: BTreeSet::new() }
     }
 
     /// Mark a server failed.

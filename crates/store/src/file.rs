@@ -227,7 +227,7 @@ impl FileShelves {
                 // disk, then the process is "gone"
                 let torn = cp.torn_bytes.min(self.buf.len());
                 if let Some(file) = &mut self.file {
-                    let _ = file.write_all(&self.buf[..torn]);
+                    let _ = file.write_all(self.buf.get(..torn).unwrap_or(&self.buf));
                     let _ = file.flush();
                 }
                 self.wal_len += torn as u64;

@@ -73,7 +73,7 @@ impl ItemState {
         self.holders
             .values()
             .filter(|h| h.version == version)
-            .filter_map(|h| h.share())
+            .filter_map(Holder::share)
             .collect()
     }
 }

@@ -101,6 +101,7 @@ const CRC_TABLE: [u32; 256] = {
             crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
             bit += 1;
         }
+        // detlint: allow(indexing): const-eval table build, i < 256 by the loop bound
         table[i] = crc;
         i += 1;
     }
@@ -111,6 +112,7 @@ const CRC_TABLE: [u32; 256] = {
 pub fn crc32(data: &[u8]) -> u32 {
     let mut crc = !0u32;
     for &b in data {
+        // detlint: allow(indexing): index is masked to 0..=255 and the table has 256 entries
         crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
     }
     !crc
@@ -152,8 +154,11 @@ pub fn encode_record(rec: &WalRecord, out: &mut Vec<u8>) -> usize {
         }
     }
     let body_len = out.len() - body_at;
+    // detlint: allow(indexing): append path, not recovery; body_at/frame_at were out.len() above
     let crc = crc32(&out[body_at..]);
+    // detlint: allow(indexing): patches the 8 reserved bytes pushed at frame_at + 4
     out[frame_at + 4..frame_at + 8].copy_from_slice(&(body_len as u32).to_le_bytes());
+    // detlint: allow(indexing): patches the 8 reserved bytes pushed at frame_at + 4
     out[frame_at + 8..frame_at + 12].copy_from_slice(&crc.to_le_bytes());
     out.len() - frame_at
 }
@@ -161,9 +166,9 @@ pub fn encode_record(rec: &WalRecord, out: &mut Vec<u8>) -> usize {
 /// Parse one record body (tag + fields). `sealed` payloads are
 /// zero-copy windows into `buf`.
 fn parse_body(buf: &Bytes, start: usize, len: usize) -> Option<WalRecord> {
-    let body = &buf[start..start + len];
+    let body = buf.get(start..start + len)?;
     let tag = *body.first()?;
-    let rest = &body[1..];
+    let rest = body.get(1..)?;
     let u64_at = |at: usize| -> Option<u64> {
         Some(u64::from_le_bytes(rest.get(at..at + 8)?.try_into().ok()?))
     };
@@ -244,10 +249,13 @@ impl std::error::Error for WalError {}
 /// damage).
 fn find_magic(buf: &[u8], from: usize) -> Option<usize> {
     let needle = REC_MAGIC.to_le_bytes();
-    if buf.len() < from + 4 {
-        return None;
-    }
-    (from..=buf.len() - 4).find(|&i| buf[i..i + 4] == needle)
+    let tail = buf.get(from..)?;
+    tail.windows(4).position(|w| w == needle).map(|i| from + i)
+}
+
+/// Checked little-endian `u32` read at `at` (`None` past the end).
+fn read_u32_at(buf: &[u8], at: usize) -> Option<u32> {
+    Some(u32::from_le_bytes(buf.get(at..at + 4)?.try_into().ok()?))
 }
 
 /// The recovery scan: walk `buf` record by record, accepting only
@@ -260,21 +268,22 @@ pub fn scan(buf: &Bytes) -> Result<Scan, WalError> {
     if buf.is_empty() {
         return Ok(out);
     }
-    if buf.len() < FILE_MAGIC.len() || buf[..FILE_MAGIC.len()] != FILE_MAGIC {
-        if buf.len() < FILE_MAGIC.len() {
+    match buf.get(..FILE_MAGIC.len()) {
+        None => {
             // a creation torn before the magic finished: empty store
             out.clean_len = FILE_MAGIC.len() as u64;
             out.torn_bytes = buf.len() as u64;
             return Ok(out);
         }
-        return Err(WalError::NotAShelfStore);
+        Some(head) if head != FILE_MAGIC => return Err(WalError::NotAShelfStore),
+        Some(_) => {}
     }
     let mut pos = FILE_MAGIC.len();
     loop {
         if pos + FRAME_BYTES > buf.len() {
             break; // tail too short for a frame: torn
         }
-        if buf[pos..pos + 4] != REC_MAGIC.to_le_bytes() {
+        if read_u32_at(buf, pos) != Some(REC_MAGIC) {
             // frame damage: resynchronize on the next marker
             match find_magic(buf, pos + 1) {
                 Some(next) => {
@@ -285,7 +294,12 @@ pub fn scan(buf: &Bytes) -> Result<Scan, WalError> {
                 None => break,
             }
         }
-        let len = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().unwrap()) as usize;
+        // the frame-length guard above keeps both reads in bounds, but
+        // the recovery path stays checked-access anyway
+        let (Some(len), Some(crc)) = (read_u32_at(buf, pos + 4), read_u32_at(buf, pos + 8)) else {
+            break;
+        };
+        let len = len as usize;
         let body_start = pos + FRAME_BYTES;
         if len > MAX_RECORD || body_start + len > buf.len() {
             // either a torn tail (the record never finished) or a
@@ -299,8 +313,10 @@ pub fn scan(buf: &Bytes) -> Result<Scan, WalError> {
                 None => break,
             }
         }
-        let crc = u32::from_le_bytes(buf[pos + 8..pos + 12].try_into().unwrap());
-        if crc32(&buf[body_start..body_start + len]) != crc {
+        let Some(body) = buf.get(body_start..body_start + len) else {
+            break;
+        };
+        if crc32(body) != crc {
             out.skipped += 1;
             pos = body_start + len;
             continue;

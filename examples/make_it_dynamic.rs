@@ -49,8 +49,8 @@ fn main() {
             (own + nsum) / (1.0 + nbrs.len() as f64)
         });
         if round % 50 == 49 {
-            let max = states.iter().cloned().fold(0.0, f64::max);
-            let min = states.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = states.iter().copied().fold(0.0, f64::max);
+            let min = states.iter().copied().fold(f64::INFINITY, f64::min);
             println!("round {:3}: spread max−min = {:.4}", round + 1, max - min);
         }
     }

@@ -1,0 +1,862 @@
+//! `chk`: the happens-before race-checker runtime behind `dh_check`.
+//!
+//! This module is the instrumentation layer the `dh_check` crate's
+//! model tests drive. It provides *tracked* concurrency primitives —
+//! [`AtomicUsize`], [`AtomicBool`], [`RaceCell`], [`scope`] — that
+//! mirror the `std` types the [`crate::pool`] uses, plus a **bounded
+//! deterministic interleaving explorer** ([`explore`]) in the loom
+//! lineage:
+//!
+//! * Outside [`explore`] every tracked type is a zero-cost passthrough
+//!   to its `std` counterpart, so a pool compiled with
+//!   `--cfg dh_check` (see `crate::pool`'s `sync` aliases) behaves
+//!   identically in ordinary tests.
+//! * Inside [`explore`], every tracked operation is a **yield point**:
+//!   threads run one at a time under a cooperative scheduler, and at
+//!   each yield point the scheduler picks which thread performs its
+//!   next operation. The explorer re-runs the closure once per
+//!   schedule, depth-first over the scheduling decisions, bounded by a
+//!   preemption budget (schedules that switch away from a runnable
+//!   thread more than `preemption_bound` times are pruned — the
+//!   classic CHESS result is that almost all concurrency bugs need
+//!   only a couple of preemptions).
+//! * Every thread carries a **vector clock**. Cross-thread edges come
+//!   from spawn, join and Release→Acquire atomic pairs; `Relaxed`
+//!   operations move values but *no clock*, exactly the distinction a
+//!   wrong-ordering bug needs. [`RaceCell`] accesses are checked
+//!   against the clocks: two conflicting accesses with neither
+//!   happens-before the other are reported as a [`Race`].
+//!
+//! The model is sequentially consistent per explored schedule (one
+//! operation at a time), so it explores *interleavings*, not store
+//! reorderings; weak-memory effects are approximated by the clock
+//! semantics of `Relaxed` (no release edge). That is the right
+//! fidelity for the protocols checked here — chunk-cursor claiming,
+//! flag publication, merge ordering — and `DESIGN.md` §11 spells out
+//! what is and is not covered.
+//!
+//! Determinism: the runtime never consults wall-clock time or OS
+//! randomness; a schedule is a pure function of the decision prefix,
+//! so every failure reproduces.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// How long a parked model thread waits before declaring the
+/// scheduler wedged. Generous: the budget only fires on runtime bugs.
+const WEDGE_TIMEOUT: Duration = Duration::from_secs(20);
+
+// ---------------------------------------------------------------------
+// Vector clocks
+// ---------------------------------------------------------------------
+
+/// A vector clock: component `t` counts thread `t`'s tracked
+/// operations that are known to happen-before the clock's owner.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Clock(Vec<u64>);
+
+impl Clock {
+    fn get(&self, t: usize) -> u64 {
+        self.0.get(t).copied().unwrap_or(0)
+    }
+
+    fn tick(&mut self, t: usize) {
+        if self.0.len() <= t {
+            self.0.resize(t + 1, 0);
+        }
+        self.0[t] += 1;
+    }
+
+    fn join(&mut self, other: &Clock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (i, &v) in other.0.iter().enumerate() {
+            if self.0[i] < v {
+                self.0[i] = v;
+            }
+        }
+    }
+
+    fn clear(&mut self) {
+        self.0.clear();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Race reports
+// ---------------------------------------------------------------------
+
+/// One unordered pair of conflicting accesses to a [`RaceCell`].
+#[derive(Clone, Debug)]
+pub struct Race {
+    /// The cell's name (given at construction).
+    pub loc: String,
+    /// `(thread, kind)` of the earlier access in this schedule.
+    pub first: (usize, &'static str),
+    /// `(thread, kind)` of the later access in this schedule.
+    pub second: (usize, &'static str),
+    /// Which schedule (0-based exploration index) exposed the race.
+    pub schedule: usize,
+}
+
+impl std::fmt::Display for Race {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "race on `{}`: {} by thread {} unordered with {} by thread {} (schedule {})",
+            self.loc, self.first.1, self.first.0, self.second.1, self.second.0, self.schedule
+        )
+    }
+}
+
+/// What one [`explore`] call covered.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Schedules executed.
+    pub schedules: usize,
+    /// Whether the bounded search space was exhausted (false when
+    /// `max_schedules` cut it off).
+    pub complete: bool,
+    /// Every race found, across all schedules.
+    pub races: Vec<Race>,
+}
+
+impl Report {
+    /// True when the search completed and found no race.
+    pub fn race_free(&self) -> bool {
+        self.complete && self.races.is_empty()
+    }
+}
+
+/// Exploration bounds.
+#[derive(Clone, Copy, Debug)]
+pub struct Explorer {
+    /// Maximum number of *preemptions* per schedule: decisions that
+    /// switch away from a thread that could have kept running.
+    pub preemption_bound: usize,
+    /// Hard cap on schedules executed (safety valve; `complete` goes
+    /// false when it fires).
+    pub max_schedules: usize,
+}
+
+impl Default for Explorer {
+    fn default() -> Self {
+        Explorer { preemption_bound: 2, max_schedules: 100_000 }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The scheduler
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum TState {
+    /// Parked at a yield point (or registered and not yet started):
+    /// a candidate for the next decision.
+    Ready,
+    /// The one thread currently executing.
+    Running,
+    /// Waiting for another thread to finish.
+    Blocked { on: usize },
+    Finished,
+}
+
+#[derive(Debug)]
+struct ThreadInfo {
+    state: TState,
+    clock: Clock,
+    finish_clock: Clock,
+    joined: bool,
+}
+
+#[derive(Debug, Default)]
+struct LocMeta {
+    /// Clock released by the last store chain (atomics).
+    release: Clock,
+    /// Access history (cells): `(thread, epoch, is_write, kind)`.
+    accesses: Vec<(usize, u64, bool, &'static str)>,
+}
+
+struct Sched {
+    threads: Vec<ThreadInfo>,
+    active: usize,
+    /// Decision prefix to replay: for decision `i`, pick candidate
+    /// index `prefix[i]`.
+    prefix: Vec<usize>,
+    pos: usize,
+    /// Full decision log of this execution: `(candidates, chosen idx)`.
+    log: Vec<(Vec<usize>, usize)>,
+    preemptions: usize,
+    bound: usize,
+    locs: BTreeMap<usize, LocMeta>,
+    races: Vec<Race>,
+    schedule_id: usize,
+    /// Set when the execution is being torn down after a panic: every
+    /// parked thread unparks and panics too, so `std::thread::scope`
+    /// can join them and the original panic can propagate.
+    abort: bool,
+}
+
+/// One execution's shared scheduler state.
+pub(crate) struct Exec {
+    m: Mutex<Sched>,
+    cv: Condvar,
+}
+
+thread_local! {
+    /// `(execution, my thread id)` — installed by [`explore`] on the
+    /// driver thread and by [`Scope::spawn`] on model threads.
+    static CTX: RefCell<Option<(Arc<Exec>, usize)>> = const { RefCell::new(None) };
+}
+
+fn current_ctx() -> Option<(Arc<Exec>, usize)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+/// Panic message used to tear worker threads down after a real panic;
+/// recognized so teardown panics are not reported as failures
+/// themselves.
+const ABORT_MSG: &str = "chk: execution aborted (another thread panicked)";
+
+impl Exec {
+    fn new(prefix: Vec<usize>, bound: usize, schedule_id: usize) -> Exec {
+        Exec {
+            m: Mutex::new(Sched {
+                threads: vec![ThreadInfo {
+                    state: TState::Running,
+                    clock: {
+                        let mut c = Clock::default();
+                        c.tick(0);
+                        c
+                    },
+                    finish_clock: Clock::default(),
+                    joined: true, // thread 0 is the driver, never joined
+                }],
+                active: 0,
+                prefix,
+                pos: 0,
+                log: Vec::new(),
+                preemptions: 0,
+                bound,
+                locs: BTreeMap::new(),
+                races: Vec::new(),
+                schedule_id,
+                abort: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Sched> {
+        self.m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Pick the next thread to run. `curr` is the thread handing
+    /// control off (it has already set its own state). Called with the
+    /// lock held.
+    fn schedule_next(&self, g: &mut Sched, curr: usize) {
+        // unblock joiners whose target has finished
+        for i in 0..g.threads.len() {
+            if let TState::Blocked { on } = g.threads[i].state {
+                if g.threads[on].state == TState::Finished {
+                    g.threads[i].state = TState::Ready;
+                }
+            }
+        }
+        let mut cands: Vec<usize> = g
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.state == TState::Ready)
+            .map(|(i, _)| i)
+            .collect();
+        if cands.is_empty() {
+            let alive = g.threads.iter().filter(|t| t.state != TState::Finished).count();
+            assert!(
+                alive == 0 || g.abort,
+                "chk: model deadlock — {alive} thread(s) blocked with nothing runnable"
+            );
+            self.cv.notify_all();
+            return;
+        }
+        // stable candidate order: continuing `curr` first (index 0 =
+        // no preemption), then ascending thread id
+        if let Some(p) = cands.iter().position(|&t| t == curr) {
+            cands.remove(p);
+            cands.insert(0, curr);
+        }
+        let curr_runnable = cands.first() == Some(&curr);
+        if curr_runnable && g.preemptions >= g.bound {
+            cands.truncate(1); // budget spent: must keep running curr
+        }
+        let idx = if g.pos < g.prefix.len() { g.prefix[g.pos].min(cands.len() - 1) } else { 0 };
+        g.log.push((cands.clone(), idx));
+        g.pos += 1;
+        let chosen = cands[idx];
+        if curr_runnable && chosen != curr {
+            g.preemptions += 1;
+        }
+        g.active = chosen;
+        self.cv.notify_all();
+    }
+
+    /// Park `t` until the scheduler makes it active again. Called with
+    /// the lock held; returns with the lock held.
+    fn wait_for_turn<'a>(
+        &'a self,
+        mut g: std::sync::MutexGuard<'a, Sched>,
+        t: usize,
+    ) -> std::sync::MutexGuard<'a, Sched> {
+        while g.active != t && !g.abort {
+            let (ng, to) = self.cv.wait_timeout(g, WEDGE_TIMEOUT).unwrap_or_else(|e| {
+                let (g, t) = e.into_inner();
+                (g, t)
+            });
+            g = ng;
+            assert!(!to.timed_out(), "chk: scheduler wedged (thread {t} starved)");
+        }
+        if g.abort && g.threads[t].state != TState::Finished {
+            drop(g);
+            panic!("{ABORT_MSG}");
+        }
+        g.threads[t].state = TState::Running;
+        g
+    }
+
+    /// The core yield point: hand the schedule a decision, then block
+    /// until chosen. Every tracked operation calls this first.
+    fn yield_now(&self, t: usize) {
+        let mut g = self.lock();
+        debug_assert_eq!(g.active, t, "yield from a non-active thread");
+        g.threads[t].state = TState::Ready;
+        self.schedule_next(&mut g, t);
+        drop(self.wait_for_turn(g, t));
+    }
+
+    /// Register a child thread of `parent`: inherits the parent's
+    /// clock (spawn edge) and becomes schedulable.
+    fn register_child(&self, parent: usize) -> usize {
+        let mut g = self.lock();
+        let tid = g.threads.len();
+        let mut clock = g.threads[parent].clock.clone();
+        clock.tick(tid);
+        g.threads.push(ThreadInfo {
+            state: TState::Ready,
+            clock,
+            finish_clock: Clock::default(),
+            joined: false,
+        });
+        g.threads[parent].clock.tick(parent);
+        tid
+    }
+
+    /// First thing a spawned model thread does: park until scheduled.
+    fn gate(&self, t: usize) {
+        let g = self.lock();
+        drop(self.wait_for_turn(g, t));
+    }
+
+    /// Mark `t` finished and hand the schedule on.
+    fn finish(&self, t: usize) {
+        let mut g = self.lock();
+        g.threads[t].finish_clock = g.threads[t].clock.clone();
+        g.threads[t].state = TState::Finished;
+        self.schedule_next(&mut g, t);
+    }
+
+    /// Join edge: block `t` until `target` finishes, then absorb its
+    /// clock.
+    fn join_thread(&self, t: usize, target: usize) {
+        let mut g = self.lock();
+        debug_assert_eq!(g.active, t);
+        loop {
+            if g.threads[target].state == TState::Finished {
+                let fc = g.threads[target].finish_clock.clone();
+                g.threads[t].clock.join(&fc);
+                g.threads[target].joined = true;
+                return;
+            }
+            g.threads[t].state = TState::Blocked { on: target };
+            self.schedule_next(&mut g, t);
+            g = self.wait_for_turn(g, t);
+        }
+    }
+
+    /// Tear the execution down after a panic on thread `t`.
+    fn abort(&self, t: usize) {
+        let mut g = self.lock();
+        g.abort = true;
+        g.threads[t].finish_clock = g.threads[t].clock.clone();
+        g.threads[t].state = TState::Finished;
+        self.cv.notify_all();
+    }
+
+    // -- tracked-memory semantics (called by the active thread) -------
+
+    /// An atomic load at `ord` from location `loc`.
+    fn atomic_load(&self, t: usize, loc: usize, ord: Ordering) {
+        let mut g = self.lock();
+        if acquires(ord) {
+            let rel = g.locs.entry(loc).or_default().release.clone();
+            g.threads[t].clock.join(&rel);
+        }
+        g.threads[t].clock.tick(t);
+    }
+
+    /// An atomic store at `ord` to location `loc`.
+    fn atomic_store(&self, t: usize, loc: usize, ord: Ordering) {
+        let mut g = self.lock();
+        let clock = g.threads[t].clock.clone();
+        let meta = g.locs.entry(loc).or_default();
+        if releases(ord) {
+            meta.release = clock;
+        } else {
+            // a Relaxed store publishes nothing and breaks the
+            // release chain — the exact hole a wrong-ordering bug
+            // opens, and what the seeded mutant must trip over
+            meta.release.clear();
+        }
+        g.threads[t].clock.tick(t);
+    }
+
+    /// An atomic read-modify-write at `ord` on location `loc`.
+    fn atomic_rmw(&self, t: usize, loc: usize, ord: Ordering) {
+        let mut g = self.lock();
+        if acquires(ord) {
+            let rel = g.locs.entry(loc).or_default().release.clone();
+            g.threads[t].clock.join(&rel);
+        }
+        let clock = g.threads[t].clock.clone();
+        let meta = g.locs.entry(loc).or_default();
+        if releases(ord) {
+            meta.release = clock;
+        }
+        // a Relaxed RMW continues the release sequence: the previous
+        // release clock stays readable by later acquirers
+        g.threads[t].clock.tick(t);
+    }
+
+    /// A plain (non-atomic) access to cell `loc`: race-check against
+    /// the access history, then record.
+    fn cell_access(&self, t: usize, loc: usize, name: &str, write: bool, kind: &'static str) {
+        let mut g = self.lock();
+        let epoch = g.threads[t].clock.get(t);
+        let clock = g.threads[t].clock.clone();
+        let schedule = g.schedule_id;
+        let meta = g.locs.entry(loc).or_default();
+        let mut found: Option<Race> = None;
+        for &(pt, pe, pw, pk) in &meta.accesses {
+            if pt == t || !(write || pw) {
+                continue; // same thread, or read-read: never a race
+            }
+            if clock.get(pt) < pe {
+                found = Some(Race {
+                    loc: name.to_string(),
+                    first: (pt, pk),
+                    second: (t, kind),
+                    schedule,
+                });
+                break; // one report per access is plenty
+            }
+        }
+        meta.accesses.push((t, epoch, write, kind));
+        if let Some(r) = found {
+            g.races.push(r);
+        }
+        g.threads[t].clock.tick(t);
+    }
+}
+
+fn acquires(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn releases(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+// ---------------------------------------------------------------------
+// Tracked primitives
+// ---------------------------------------------------------------------
+
+macro_rules! tracked_atomic {
+    ($name:ident, $std:ty, $val:ty) => {
+        /// Tracked drop-in for the `std` atomic of the same name: a
+        /// passthrough outside [`explore`], a yield point + clock
+        /// operation inside.
+        #[derive(Debug)]
+        pub struct $name {
+            inner: $std,
+        }
+
+        impl $name {
+            /// Construct (const, so statics work).
+            pub const fn new(v: $val) -> Self {
+                $name { inner: <$std>::new(v) }
+            }
+
+            fn loc(&self) -> usize {
+                self as *const Self as usize
+            }
+
+            /// Tracked `load`.
+            pub fn load(&self, ord: Ordering) -> $val {
+                if let Some((exec, t)) = current_ctx() {
+                    exec.yield_now(t);
+                    exec.atomic_load(t, self.loc(), ord);
+                    self.inner.load(Ordering::SeqCst)
+                } else {
+                    self.inner.load(ord)
+                }
+            }
+
+            /// Tracked `store`.
+            pub fn store(&self, v: $val, ord: Ordering) {
+                if let Some((exec, t)) = current_ctx() {
+                    exec.yield_now(t);
+                    exec.atomic_store(t, self.loc(), ord);
+                    self.inner.store(v, Ordering::SeqCst);
+                } else {
+                    self.inner.store(v, ord);
+                }
+            }
+        }
+    };
+}
+
+tracked_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+tracked_atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+tracked_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+
+impl AtomicUsize {
+    /// Tracked `fetch_add` (the pool's chunk-claim operation).
+    pub fn fetch_add(&self, v: usize, ord: Ordering) -> usize {
+        if let Some((exec, t)) = current_ctx() {
+            exec.yield_now(t);
+            exec.atomic_rmw(t, self.loc(), ord);
+            self.inner.fetch_add(v, Ordering::SeqCst)
+        } else {
+            self.inner.fetch_add(v, ord)
+        }
+    }
+
+    /// Tracked `compare_exchange`.
+    pub fn compare_exchange(
+        &self,
+        cur: usize,
+        new: usize,
+        ok: Ordering,
+        err: Ordering,
+    ) -> Result<usize, usize> {
+        if let Some((exec, t)) = current_ctx() {
+            exec.yield_now(t);
+            let r = self.inner.compare_exchange(cur, new, Ordering::SeqCst, Ordering::SeqCst);
+            if r.is_ok() {
+                exec.atomic_rmw(t, self.loc(), ok);
+            } else {
+                exec.atomic_load(t, self.loc(), err);
+            }
+            r
+        } else {
+            self.inner.compare_exchange(cur, new, ok, err)
+        }
+    }
+}
+
+/// A tracked **non-atomic** memory location: every `get`/`set` is
+/// race-checked against the vector clocks. Model the plain fields of
+/// a protocol with these; the checker reports any pair of conflicting
+/// accesses that no happens-before edge orders.
+#[derive(Debug)]
+pub struct RaceCell<T: Copy> {
+    name: &'static str,
+    v: Mutex<T>,
+}
+
+impl<T: Copy> RaceCell<T> {
+    /// A named cell (the name labels race reports).
+    pub fn new(name: &'static str, v: T) -> Self {
+        RaceCell { name, v: Mutex::new(v) }
+    }
+
+    fn lock_v(&self) -> std::sync::MutexGuard<'_, T> {
+        self.v.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Tracked read.
+    pub fn get(&self) -> T {
+        if let Some((exec, t)) = current_ctx() {
+            exec.yield_now(t);
+            exec.cell_access(t, self as *const Self as usize, self.name, false, "read");
+        }
+        *self.lock_v()
+    }
+
+    /// Tracked write.
+    pub fn set(&self, v: T) {
+        if let Some((exec, t)) = current_ctx() {
+            exec.yield_now(t);
+            exec.cell_access(t, self as *const Self as usize, self.name, true, "write");
+        }
+        *self.lock_v() = v;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scoped threads
+// ---------------------------------------------------------------------
+
+/// Tracked mirror of [`std::thread::Scope`]: [`Scope::spawn`]
+/// registers the child with the scheduler, so the explorer can
+/// interleave it. Spawned threads must be joined before the scope
+/// closure returns; any left unjoined are joined implicitly at scope
+/// exit (driving them to completion under the scheduler first, so the
+/// underlying `std` scope never blocks on an unscheduled thread).
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+    spawned: RefCell<Vec<usize>>,
+}
+
+/// Tracked mirror of [`std::thread::ScopedJoinHandle`].
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+    tid: Option<usize>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Join: a scheduling + clock edge under [`explore`], a plain
+    /// `std` join outside.
+    pub fn join(self) -> std::thread::Result<T> {
+        if let (Some(tid), Some((exec, me))) = (self.tid, current_ctx()) {
+            exec.join_thread(me, tid);
+        }
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a tracked thread. Mirrors [`std::thread::Scope::spawn`]
+    /// (the `&self` receiver delegates to the stored `&'scope` std
+    /// scope, so callers only need a short borrow).
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        match current_ctx() {
+            None => ScopedJoinHandle { inner: self.inner.spawn(f), tid: None },
+            Some((exec, parent)) => {
+                let tid = exec.register_child(parent);
+                self.spawned.borrow_mut().push(tid);
+                let exec2 = Arc::clone(&exec);
+                let handle = self.inner.spawn(move || {
+                    CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(&exec2), tid)));
+                    exec2.gate(tid);
+                    let r = catch_unwind(AssertUnwindSafe(f));
+                    CTX.with(|c| *c.borrow_mut() = None);
+                    match r {
+                        Ok(v) => {
+                            exec2.finish(tid);
+                            v
+                        }
+                        Err(p) => {
+                            exec2.abort(tid);
+                            resume_unwind(p);
+                        }
+                    }
+                });
+                // spawn is itself a decision point: the child may run
+                // before the parent's next operation
+                exec.yield_now(parent);
+                ScopedJoinHandle { inner: handle, tid: Some(tid) }
+            }
+        }
+    }
+}
+
+/// Tracked mirror of [`std::thread::scope`]. See [`Scope`].
+pub fn scope<'env, F, T>(f: F) -> T
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> T,
+{
+    std::thread::scope(|s| {
+        let cs = Scope { inner: s, spawned: RefCell::new(Vec::new()) };
+        let out = f(&cs);
+        // implicit join of anything left unjoined, under the scheduler
+        // — so the underlying std scope never blocks waiting on a
+        // thread the explorer has not driven to completion
+        if let Some((exec, me)) = current_ctx() {
+            let pending: Vec<usize> = cs.spawned.borrow().clone();
+            for tid in pending {
+                let joined = { exec.lock().threads[tid].joined };
+                if !joined {
+                    exec.join_thread(me, tid);
+                }
+            }
+        }
+        out
+    })
+}
+
+// ---------------------------------------------------------------------
+// The explorer
+// ---------------------------------------------------------------------
+
+/// Run `body` once per schedule, depth-first over every scheduling
+/// decision within the preemption bound, and report the races found.
+///
+/// `body` must be re-runnable (it is called once per schedule) and
+/// must confine its tracked concurrency to [`scope`]-spawned threads.
+/// Functional assertions belong *inside* `body` (they then hold for
+/// every explored schedule); race assertions are made on the returned
+/// [`Report`].
+pub fn explore(opts: Explorer, body: impl Fn()) -> Report {
+    let mut prefix: Vec<usize> = Vec::new();
+    let mut schedules = 0usize;
+    let mut races: Vec<Race> = Vec::new();
+    let mut complete = true;
+    loop {
+        if schedules >= opts.max_schedules {
+            complete = false;
+            break;
+        }
+        let exec = Arc::new(Exec::new(prefix.clone(), opts.preemption_bound, schedules));
+        CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(&exec), 0)));
+        let result = catch_unwind(AssertUnwindSafe(&body));
+        CTX.with(|c| *c.borrow_mut() = None);
+        match result {
+            Ok(()) => {
+                let mut g = exec.lock();
+                g.threads[0].state = TState::Finished;
+                schedules += 1;
+                races.extend(g.races.iter().cloned());
+                // deepest decision with an untried alternative
+                let next = g
+                    .log
+                    .iter()
+                    .rposition(|(cands, idx)| idx + 1 < cands.len());
+                match next {
+                    Some(i) => {
+                        prefix = g.log[..=i].iter().map(|(_, idx)| *idx).collect();
+                        prefix[i] += 1;
+                    }
+                    None => break,
+                }
+            }
+            Err(p) => {
+                exec.abort(0);
+                resume_unwind(p);
+            }
+        }
+    }
+    Report { schedules, complete, races }
+}
+
+/// [`explore`] with default bounds.
+pub fn explore_default(body: impl Fn()) -> Report {
+    explore(Explorer::default(), body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passthrough_outside_explore() {
+        let a = AtomicUsize::new(1);
+        assert_eq!(a.fetch_add(2, Ordering::SeqCst), 1);
+        assert_eq!(a.load(Ordering::SeqCst), 3);
+        let c = RaceCell::new("plain", 7u64);
+        c.set(8);
+        assert_eq!(c.get(), 8);
+        let out = scope(|s| {
+            let h = s.spawn(|| 41);
+            h.join().expect("joins") + 1
+        });
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn single_thread_explores_one_schedule() {
+        let r = explore_default(|| {
+            let a = AtomicUsize::new(0);
+            a.store(5, Ordering::SeqCst);
+            assert_eq!(a.load(Ordering::SeqCst), 5);
+        });
+        assert_eq!(r.schedules, 1);
+        assert!(r.race_free());
+    }
+
+    #[test]
+    fn two_thread_store_order_is_explored() {
+        // a store racing a load: both orders must be observed
+        use std::sync::Mutex as StdMutex;
+        let seen: StdMutex<Vec<usize>> = StdMutex::new(Vec::new());
+        let r = explore_default(|| {
+            let a = AtomicUsize::new(0);
+            let observed = scope(|s| {
+                let h = s.spawn(|| a.store(1, Ordering::SeqCst));
+                let v = a.load(Ordering::SeqCst);
+                h.join().expect("joins");
+                v
+            });
+            seen.lock().unwrap().push(observed);
+        });
+        assert!(r.race_free());
+        let seen = seen.into_inner().unwrap();
+        assert_eq!(seen.len(), r.schedules);
+        assert!(seen.contains(&0), "some schedule loads before the store");
+        assert!(seen.contains(&1), "some schedule loads after the store");
+    }
+
+    #[test]
+    fn release_acquire_publication_is_race_free() {
+        let r = explore_default(|| {
+            let flag = AtomicBool::new(false);
+            let data = RaceCell::new("payload", 0u64);
+            scope(|s| {
+                let h = s.spawn(|| {
+                    data.set(42);
+                    flag.store(true, Ordering::Release);
+                });
+                if flag.load(Ordering::Acquire) {
+                    assert_eq!(data.get(), 42);
+                }
+                h.join().expect("joins");
+            });
+        });
+        assert!(r.race_free(), "release/acquire publication must be clean: {:?}", r.races);
+    }
+
+    #[test]
+    fn join_establishes_happens_before() {
+        let r = explore_default(|| {
+            let data = RaceCell::new("joined", 0u64);
+            scope(|s| {
+                let h = s.spawn(|| data.set(9));
+                h.join().expect("joins");
+                assert_eq!(data.get(), 9);
+            });
+        });
+        assert!(r.race_free(), "join must order the read: {:?}", r.races);
+    }
+
+    #[test]
+    fn unsynchronized_writes_race() {
+        let r = explore_default(|| {
+            let data = RaceCell::new("contended", 0u64);
+            scope(|s| {
+                let h = s.spawn(|| data.set(1));
+                data.set(2);
+                h.join().expect("joins");
+            });
+        });
+        assert!(!r.races.is_empty(), "two unordered writes must be reported");
+        assert!(r.races.iter().all(|race| race.loc == "contended"));
+    }
+}

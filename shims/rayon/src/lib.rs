@@ -27,10 +27,30 @@
 
 #![deny(unsafe_code)]
 
+pub mod chk;
+
 pub mod pool {
     //! The chunked scoped-thread pool driving every parallel iterator.
+    //!
+    //! Compiled with `--cfg dh_check`, the pool's cursor atomic and
+    //! scoped threads come from [`crate::chk`] instead of `std`, so
+    //! the `dh_check` crate's bounded interleaving explorer can
+    //! model-check the *real* chunk-claim/merge protocol below —
+    //! every tracked operation becomes a schedulable yield point.
+    //! Normal builds use the `std` types directly; the protocol code
+    //! is identical in both.
 
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    mod sync {
+        #[cfg(dh_check)]
+        pub use crate::chk::{scope, AtomicUsize};
+        #[cfg(not(dh_check))]
+        pub use std::sync::atomic::AtomicUsize;
+        #[cfg(not(dh_check))]
+        pub use std::thread::scope;
+        pub use std::sync::atomic::Ordering;
+    }
+
+    use sync::{scope, AtomicUsize, Ordering};
 
     /// Process-wide thread-count override; 0 means "auto".
     static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
@@ -60,7 +80,7 @@ pub mod pool {
         {
             return n;
         }
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism().map(std::num::NonZero::get).unwrap_or(1)
     }
 
     /// The chunk size [`run_indexed`] picks for a job of `len` items on
@@ -122,7 +142,7 @@ pub mod pool {
         let workers = threads.min(nchunks);
         let cursor = AtomicUsize::new(0);
         let f = &f;
-        let mut parts: Vec<(usize, Vec<R>)> = std::thread::scope(|s| {
+        let mut parts: Vec<(usize, Vec<R>)> = scope(|s| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     s.spawn(|| {
