@@ -193,6 +193,38 @@ fn batch_pass<S: Shelves + Sync>(
     (brief, ops_n as f64 / secs)
 }
 
+/// The durability dial: Inline puts over the WAL backend at three
+/// sync-commit settings — never sync (OS flush policy), group-commit
+/// every 8th commit, sync every commit. Prices what each notch of
+/// power-loss durability costs per put.
+fn sync_sweep(n: usize, seed: u64) -> Vec<(&'static str, f64)> {
+    const PUTS: u64 = 256;
+    let configs: [(&'static str, Option<u32>); 3] = [
+        ("e_repl/put_file_nosync", None),
+        ("e_repl/put_file_group8", Some(8)),
+        ("e_repl/put_file_sync", Some(1)),
+    ];
+    let mut rows = Vec::new();
+    for (name, group) in configs {
+        let scratch = ScratchPath::new("e-repl-sync");
+        let mut shelves = FileShelves::open(scratch.path()).expect("open WAL");
+        if let Some(g) = group {
+            shelves.set_sync_commits(true).set_group_commit(g);
+        }
+        let mut rng = seeded(seed ^ 0x5F5C);
+        let net = DhNetwork::new(&PointSet::random(n, &mut rng));
+        let mut dht = ReplicatedDht::with_shelves(net, M, K, shelves, &mut rng);
+        let t0 = Instant::now();
+        for key in 0..PUTS {
+            let from = dht.net.random_node(&mut rng);
+            let placed = dht.put(from, key, value_of(key), &mut rng);
+            assert_eq!(placed, M as usize, "Inline put places the full clique");
+        }
+        rows.push((name, t0.elapsed().as_secs_f64() * 1e9 / PUTS as f64));
+    }
+    rows
+}
+
 /// The recovery-scan measurement: reopen a closed scenario WAL cold
 /// and price the replay.
 struct RecoverScan {
@@ -379,6 +411,13 @@ fn main() {
         records.push(
             Record::new("e_repl/recover_scan", n, scan.ns_per_share).with_threads(workers),
         );
+    }
+    if file_backend {
+        section("durability dial (sync_data off / every 8th commit / every commit)");
+        for (name, ns) in sync_sweep(n, seed) {
+            println!("{name}: {:.0} ns/put", ns);
+            records.push(Record::new(name, n, ns).with_threads(workers));
+        }
     }
     let path = std::env::var("BENCH_JSON").unwrap_or_else(|_| "BENCH_ops.json".to_string());
     match bench_json::append(&path, &records) {

@@ -79,7 +79,9 @@ pub mod bench_json {
     //! instances carry `"topology"` (the instance label, e.g.
     //! `"chord"` or `"debruijn8"`), and records measured on the
     //! multi-core drivers carry `"threads"` (worker count of the run,
-    //! so the scaling curve is part of the perf trajectory).
+    //! so the scaling curve is part of the perf trajectory), and
+    //! open-loop SLO benches carry `"p50_ns"`/`"p99_ns"`/`"p999_ns"`
+    //! (tail latency of the modeled arrival queue, not just the mean).
 
     use std::io::Write;
 
@@ -101,6 +103,12 @@ pub mod bench_json {
         pub topology: Option<String>,
         /// Worker-thread count (multi-core driver benches only).
         pub threads: Option<usize>,
+        /// Median latency in nanoseconds (open-loop SLO benches only).
+        pub p50_ns: Option<f64>,
+        /// 99th-percentile latency in nanoseconds.
+        pub p99_ns: Option<f64>,
+        /// 99.9th-percentile latency in nanoseconds.
+        pub p999_ns: Option<f64>,
     }
 
     /// Escape a string for inclusion in a JSON value.
@@ -128,6 +136,9 @@ pub mod bench_json {
                 bytes_per_op: None,
                 topology: None,
                 threads: None,
+                p50_ns: None,
+                p99_ns: None,
+                p999_ns: None,
             }
         }
 
@@ -150,6 +161,14 @@ pub mod bench_json {
             self
         }
 
+        /// Attach open-loop latency percentiles (nanoseconds).
+        pub fn with_percentiles(mut self, p50: f64, p99: f64, p999: f64) -> Self {
+            self.p50_ns = Some(p50);
+            self.p99_ns = Some(p99);
+            self.p999_ns = Some(p999);
+            self
+        }
+
         /// The record as a single JSON line.
         pub fn to_json(&self) -> String {
             let name = escape(&self.bench);
@@ -168,6 +187,15 @@ pub mod bench_json {
             }
             if let Some(t) = self.threads {
                 line.push_str(&format!(", \"threads\": {t}"));
+            }
+            if let Some(p) = self.p50_ns {
+                line.push_str(&format!(", \"p50_ns\": {p:.1}"));
+            }
+            if let Some(p) = self.p99_ns {
+                line.push_str(&format!(", \"p99_ns\": {p:.1}"));
+            }
+            if let Some(p) = self.p999_ns {
+                line.push_str(&format!(", \"p999_ns\": {p:.1}"));
             }
             line.push('}');
             line

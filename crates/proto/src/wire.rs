@@ -224,6 +224,25 @@ pub enum Wire {
         /// Share payload size in bytes (header included).
         len: u32,
     },
+    /// Coalesced repair requests: all the `(key, idx)` pulls one
+    /// repairing cover owes a single live holder, shipped as one frame
+    /// instead of `keys` separate [`Wire::RepairPull`]s. Saves
+    /// `keys - 1` message headers per (cover, holder) pair. Bare
+    /// protocol message (no op machine).
+    RepairPullBatch {
+        /// Number of `(key, idx)` pull entries carried.
+        keys: u32,
+    },
+    /// Coalesced repair data transfer answering a
+    /// [`Wire::RepairPullBatch`]: every requested share from one
+    /// holder to one cover in a single frame. `bytes` is the summed
+    /// share payload size.
+    RepairPushBatch {
+        /// Number of `(key, idx, len)` share entries carried.
+        keys: u32,
+        /// Total share payload bytes across all entries.
+        bytes: u32,
+    },
 }
 
 impl Wire {
@@ -265,6 +284,13 @@ impl Wire {
                 Wire::ShareDigest { keys } => 4 + 12 * u64::from(*keys),
                 Wire::RepairPull { .. } => 9,
                 Wire::RepairPush { len, .. } => 13 + u64::from(*len),
+                // count field + one (key, idx) entry per pull
+                Wire::RepairPullBatch { keys } => 4 + 9 * u64::from(*keys),
+                // count field + one (key, idx, len) entry per share +
+                // the summed share payloads
+                Wire::RepairPushBatch { keys, bytes } => {
+                    4 + 13 * u64::from(*keys) + u64::from(*bytes)
+                }
             }
     }
 
@@ -294,6 +320,8 @@ impl Wire {
             Wire::ShareDigest { .. } => 8,
             Wire::RepairPull { .. } => 9,
             Wire::RepairPush { .. } => 10,
+            Wire::RepairPullBatch { .. } => 11,
+            Wire::RepairPushBatch { .. } => 12,
         }
     }
 }
@@ -377,5 +405,25 @@ mod tests {
         assert!(routed.wire_bytes() < 100);
         assert!(Action::PutShares { key: 0, len: 0, m: 1, k: 1, item: Point(0) }.is_replicated());
         assert!(!Action::Locate.is_replicated());
+    }
+
+    #[test]
+    fn batched_repair_frames_amortize_headers() {
+        // one batch of n pulls costs one header; n singles cost n
+        let n = 7u32;
+        let singles = u64::from(n) * Wire::RepairPull { key: 1, idx: 0 }.wire_bytes();
+        let batch = Wire::RepairPullBatch { keys: n }.wire_bytes();
+        assert!(batch < singles);
+        assert_eq!(batch, Wire::HEADER_BYTES + 4 + 9 * u64::from(n));
+        // push batch charges entries plus summed payload
+        let pb = |keys, bytes| Wire::RepairPushBatch { keys, bytes }.wire_bytes();
+        assert_eq!(pb(3, 300) - pb(3, 0), 300);
+        assert_eq!(pb(3, 0) - pb(0, 0), 3 * 13);
+        // batch frames are bare protocol messages
+        assert_eq!(Wire::RepairPullBatch { keys: 1 }.op(), None);
+        assert_eq!(Wire::RepairPushBatch { keys: 1, bytes: 9 }.op(), None);
+        // tags stay distinct
+        assert_eq!(Wire::RepairPullBatch { keys: 0 }.tag(), 11);
+        assert_eq!(Wire::RepairPushBatch { keys: 0, bytes: 0 }.tag(), 12);
     }
 }

@@ -59,14 +59,37 @@ use dh_dht::LookupKind;
 use dh_erasure::{encode, sealed_len, try_decode, Share, ShareHeader};
 use dh_proto::engine::{Engine, OpOutcome, RetryPolicy};
 use dh_proto::transport::{Inline, Transport};
-use dh_proto::wire::Action;
+use dh_proto::wire::{Action, Wire};
 use rand::Rng;
+use std::collections::{BTreeSet, VecDeque};
 
 pub use batch::{batch_over, ReplicaAction, ReplicaOp, ReplicaOutcome};
 pub use dh_store::{
     FileShelves, Holder, ItemState, MemShelves, ShelfError, ShelfView, Shelves,
 };
-pub use repair::RepairReport;
+pub use repair::{RepairMode, RepairReport};
+
+/// The arc index: `(h(key).bits, key)` per shelved item, so churn can
+/// range-query the shifted interval of the ring.
+type ArcIndex = BTreeSet<(u64, u64)>;
+/// The holder index: `(node, key, idx)` per shelved share, so a leave
+/// can retire the departed server's slots without a scan.
+type HeldIndex = BTreeSet<(u32, u64, u8)>;
+
+/// Build the arc index and the holder index from a shelf map in one
+/// pass (used by [`ReplicatedDht::with_shelves`] and
+/// [`ReplicatedDht::reindex`]).
+fn index_of<S: Shelves>(shelves: &S) -> (ArcIndex, HeldIndex) {
+    let mut arc = BTreeSet::new();
+    let mut held = BTreeSet::new();
+    for (&key, item) in shelves.map() {
+        arc.insert((item.point.bits(), key));
+        for (&idx, h) in &item.holders {
+            held.insert((h.node.0, key, idx));
+        }
+    }
+    (arc, held)
+}
 
 /// The replicated storage layer: a network plus the placement hash,
 /// the replication geometry `(m, k)`, and the shelves.
@@ -99,6 +122,29 @@ pub struct ReplicatedDht<G: ContinuousGraph = DistanceHalving, S: Shelves = MemS
     k: u8,
     /// Item key → placement state, behind the storage backend.
     pub shelves: S,
+    /// The per-arc item index: `(h(key).bits, key)` for every shelved
+    /// item, ordered by ring point — so churn repair can range-query
+    /// exactly the items whose cover clique a join/leave shifted
+    /// instead of scanning the keyspace. Maintained by every path that
+    /// creates or removes an item ([`Self::apply_put`],
+    /// [`Self::remove_over`]); call [`Self::reindex`] after mutating
+    /// `shelves` directly.
+    arc: ArcIndex,
+    /// The holder index: `(node, key, idx)` for every shelved share —
+    /// so a leave retires the departed server's shares by range query
+    /// ([`dh_store::Shelves::retire_hinted`]) instead of scanning
+    /// every item. Maintained wherever shares are placed or dropped;
+    /// [`Self::reindex`] rebuilds it too.
+    held: HeldIndex,
+    /// Which repair strategy churn runs (incremental arc-scoped by
+    /// default; full-scan as ground truth).
+    mode: RepairMode,
+    /// Repair pacing budget: `None` flushes repair traffic inside the
+    /// churn call; `Some(b)` queues frames in [`Self::outbox`] and
+    /// [`ReplicatedDht::pump_repair`] drains at most `b` per call.
+    pace: Option<u32>,
+    /// Repair frames planned but not yet priced through an engine.
+    pub(crate) outbox: VecDeque<(NodeId, NodeId, Wire)>,
 }
 
 impl<G: ContinuousGraph> ReplicatedDht<G, MemShelves> {
@@ -128,6 +174,7 @@ impl<G: ContinuousGraph, S: Shelves> ReplicatedDht<G, S> {
             net.len()
         );
         let bits = (net.len().max(2) as f64).log2().ceil() as usize + 1;
+        let (arc, held) = index_of(&shelves);
         ReplicatedDht {
             hash: KWiseHash::new(bits, rng),
             kind: net.native_kind(),
@@ -135,7 +182,47 @@ impl<G: ContinuousGraph, S: Shelves> ReplicatedDht<G, S> {
             m,
             k,
             shelves,
+            arc,
+            held,
+            mode: RepairMode::Incremental,
+            pace: None,
+            outbox: VecDeque::new(),
         }
+    }
+
+    /// Rebuild the arc and holder indices from the shelves. Required
+    /// after mutating `shelves` in ways that add or remove items or
+    /// holders outside the normal verbs (tests forging state, manual
+    /// surgery); the put, remove, churn and repair paths all maintain
+    /// the indices themselves.
+    pub fn reindex(&mut self) {
+        (self.arc, self.held) = index_of(&self.shelves);
+    }
+
+    /// Choose the churn repair strategy (default
+    /// [`RepairMode::Incremental`]).
+    pub fn set_repair_mode(&mut self, mode: RepairMode) {
+        self.mode = mode;
+    }
+
+    /// The active churn repair strategy.
+    pub fn repair_mode(&self) -> RepairMode {
+        self.mode
+    }
+
+    /// Set the repair pacing budget: `None` (default) prices all
+    /// repair traffic inside the churn call; `Some(b)` queues planned
+    /// frames and each [`Self::pump_repair`] drains at most `b` of
+    /// them — repair overlapping foreground traffic instead of
+    /// stalling it. Shelf state is repaired immediately either way;
+    /// pacing spreads the modeled wire cost.
+    pub fn set_repair_pacing(&mut self, pace: Option<u32>) {
+        self.pace = pace;
+    }
+
+    /// Repair frames planned but not yet priced on the wire.
+    pub fn repair_backlog(&self) -> usize {
+        self.outbox.len()
     }
 
     /// Total shares per item.
@@ -239,12 +326,17 @@ impl<G: ContinuousGraph, S: Shelves> ReplicatedDht<G, S> {
             })
             .unwrap_or(0)
             + 1;
+        self.arc.insert((point.bits(), key));
         // the atomic write sequence: park every placed share first,
         // commit last — on the WAL backend this is literally the
         // on-disk record order, so a crash anywhere in between leaves
         // the previous committed generation the readable one
         for &idx in &out.shares {
             let node = out.holders[idx as usize];
+            if let Some(prev) = self.shelves.map().get(&key).and_then(|i| i.holders.get(&idx)) {
+                self.held.remove(&(prev.node.0, key, idx));
+            }
+            self.held.insert((node.0, key, idx));
             let header = ShareHeader { version, index: idx, k: self.k, m: self.m };
             self.shelves.park(key, point, idx, Holder::seal(node, header, &shares[idx as usize]));
         }
@@ -421,6 +513,12 @@ impl<G: ContinuousGraph, S: Shelves> ReplicatedDht<G, S> {
                 }
             }
             eng.run();
+            if let Some(item) = self.shelves.map().get(&key) {
+                self.arc.remove(&(item.point.bits(), key));
+                for (&idx, h) in &item.holders {
+                    self.held.remove(&(h.node.0, key, idx));
+                }
+            }
             self.shelves.remove(key);
         }
         (out, existed)

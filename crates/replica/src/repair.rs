@@ -18,10 +18,42 @@
 //! the induction step behind the durability guarantee (at most `m − k`
 //! losses between repairs keep every item at read quorum).
 //!
-//! Determinism: items are scanned in key order (`BTreeMap`), message
-//! costs run through the same seeded engine as every other protocol,
-//! and repair mutates shelves in scan order — so the whole pass
-//! fingerprints and replays like any routed batch.
+//! ## Incremental (arc-scoped) repair
+//!
+//! The continuous-discrete construction makes churn *local*: a
+//! join/leave moves one point, so the only cliques that change are
+//! those containing the moved server — exactly the items whose hashed
+//! location falls in the arc `[x(pred^{m−1}(n)), x(succ(n)))` (the
+//! segments whose cover walk reaches `n`), plus, for a leave, the
+//! items whose shares the leaver physically held. The store keeps a
+//! per-arc item index (`(h(key), key)` in a `BTreeSet`) so
+//! [`ReplicatedDht::join_over`]/[`ReplicatedDht::leave_over`] under
+//! [`RepairMode::Incremental`] digest-scan only that interval — cost
+//! proportional to the shifted arc, not the keyspace. The full-scan
+//! [`ReplicatedDht::repair`] stays as the ground-truth path
+//! ([`RepairMode::FullScan`] routes churn through it), and a property
+//! test asserts both converge to the identical shelf map.
+//!
+//! ## Batching and pacing
+//!
+//! Repair traffic is *planned* per item but *emitted* coalesced: all
+//! digest entries one clique primary owes a peer ride one
+//! [`Wire::ShareDigest`], and all pulls/pushes between one (cover,
+//! holder) pair ride one [`Wire::RepairPullBatch`] /
+//! [`Wire::RepairPushBatch`] frame (single-entry groups keep the
+//! scalar vocabulary). Planned frames go to an outbox; by default the
+//! churn call flushes it through a seeded engine synchronously, while
+//! [`ReplicatedDht::set_repair_pacing`] caps how many frames each
+//! [`ReplicatedDht::pump_repair`] drains — bounded background repair
+//! overlapping foreground traffic instead of a synchronous storm.
+//! Shelves are repaired at plan time either way: pacing spreads the
+//! modeled wire cost, never the durability fix.
+//!
+//! Determinism: items are scanned in key order (`BTreeMap`), frames
+//! are emitted in `BTreeMap` order of `(src, dst)`, message costs run
+//! through the same seeded engine as every other protocol, and repair
+//! mutates shelves in scan order — so the whole pass fingerprints and
+//! replays like any routed batch.
 
 use crate::ReplicatedDht;
 use cd_core::graph::ContinuousGraph;
@@ -35,6 +67,20 @@ use dh_proto::engine::{Engine, RetryPolicy};
 use dh_proto::transport::Transport;
 use dh_proto::wire::Wire;
 use dh_store::{Holder, ItemState, Shelves};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Which repair strategy the churn entry points run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RepairMode {
+    /// Digest-scan only the arc the join/leave shifted (plus the
+    /// leaver's own shelf keys) — cost proportional to the churn, the
+    /// default.
+    #[default]
+    Incremental,
+    /// Digest-scan every item on every churn event — the ground-truth
+    /// path the incremental one is tested against.
+    FullScan,
+}
 
 /// What one repair pass did and what it cost on the wire.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -48,10 +94,13 @@ pub struct RepairReport {
     /// Items with fewer than `k` live shares in every generation —
     /// unrecoverable (more than `m − k` covers lost between repairs).
     pub items_lost: usize,
-    /// Digest + pull/push messages sent.
+    /// Digest + pull/push frames sent (batched frames count once).
     pub msgs: u64,
     /// Modeled bytes of the above.
     pub bytes: u64,
+    /// Frames planned by this pass but left in the outbox for
+    /// [`ReplicatedDht::pump_repair`] (nonzero only under pacing).
+    pub frames_queued: usize,
 }
 
 impl RepairReport {
@@ -64,108 +113,265 @@ impl RepairReport {
         self.items_lost += other.items_lost;
         self.msgs += other.msgs;
         self.bytes += other.bytes;
+        self.frames_queued += other.frames_queued;
+    }
+}
+
+/// Traffic owed between one `(src, dst)` pair, keyed by the pair.
+type Owed<T> = BTreeMap<(NodeId, NodeId), T>;
+
+/// The coalesced wire traffic one repair pass owes: planned per item,
+/// emitted per `(src, dst)` pair in `BTreeMap` order.
+#[derive(Default)]
+struct RepairPlan {
+    /// Clique primary → peer: digest entries owed.
+    digests: Owed<u32>,
+    /// Repairing cover → live holder: `(key, idx)` pulls owed.
+    pulls: Owed<Vec<(u64, u8)>>,
+    /// Live holder → repairing cover: `(key, idx, sealed_len)` shares
+    /// owed back.
+    pushes: Owed<Vec<(u64, u8, u32)>>,
+}
+
+impl RepairPlan {
+    /// Emit every planned frame, coalescing each `(src, dst)` group
+    /// into one batch frame (single-entry groups keep the scalar
+    /// vocabulary, so a lone pull still reads as [`Wire::RepairPull`]).
+    fn enqueue(self, outbox: &mut VecDeque<(NodeId, NodeId, Wire)>) {
+        for ((src, dst), keys) in self.digests {
+            outbox.push_back((src, dst, Wire::ShareDigest { keys }));
+        }
+        for ((src, dst), entries) in self.pulls {
+            let msg = match entries.as_slice() {
+                [(key, idx)] => Wire::RepairPull { key: *key, idx: *idx },
+                _ => Wire::RepairPullBatch { keys: entries.len() as u32 },
+            };
+            outbox.push_back((src, dst, msg));
+        }
+        for ((src, dst), entries) in self.pushes {
+            let msg = match entries.as_slice() {
+                [(key, idx, len)] => Wire::RepairPush { key: *key, idx: *idx, len: *len },
+                _ => Wire::RepairPushBatch {
+                    keys: entries.len() as u32,
+                    bytes: entries.iter().map(|e| e.2).sum(),
+                },
+            };
+            outbox.push_back((src, dst, msg));
+        }
     }
 }
 
 impl<G: ContinuousGraph, S: Shelves> ReplicatedDht<G, S> {
     /// Drop every shelf entry held by `node` (it is leaving — its
     /// shares go with it). Called before the slab slot can be reused.
-    pub(crate) fn drop_shelves_of(&mut self, node: NodeId) {
-        self.shelves.retire(node);
+    /// Returns the keys that lost a share.
+    ///
+    /// The holder index knows exactly which `(key, idx)` slots the
+    /// leaver holds, so this hands the backend a hint list
+    /// ([`Shelves::retire_hinted`]) instead of letting it scan every
+    /// item — the last O(items) walk on the leave path.
+    pub(crate) fn drop_shelves_of(&mut self, node: NodeId) -> Vec<u64> {
+        let hints: Vec<(u64, u8)> = self
+            .held
+            .range((node.0, 0, 0)..=(node.0, u64::MAX, u8::MAX))
+            .map(|&(_, key, idx)| (key, idx))
+            .collect();
+        for &(key, idx) in &hints {
+            self.held.remove(&(node.0, key, idx));
+        }
+        self.shelves.retire_hinted(node, &hints)
     }
 
     /// One anti-entropy pass over every item: detect placement drift
     /// against the current cliques, re-materialize missing shares from
     /// any `k` live holders, garbage-collect shares stranded outside
     /// their clique. All message costs are priced through `transport`
-    /// on a fresh engine seeded by `seed`.
+    /// on a fresh engine seeded by `seed` (or queued, under pacing).
     pub fn repair<T: Transport>(&mut self, transport: &mut T, seed: u64) -> RepairReport {
-        let mut report = RepairReport::default();
-        let (m, k) = (self.m() as usize, self.k() as usize);
-        let mut eng = Engine::new(&self.net, &mut *transport, seed);
-        let mut clique: Vec<NodeId> = Vec::with_capacity(m);
         let keys: Vec<u64> = self.shelves.map().keys().copied().collect();
-        for key in keys {
-            report.items_checked += 1;
-            let item = &self.shelves.map()[&key];
-            self.net.clique_of(item.point, m, &mut clique);
-            if placement_matches(item, &clique) {
-                continue;
+        self.repair_keys(&keys, transport, seed)
+    }
+
+    /// The anti-entropy pass restricted to `keys` (deduplicated,
+    /// ascending): the shared engine of the full scan and the
+    /// arc-scoped incremental path.
+    fn repair_keys<T: Transport>(
+        &mut self,
+        keys: &[u64],
+        transport: &mut T,
+        seed: u64,
+    ) -> RepairReport {
+        let mut report = RepairReport::default();
+        let mut plan = RepairPlan::default();
+        for &key in keys {
+            self.plan_item(key, &mut plan, &mut report);
+        }
+        let before = self.outbox.len();
+        plan.enqueue(&mut self.outbox);
+        report.frames_queued = self.outbox.len() - before;
+        if self.pace.is_none() {
+            let (msgs, bytes) = self.flush_repair(transport, seed);
+            report.msgs = msgs;
+            report.bytes = bytes;
+            report.frames_queued = 0;
+        }
+        report
+    }
+
+    /// Judge one item against its current clique; mutate the shelves
+    /// to the repaired placement and add the owed traffic to `plan`.
+    fn plan_item(&mut self, key: u64, plan: &mut RepairPlan, report: &mut RepairReport) {
+        let (m, k) = (self.m() as usize, self.k() as usize);
+        let Some(item) = self.shelves.map().get(&key) else {
+            return;
+        };
+        report.items_checked += 1;
+        let mut clique: Vec<NodeId> = Vec::with_capacity(m);
+        self.net.clique_of(item.point, m, &mut clique);
+        if placement_matches(item, &clique) {
+            return;
+        }
+        report.items_shifted += 1;
+        // digest exchange: the primary announces the item's expected
+        // generation across the clique; every mismatch below is what
+        // the digests flagged
+        for &h in &clique[1..] {
+            *plan.digests.entry((clique[0], h)).or_insert(0) += 1;
+        }
+        // newest generation still holding a quorum of live shares
+        let Some((version, value)) = best_generation(item, k) else {
+            report.items_lost += 1;
+            return;
+        };
+        // re-encode the full generation; every cover whose share is
+        // missing (or stale) pulls k shares and re-materializes
+        let point = item.point;
+        let m_actual = m.min(clique.len()).max(k);
+        let shares = encode(&value, k, m_actual);
+        let sealed = sealed_len(shares[0].data.len()) as u32;
+        let sources: Vec<NodeId> = item
+            .holders
+            .values()
+            .filter(|h| h.version == version)
+            .take(k)
+            .map(|h| h.node)
+            .collect();
+        let stale: Vec<bool> = clique
+            .iter()
+            .enumerate()
+            .map(|(i, &cover)| {
+                item.holders
+                    .get(&(i as u8))
+                    .is_none_or(|h| h.node != cover || h.version != version)
+            })
+            .collect();
+        let stranded: Vec<u8> = item
+            .holders
+            .keys()
+            .copied()
+            .filter(|&idx| idx as usize >= clique.len())
+            .collect();
+        let prev: BTreeMap<u8, u32> =
+            item.holders.iter().map(|(&idx, h)| (idx, h.node.0)).collect();
+        // apply with the same write discipline as a put — park the
+        // rebuilt shares, drop the stranded indices, commit last — so
+        // on a WAL backend a crash mid-repair still recovers to a
+        // generation repair can finish from
+        for (i, &cover) in clique.iter().enumerate() {
+            let idx = i as u8;
+            if !stale[i] {
+                continue; // this cover already holds its share
             }
-            report.items_shifted += 1;
-            // digest exchange: the primary announces the item's
-            // expected generation across the clique; every mismatch
-            // below is what the digests flagged
-            for &h in &clique[1..] {
-                eng.send(clique[0], h, Wire::ShareDigest { keys: 1 });
+            report.shares_rebuilt += 1;
+            for &src in &sources {
+                if src != cover {
+                    plan.pulls.entry((cover, src)).or_default().push((key, idx));
+                    plan.pushes.entry((src, cover)).or_default().push((key, idx, sealed));
+                }
             }
-            // newest generation still holding a quorum of live shares
-            let Some((version, value)) = best_generation(item, k) else {
-                report.items_lost += 1;
-                continue;
+            if let Some(&old) = prev.get(&idx) {
+                self.held.remove(&(old, key, idx));
+            }
+            self.held.insert((cover.0, key, idx));
+            let header = ShareHeader { version, index: idx, k: k as u8, m: m_actual as u8 };
+            self.shelves.park(key, point, idx, Holder::seal(cover, header, &shares[i]));
+        }
+        for idx in stranded {
+            if let Some(&old) = prev.get(&idx) {
+                self.held.remove(&(old, key, idx));
+            }
+            self.shelves.unpark(key, idx);
+        }
+        self.shelves.commit(key, version);
+    }
+
+    /// The keys whose cover clique contains `n` — the arc
+    /// `[x(pred^{m−1}(n)), x(succ(n)))` of the item index. Falls back
+    /// to every key when the predecessor walk wraps (ring ≤ m: every
+    /// clique is the whole ring).
+    fn shifted_keys(&self, n: NodeId) -> BTreeSet<u64> {
+        let m = self.m() as usize;
+        let mut first = n;
+        for _ in 1..m {
+            first = self.net.ring_pred(first);
+            if first == n {
+                return self.shelves.map().keys().copied().collect();
+            }
+        }
+        let lo = self.net.node(first).x.bits();
+        let hi = self.net.node(self.net.ring_succ(n)).x.bits();
+        let arc = &self.arc;
+        if lo < hi {
+            arc.range((lo, 0)..(hi, 0)).map(|&(_, key)| key).collect()
+        } else {
+            // the arc wraps the top of the ring (hi == lo: the clique
+            // walk covers the whole circle)
+            arc.range((lo, 0)..)
+                .chain(arc.range(..(hi, 0)))
+                .map(|&(_, key)| key)
+                .collect()
+        }
+    }
+
+    /// Drain up to the configured pacing budget of queued repair
+    /// frames through a fresh engine seeded by `seed` (everything, if
+    /// unpaced). Returns the priced `(msgs, bytes)`.
+    pub fn pump_repair<T: Transport>(&mut self, transport: &mut T, seed: u64) -> (u64, u64) {
+        let budget = self.pace.map(|b| b as usize).unwrap_or(usize::MAX);
+        self.drain_repair(transport, seed, budget)
+    }
+
+    /// Drain the whole repair outbox regardless of pacing.
+    pub fn flush_repair<T: Transport>(&mut self, transport: &mut T, seed: u64) -> (u64, u64) {
+        self.drain_repair(transport, seed, usize::MAX)
+    }
+
+    fn drain_repair<T: Transport>(
+        &mut self,
+        transport: &mut T,
+        seed: u64,
+        budget: usize,
+    ) -> (u64, u64) {
+        if budget == 0 || self.outbox.is_empty() {
+            return (0, 0);
+        }
+        let mut eng = Engine::new(&self.net, &mut *transport, seed);
+        let mut sent = 0usize;
+        while sent < budget {
+            let Some((src, dst, msg)) = self.outbox.pop_front() else {
+                break;
             };
-            // re-encode the full generation; every cover whose share
-            // is missing (or stale) pulls k shares and re-materializes
-            let point = item.point;
-            let m_actual = m.min(clique.len()).max(k);
-            let shares = encode(&value, k, m_actual);
-            let sealed = sealed_len(shares[0].data.len()) as u32;
-            let sources: Vec<NodeId> = item
-                .holders
-                .values()
-                .filter(|h| h.version == version)
-                .take(k)
-                .map(|h| h.node)
-                .collect();
-            let stale: Vec<bool> = clique
-                .iter()
-                .enumerate()
-                .map(|(i, &cover)| {
-                    item.holders
-                        .get(&(i as u8))
-                        .is_none_or(|h| h.node != cover || h.version != version)
-                })
-                .collect();
-            let stranded: Vec<u8> = item
-                .holders
-                .keys()
-                .copied()
-                .filter(|&idx| idx as usize >= clique.len())
-                .collect();
-            // apply with the same write discipline as a put — park the
-            // rebuilt shares, drop the stranded indices, commit last —
-            // so on a WAL backend a crash mid-repair still recovers to
-            // a generation repair can finish from
-            for (i, &cover) in clique.iter().enumerate() {
-                let idx = i as u8;
-                if !stale[i] {
-                    continue; // this cover already holds its share
-                }
-                report.shares_rebuilt += 1;
-                for &src in &sources {
-                    if src != cover {
-                        eng.send(cover, src, Wire::RepairPull { key, idx });
-                        eng.send(src, cover, Wire::RepairPush { key, idx, len: sealed });
-                    }
-                }
-                let header =
-                    ShareHeader { version, index: idx, k: k as u8, m: m_actual as u8 };
-                self.shelves.park(key, point, idx, Holder::seal(cover, header, &shares[i]));
-            }
-            for idx in stranded {
-                self.shelves.unpark(key, idx);
-            }
-            self.shelves.commit(key, version);
+            eng.send(src, dst, msg);
+            sent += 1;
         }
         eng.run();
-        report.msgs = eng.stats.msgs;
-        report.bytes = eng.stats.bytes;
-        report
+        (eng.stats.msgs, eng.stats.bytes)
     }
 
     /// Algorithm Join as wire traffic plus the repair pass: the member
     /// protocol of `dh_dht::proto::join_over`, then anti-entropy so
-    /// every clique the split shifted is fully replicated again.
+    /// every clique the split shifted is fully replicated again —
+    /// scoped to the shifted arc under [`RepairMode::Incremental`].
     /// Returns `None` on identifier collision or failed join lookup.
     pub fn join_over<T: Transport>(
         &mut self,
@@ -177,23 +383,47 @@ impl<G: ContinuousGraph, S: Shelves> ReplicatedDht<G, S> {
         retry: RetryPolicy,
     ) -> Option<(NodeId, ChurnMsgCost, RepairReport)> {
         let (id, cost) = join_over(&mut self.net, host, x, kind, seed, transport, retry)?;
-        let report = self.repair(transport, splitmix64(seed ^ 0x5E1F));
+        let rseed = splitmix64(seed ^ 0x5E1F);
+        let report = match self.repair_mode() {
+            RepairMode::FullScan => self.repair(transport, rseed),
+            RepairMode::Incremental => {
+                // computed after the join: the cliques that changed
+                // are exactly those the new node is now part of
+                let keys: Vec<u64> = self.shifted_keys(id).into_iter().collect();
+                self.repair_keys(&keys, transport, rseed)
+            }
+        };
         Some((id, cost, report))
     }
 
     /// The simple Leave as wire traffic plus the repair pass: the
     /// departing server's shelves vanish with it, the member protocol
     /// of `dh_dht::proto::leave_over` runs, and anti-entropy
-    /// re-materializes the lost shares on the shifted cliques.
+    /// re-materializes the lost shares on the shifted cliques — under
+    /// [`RepairMode::Incremental`], exactly the arc that contained the
+    /// leaver plus the keys its shelves held.
     pub fn leave_over<T: Transport>(
         &mut self,
         id: NodeId,
         transport: &mut T,
         seed: u64,
     ) -> (ChurnMsgCost, RepairReport) {
-        self.drop_shelves_of(id);
+        // queued frames addressed to or from the leaver can no longer
+        // be delivered (and its slab slot may be reused)
+        self.outbox.retain(|&(src, dst, _)| src != id && dst != id);
+        let incremental = self.repair_mode() == RepairMode::Incremental;
+        // computed before the leave: the cliques that will change are
+        // those the leaver is still part of
+        let mut keys = if incremental { self.shifted_keys(id) } else { BTreeSet::new() };
+        keys.extend(self.drop_shelves_of(id));
         let cost = leave_over(&mut self.net, id, transport, seed);
-        let report = self.repair(transport, splitmix64(seed ^ 0x5E1F));
+        let rseed = splitmix64(seed ^ 0x5E1F);
+        let report = if incremental {
+            let keys: Vec<u64> = keys.into_iter().collect();
+            self.repair_keys(&keys, transport, rseed)
+        } else {
+            self.repair(transport, rseed)
+        };
         (cost, report)
     }
 }
@@ -362,6 +592,121 @@ mod tests {
         let mut t = Inline;
         let report = dht.repair(&mut t, 3);
         assert_eq!(report.items_lost, 1, "an unrecoverable item must be reported, not invented");
+    }
+
+    #[test]
+    fn incremental_and_full_scan_converge_to_the_same_shelves() {
+        let mk = || {
+            let (mut dht, mut rng) = store(80, 6, 3, 0xB6);
+            for key in 0..30u64 {
+                let from = dht.net.random_node(&mut rng);
+                dht.put(from, key, Bytes::from(vec![key as u8; 14]), &mut rng);
+            }
+            (dht, rng)
+        };
+        let (mut inc, mut rng_i) = mk();
+        let (mut full, mut rng_f) = mk();
+        assert_eq!(inc.repair_mode(), RepairMode::Incremental);
+        full.set_repair_mode(RepairMode::FullScan);
+        let mut t = Inline;
+        for i in 0..24u64 {
+            // identical churn schedule on both stores (same seeds)
+            if i % 3 == 2 {
+                let host_i = inc.net.random_node(&mut rng_i);
+                let host_f = full.net.random_node(&mut rng_f);
+                assert_eq!(host_i, host_f);
+                let x = CPoint(rng_i.gen());
+                let _ = rng_f.gen::<u64>();
+                let kind = inc.kind;
+                let a = inc.join_over(host_i, x, kind, i, &mut t, RetryPolicy::default());
+                let b = full.join_over(host_f, x, kind, i, &mut t, RetryPolicy::default());
+                assert_eq!(a.map(|r| r.0), b.map(|r| r.0));
+            } else {
+                let victim = inc.net.random_node(&mut rng_i);
+                assert_eq!(victim, full.net.random_node(&mut rng_f));
+                let (_, ri) = inc.leave_over(victim, &mut t, i);
+                let (_, rf) = full.leave_over(victim, &mut t, i);
+                // the incremental pass judges a subset of the keyspace
+                // but must shift and rebuild exactly the same items
+                assert!(ri.items_checked <= rf.items_checked);
+                assert_eq!(ri.items_shifted, rf.items_shifted);
+                assert_eq!(ri.shares_rebuilt, rf.shares_rebuilt);
+            }
+            assert_eq!(
+                inc.shelves.map(),
+                full.shelves.map(),
+                "incremental repair diverged from the full scan at event {i}"
+            );
+            // a fresh rng: rng_i and rng_f must stay in lockstep
+            assert_healthy(&inc, &mut seeded(0x600D ^ i));
+        }
+    }
+
+    #[test]
+    fn paced_repair_bounds_traffic_per_pump_and_still_converges() {
+        let (mut dht, mut rng) = store(96, 6, 3, 0xB7);
+        for key in 0..25u64 {
+            let from = dht.net.random_node(&mut rng);
+            dht.put(from, key, Bytes::from(vec![key as u8; 20]), &mut rng);
+        }
+        let mut t = Inline;
+        dht.set_repair_pacing(Some(3));
+        let victim = dht.net.random_node(&mut rng);
+        let (_, report) = dht.leave_over(victim, &mut t, 1);
+        assert_eq!(report.msgs, 0, "paced repair must not price traffic synchronously");
+        assert!(report.frames_queued > 0, "a share-holding leaver must queue repair frames");
+        assert_eq!(dht.repair_backlog(), report.frames_queued);
+        // shelf state is already repaired — pacing defers only the wire
+        assert_healthy(&dht, &mut rng);
+        let mut total = (0u64, 0u64);
+        let mut pumps = 0usize;
+        while dht.repair_backlog() > 0 {
+            let (msgs, bytes) = dht.pump_repair(&mut t, 100 + pumps as u64);
+            assert!(msgs <= 3, "pump exceeded its budget: {msgs} frames");
+            total.0 += msgs;
+            total.1 += bytes;
+            pumps += 1;
+        }
+        assert!(pumps >= 2, "a leave of a share holder should take several pumps at budget 3");
+        assert_eq!(total.0, report.frames_queued as u64, "every queued frame priced once");
+        assert!(total.1 > 0);
+        // the unpaced twin prices the same frames in one flush
+        let (mut twin, mut rng2) = store(96, 6, 3, 0xB7);
+        for key in 0..25u64 {
+            let from = twin.net.random_node(&mut rng2);
+            twin.put(from, key, Bytes::from(vec![key as u8; 20]), &mut rng2);
+        }
+        let (_, unpaced) = twin.leave_over(victim, &mut t, 1);
+        assert_eq!(unpaced.msgs, total.0, "pacing must not change what goes on the wire");
+        assert_eq!(unpaced.bytes, total.1);
+        assert_eq!(twin.shelves.map(), dht.shelves.map());
+    }
+
+    #[test]
+    fn batched_frames_beat_per_item_traffic() {
+        // 25 items on a small ring: each leave shifts many items, so
+        // batching must coalesce their pulls/pushes into far fewer
+        // frames than the 2·k·(items shifted) a per-item exchange costs
+        let (mut dht, mut rng) = store(32, 6, 3, 0xB8);
+        for key in 0..25u64 {
+            let from = dht.net.random_node(&mut rng);
+            dht.put(from, key, Bytes::from(vec![key as u8; 16]), &mut rng);
+        }
+        let mut t = Inline;
+        let victim = dht.net.random_node(&mut rng);
+        let (_, report) = dht.leave_over(victim, &mut t, 7);
+        assert!(report.shares_rebuilt > 0);
+        // what the pre-batching per-item exchange would have cost:
+        // m−1 digests per shifted item, ≤ k pull+push pairs per
+        // rebuilt share
+        let per_item = (dht.m() as u64 - 1) * report.items_shifted as u64
+            + 2 * (dht.k() as u64) * report.shares_rebuilt as u64;
+        assert!(
+            report.msgs * 3 < per_item * 2,
+            "{} frames vs {} per-item messages — batching is not coalescing",
+            report.msgs,
+            per_item
+        );
     }
 
     #[test]

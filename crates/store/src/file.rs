@@ -76,16 +76,39 @@ pub struct FileShelves {
     /// `wal_len > factor * live_len` (and the log is past a floor).
     /// `0` disables.
     auto_compact: u64,
-    /// Whether to `sync_data` after every `Commit` record (power-loss
+    /// Whether to `sync_data` after `Commit` records (power-loss
     /// durability; off by default — the crash model here is process
     /// death, where the page cache survives).
     sync_commits: bool,
+    /// Group-commit width: with [`Self::set_sync_commits`] on,
+    /// `sync_data` fires on every `group_commit`-th `Commit` record
+    /// instead of every one. `1` is classic sync-every-commit.
+    group_commit: u32,
+    /// Commit records since the last `sync_data`.
+    commits_since_sync: u32,
+    /// Bytes a compacted log of the live state would occupy,
+    /// maintained incrementally by the mutation verbs — the
+    /// denominator of the auto-compaction ratio. (Recomputing this by
+    /// scanning every holder on every append was the dominant cost of
+    /// the file put path.)
+    live: u64,
+    /// Park records encoded but not yet written: one put's share
+    /// records are coalesced into a single write at its commit
+    /// boundary. Only parks are buffered — every verb that changes the
+    /// *readable* state (commit, unpark, remove, retire) flushes, so
+    /// the committed state stays replayable from disk alone.
+    pending: Vec<u8>,
     /// Scratch encode buffer.
     buf: Vec<u8>,
 }
 
 /// Don't bother auto-compacting logs smaller than this.
 const AUTO_COMPACT_FLOOR: u64 = 1 << 16;
+
+/// Flush the park buffer once it holds this many bytes even if no
+/// commit boundary has arrived (bounds memory under park-heavy repair
+/// storms).
+const PENDING_FLUSH_BYTES: usize = 1 << 18;
 
 impl FileShelves {
     /// Open (or create) the shelf WAL at `path`, running the recovery
@@ -125,6 +148,7 @@ impl FileShelves {
         use std::io::Seek;
         let mut file = file;
         file.seek(io::SeekFrom::End(0))?;
+        let live = live_len_of(&mem);
         Ok(FileShelves {
             path,
             file: Some(file),
@@ -141,6 +165,10 @@ impl FileShelves {
             },
             auto_compact: 8,
             sync_commits: false,
+            group_commit: 1,
+            commits_since_sync: 0,
+            live,
+            pending: Vec::with_capacity(1 << 12),
             buf: Vec::with_capacity(256),
         })
     }
@@ -161,16 +189,10 @@ impl FileShelves {
     }
 
     /// Bytes a compacted log of the current live state would occupy —
-    /// the denominator of the auto-compaction ratio.
+    /// the denominator of the auto-compaction ratio. Maintained
+    /// incrementally; O(1).
     pub fn live_len(&self) -> u64 {
-        let mut len = FILE_MAGIC.len() as u64;
-        for item in self.mem.map().values() {
-            len += COMMIT_RECORD_BYTES;
-            for h in item.holders.values() {
-                len += park_record_bytes(h.sealed.len());
-            }
-        }
-        len
+        self.live
     }
 
     /// Records appended since open (or the last [`Self::arm`]).
@@ -180,7 +202,11 @@ impl FileShelves {
 
     /// Arm deterministic crash injection (see [`CrashPoint`]) and
     /// reset the append counter the crash point counts against.
+    /// Flushes the park buffer first and disables coalescing while
+    /// armed, so the crash matrix counts whole records landing in
+    /// order, exactly as before buffering existed.
     pub fn arm(&mut self, crash: CrashPoint) {
+        self.flush_pending();
         self.crash = Some(crash);
         self.appended = 0;
     }
@@ -205,16 +231,56 @@ impl FileShelves {
         self
     }
 
-    /// `sync_data` the log after every `Commit` record (power-loss
+    /// `sync_data` the log after `Commit` records (power-loss
     /// durability; default off — the crash model is process death).
     pub fn set_sync_commits(&mut self, on: bool) -> &mut Self {
         self.sync_commits = on;
         self
     }
 
+    /// Group-commit width `n ≥ 1`: with sync-commits on, `sync_data`
+    /// fires on every `n`-th `Commit` record instead of every one —
+    /// the classic durability/throughput dial. At `n` the power-loss
+    /// window is the last `n-1` committed puts; process-death
+    /// consistency is unaffected (the page cache holds every record).
+    pub fn set_group_commit(&mut self, n: u32) -> &mut Self {
+        self.group_commit = n.max(1);
+        self
+    }
+
+    /// Write any buffered park records out in one syscall. Returns
+    /// whether they landed; a write failure kills the store
+    /// (WAL-before-apply: nothing further may mutate it).
+    fn flush_pending(&mut self) -> bool {
+        if self.pending.is_empty() {
+            return true;
+        }
+        let Some(file) = &mut self.file else {
+            self.dead = true;
+            self.pending.clear();
+            return false;
+        };
+        if let Err(e) = file.write_all(&self.pending) {
+            self.io_error = Some(e.kind());
+            self.dead = true;
+            self.pending.clear();
+            return false;
+        }
+        self.pending.clear();
+        true
+    }
+
     /// Append `rec` to the log, honoring an armed crash point. Returns
-    /// whether the record landed whole (and may therefore be applied
-    /// to the in-memory map).
+    /// whether the record landed (and may therefore be applied to the
+    /// in-memory map).
+    ///
+    /// `Park` records are coalesced in [`Self::pending`] and written
+    /// together with the next readable-state verb — one put's whole
+    /// park×m + commit sequence is a single write. Losing buffered
+    /// parks to a real process death loses only *uncommitted* state:
+    /// the commit record always flushes in the same write as (or
+    /// after) its parks, so the replayable committed generation is
+    /// exactly what the atomic write sequence already guaranteed.
     fn append(&mut self, rec: &WalRecord) -> bool {
         if self.dead {
             return false;
@@ -237,21 +303,43 @@ impl FileShelves {
                 return torn == self.buf.len();
             }
         }
+        let bytes = self.buf.len() as u64;
+        // coalesce parks (write-through while a crash point is armed —
+        // the crash matrix counts whole records landing in order)
+        if self.crash.is_none() && matches!(rec, WalRecord::Park { .. }) {
+            self.pending.extend_from_slice(&self.buf);
+            self.wal_len += bytes;
+            self.appended += 1;
+            if self.pending.len() >= PENDING_FLUSH_BYTES {
+                return self.flush_pending();
+            }
+            return true;
+        }
+        // a readable-state verb: its record and every buffered park
+        // land in one write, in log order
+        self.pending.extend_from_slice(&self.buf);
         let Some(file) = &mut self.file else {
             self.dead = true;
+            self.pending.clear();
             return false;
         };
-        if let Err(e) = file.write_all(&self.buf) {
+        if let Err(e) = file.write_all(&self.pending) {
             // WAL-before-apply: a record that failed to land must not
             // mutate the readable state either
             self.io_error = Some(e.kind());
             self.dead = true;
+            self.pending.clear();
             return false;
         }
+        self.pending.clear();
         if self.sync_commits && matches!(rec, WalRecord::Commit { .. }) {
-            let _ = file.sync_data();
+            self.commits_since_sync += 1;
+            if self.commits_since_sync >= self.group_commit {
+                let _ = file.sync_data();
+                self.commits_since_sync = 0;
+            }
         }
-        self.wal_len += self.buf.len() as u64;
+        self.wal_len += bytes;
         self.appended += 1;
         if self.crash.is_none()
             && self.auto_compact > 0
@@ -275,6 +363,10 @@ impl FileShelves {
             return Err(io::Error::other("store is dead"));
         }
         let tmp = self.path.with_extension("compact");
+        // buffered parks are already materialized in `mem`, so the
+        // compacted image carries their effect; the raw records are
+        // superseded
+        self.pending.clear();
         let mut out = Vec::with_capacity(self.live_len() as usize);
         out.extend_from_slice(&FILE_MAGIC);
         for (&key, item) in self.mem.map() {
@@ -326,6 +418,20 @@ fn park_record_bytes(sealed_len: usize) -> u64 {
     (12 + 22 + sealed_len) as u64
 }
 
+/// Full recomputation of the compacted-log size — the ground truth the
+/// incremental [`FileShelves::live_len`] counter is checked against
+/// (on open, after compaction, and in tests).
+fn live_len_of(mem: &MemShelves) -> u64 {
+    let mut len = FILE_MAGIC.len() as u64;
+    for item in mem.map().values() {
+        len += COMMIT_RECORD_BYTES;
+        for h in item.holders.values() {
+            len += park_record_bytes(h.sealed.len());
+        }
+    }
+    len
+}
+
 /// Encoded size of a `Commit` record.
 const COMMIT_RECORD_BYTES: u64 = 12 + 13;
 
@@ -343,6 +449,20 @@ impl Shelves for FileShelves {
             sealed: holder.sealed.clone(),
         };
         if self.append(&rec) {
+            // live delta: a new item costs its commit record too; an
+            // overwritten holder swaps blob sizes
+            let new = park_record_bytes(holder.sealed.len()) as i64;
+            let delta = match self.mem.map().get(&key) {
+                None => COMMIT_RECORD_BYTES as i64 + new,
+                Some(item) => {
+                    new - item
+                        .holders
+                        .get(&idx)
+                        .map(|h| park_record_bytes(h.sealed.len()) as i64)
+                        .unwrap_or(0)
+                }
+            };
+            self.live = (self.live as i64 + delta) as u64;
             self.mem.park(key, point, idx, holder);
         }
     }
@@ -355,6 +475,9 @@ impl Shelves for FileShelves {
 
     fn unpark(&mut self, key: u64, idx: u8) {
         if self.append(&WalRecord::Unpark { key, idx }) {
+            if let Some(h) = self.mem.map().get(&key).and_then(|it| it.holders.get(&idx)) {
+                self.live -= park_record_bytes(h.sealed.len());
+            }
             self.mem.unpark(key, idx);
         }
     }
@@ -364,18 +487,68 @@ impl Shelves for FileShelves {
             return false;
         }
         if self.append(&WalRecord::Remove { key }) {
+            if let Some(item) = self.mem.map().get(&key) {
+                self.live -= COMMIT_RECORD_BYTES
+                    + item
+                        .holders
+                        .values()
+                        .map(|h| park_record_bytes(h.sealed.len()))
+                        .sum::<u64>();
+            }
             self.mem.remove(key)
         } else {
             false
         }
     }
 
-    fn retire(&mut self, node: NodeId) {
+    fn retire(&mut self, node: NodeId) -> Vec<u64> {
         if !self.holds(node) {
-            return; // no record for share-less leavers
+            return Vec::new(); // no record for share-less leavers
         }
         if self.append(&WalRecord::Retire { node }) {
-            self.mem.retire(node);
+            self.live -= self
+                .mem
+                .map()
+                .values()
+                .flat_map(|it| it.holders.values())
+                .filter(|h| h.node == node)
+                .map(|h| park_record_bytes(h.sealed.len()))
+                .sum::<u64>();
+            self.mem.retire(node)
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn retire_hinted(&mut self, node: NodeId, hints: &[(u64, u8)]) -> Vec<u64> {
+        if hints.is_empty() {
+            return Vec::new(); // no record for share-less leavers
+        }
+        // one Retire record on disk, exactly as the scanning path —
+        // recovery replays it with the full retire, the hints only
+        // speed up the in-memory apply
+        if self.append(&WalRecord::Retire { node }) {
+            for &(key, idx) in hints {
+                if let Some(h) = self.mem.map().get(&key).and_then(|it| it.holders.get(&idx))
+                {
+                    if h.node == node {
+                        self.live -= park_record_bytes(h.sealed.len());
+                    }
+                }
+            }
+            self.mem.retire_hinted(node, hints)
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+impl Drop for FileShelves {
+    /// Graceful shutdown flushes any coalesced park records, so a
+    /// clean drop-and-reopen sees the complete log.
+    fn drop(&mut self) {
+        if !self.dead {
+            self.flush_pending();
         }
     }
 }
@@ -528,6 +701,59 @@ mod tests {
         let item = &r.map()[&5];
         assert_eq!(item.version, 1, "compaction must not commit a parked generation");
         assert_eq!(item.shares_of(2).len(), 2, "parked shares survive for repair to judge");
+    }
+
+    #[test]
+    fn incremental_live_len_matches_full_scan() {
+        let scratch = ScratchPath::new("live-len");
+        let mut s = FileShelves::open(scratch.path()).unwrap();
+        s.set_auto_compact(0);
+        for round in 1..=3u32 {
+            put_item(&mut s, 1, round, b"rewritten");
+            put_item(&mut s, round as u64 + 10, 1, b"fresh");
+        }
+        s.unpark(1, 2);
+        s.remove(11);
+        assert_eq!(s.retire(NodeId(10)), vec![1, 12, 13]);
+        assert!(s.retire(NodeId(99)).is_empty());
+        assert_eq!(s.live_len(), live_len_of(&s.mem), "counter drifted from scan");
+        drop(s);
+        let r = FileShelves::open(scratch.path()).unwrap();
+        assert_eq!(r.live_len(), live_len_of(&r.mem), "reopen seeds the counter");
+    }
+
+    #[test]
+    fn park_coalescing_is_invisible_to_reopen() {
+        let scratch = ScratchPath::new("coalesce");
+        let want = {
+            let mut s = FileShelves::open(scratch.path()).unwrap();
+            put_item(&mut s, 1, 1, b"grouped write");
+            // parks with no commit yet: still buffered, flushed by Drop
+            for idx in 0..2u8 {
+                s.park(2, Point(7), idx, holder(20 + idx as u32, 1, b"tail", idx));
+            }
+            s.snapshot()
+        };
+        let r = FileShelves::open(scratch.path()).unwrap();
+        assert_eq!(r.recovery().records, 7);
+        assert_eq!(r.snapshot(), want);
+    }
+
+    #[test]
+    fn group_commit_widths_accept_any_n() {
+        let scratch = ScratchPath::new("group-commit");
+        let mut s = FileShelves::open(scratch.path()).unwrap();
+        s.set_sync_commits(true);
+        s.set_group_commit(0); // clamps to 1
+        put_item(&mut s, 1, 1, b"every commit syncs");
+        s.set_group_commit(8);
+        for round in 2..=9u32 {
+            put_item(&mut s, 1, round, b"one sync per eight");
+        }
+        let want = s.snapshot();
+        drop(s);
+        let r = FileShelves::open(scratch.path()).unwrap();
+        assert_eq!(r.snapshot(), want);
     }
 
     #[test]

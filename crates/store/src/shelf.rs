@@ -162,8 +162,22 @@ pub trait Shelves {
     fn remove(&mut self, key: u64) -> bool;
 
     /// Drop every share held by `node` (it left; its shelf goes with
-    /// it).
-    fn retire(&mut self, node: NodeId);
+    /// it). Returns the keys that lost a share, in key order — repair
+    /// uses this to know exactly which items the leaver impoverished
+    /// without rescanning the whole map.
+    fn retire(&mut self, node: NodeId) -> Vec<u64>;
+
+    /// [`Self::retire`] with the `(key, idx)` shelf slots of `node`
+    /// already known (the replica layer keeps a holder index), so the
+    /// backend touches only those items instead of scanning the map.
+    /// `hints` must be sorted and **complete** — every slot `node`
+    /// holds — or the retire leaves stragglers behind; slots that
+    /// don't actually hold a share of `node` are skipped. The default
+    /// implementation ignores the hints and scans.
+    fn retire_hinted(&mut self, node: NodeId, hints: &[(u64, u8)]) -> Vec<u64> {
+        let _ = hints;
+        self.retire(node)
+    }
 
     /// Number of items shelved.
     fn items(&self) -> usize {
@@ -225,10 +239,32 @@ impl Shelves for MemShelves {
         self.map.remove(&key).is_some()
     }
 
-    fn retire(&mut self, node: NodeId) {
-        for item in self.map.values_mut() {
+    fn retire(&mut self, node: NodeId) -> Vec<u64> {
+        let mut touched = Vec::new();
+        for (key, item) in self.map.iter_mut() {
+            let before = item.holders.len();
             item.holders.retain(|_, h| h.node != node);
+            if item.holders.len() != before {
+                touched.push(*key);
+            }
         }
+        touched
+    }
+
+    fn retire_hinted(&mut self, node: NodeId, hints: &[(u64, u8)]) -> Vec<u64> {
+        let mut touched = Vec::new();
+        for &(key, idx) in hints {
+            if let Some(item) = self.map.get_mut(&key) {
+                if item.holders.get(&idx).is_some_and(|h| h.node == node) {
+                    item.holders.remove(&idx);
+                    if touched.last() != Some(&key) {
+                        touched.push(key);
+                    }
+                }
+            }
+        }
+        debug_assert!(!self.holds(node), "incomplete retire hints for {node:?}");
+        touched
     }
 }
 
@@ -253,7 +289,9 @@ pub fn apply_record(rec: &crate::wal::WalRecord, shelves: &mut impl Shelves) -> 
         WalRecord::Remove { key } => {
             shelves.remove(*key);
         }
-        WalRecord::Retire { node } => shelves.retire(*node),
+        WalRecord::Retire { node } => {
+            shelves.retire(*node);
+        }
         WalRecord::Unpark { key, idx } => shelves.unpark(*key, *idx),
     }
     true

@@ -81,7 +81,9 @@ fn apply_op(op: &Op, shelves: &mut impl Shelves) {
             shelves.remove(key);
         }
         Op::Unpark { key, idx } => shelves.unpark(key, idx),
-        Op::Retire { node } => shelves.retire(NodeId(node)),
+        Op::Retire { node } => {
+            shelves.retire(NodeId(node));
+        }
     }
 }
 
