@@ -55,7 +55,7 @@ fn run_one<T: Transport>(
     bench: Option<&str>,
 ) -> (Row, T) {
     let (net, m, seed) = (ctx.net, ctx.m, ctx.seed);
-    let retry = RetryPolicy { timeout: 4_096, max_attempts: 8 };
+    let retry = RetryPolicy::patient();
     let t0 = Instant::now();
     let (batch, transport) = lookups_over(net, kind, m, seed, transport, retry, 2);
     let secs = t0.elapsed().as_secs_f64();

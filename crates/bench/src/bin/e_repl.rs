@@ -76,7 +76,7 @@ fn scenario<S: Shelves>(n: usize, items: usize, seed: u64, shelves: S) -> Scenar
     let net = DhNetwork::new(&PointSet::random(n, &mut rng));
     let mut dht = ReplicatedDht::with_shelves(net, M, K, shelves, &mut rng);
     let mut rec = Recorder::new(Sim::new(seed).with_latency(4, 16, 4));
-    let retry = RetryPolicy { timeout: 4_096, max_attempts: 8 };
+    let retry = RetryPolicy::patient();
 
     let t0 = Instant::now();
     let (mut put_msgs, mut put_bytes) = (0u64, 0u64);
@@ -179,7 +179,7 @@ fn batch_pass<S: Shelves + Sync>(
             ReplicaOp { from, action }
         })
         .collect();
-    let retry = RetryPolicy { timeout: 4_096, max_attempts: 8 };
+    let retry = RetryPolicy::patient();
     let t0 = Instant::now();
     let (results, _, _) = batch_over(&mut dht, &ops, seed ^ 0xBA7C, retry, 8, |_| Inline);
     let secs = t0.elapsed().as_secs_f64();

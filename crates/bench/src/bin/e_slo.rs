@@ -32,22 +32,31 @@
 //! trace fingerprint is pinned in CI exactly like `e_repl`'s, at
 //! threads 1 and 2 and on both backends.
 //!
+//! With `--chaos`, a second **degraded** pass runs the identical
+//! op/churn schedule over a grey substrate (10% of nodes serve ×8
+//! slower, the `e_chaos` shape) under the hedged retry policy, and
+//! healthy-vs-degraded percentile rows land side by side in
+//! `BENCH_ops.json` (`e_slo/get` vs `e_slo/get_chaos`, …). The healthy
+//! pass is byte-identical with and without the flag — its pinned
+//! fingerprint never moves.
+//!
 //! ```sh
 //! cargo run --release --bin e_slo                       # n = 10k
 //! cargo run --release --bin e_slo -- 10000 2000 4000 [expect-fp-hex] \
-//!     [--threads N] [--backend mem|file]
+//!     [--threads N] [--backend mem|file] [--chaos]
 //! ```
 
 use bytes::Bytes;
 use cd_bench::bench_json::{self, Record};
-use cd_bench::{claim, parse_backend_file, parse_threads, section, MASTER_SEED};
+use cd_bench::{claim, parse_backend_file, parse_flag, parse_threads, section, MASTER_SEED};
 use cd_core::pointset::PointSet;
 use cd_core::rng::{seeded, subseed};
 use cd_core::stats::Table;
 use cd_core::Point;
 use dh_dht::DhNetwork;
 use dh_proto::engine::RetryPolicy;
-use dh_proto::transport::{Recorder, Sim};
+use dh_proto::transport::{Recorder, Sim, Transport};
+use dh_proto::{ChaosNet, NodeId};
 use dh_replica::{RepairReport, ReplicatedDht, Shelves};
 use dh_store::{FileShelves, MemShelves, ScratchPath};
 use rand::Rng;
@@ -65,6 +74,10 @@ const BURST: usize = 8;
 const CHURN_EVERY: usize = 150;
 /// Repair frames pumped after each foreground request.
 const PACE: u32 = 8;
+/// `--chaos` degraded pass: per-mille of nodes grey, and their service
+/// slowdown (the `e_chaos` grey shape).
+const GREY_PERMILLE: u64 = 100;
+const GREY_MULT: u64 = 8;
 
 fn value_of(key: u64, gen: u32) -> Bytes {
     Bytes::from(format!("slo-item-{key:08}-gen{gen:04}-{:016x}", key.wrapping_mul(0x9E37)))
@@ -114,12 +127,22 @@ struct SloOut {
 /// churn events, how many repair frames pump where) depends only on
 /// `seed`; wall-clock service times feed the latency model and nothing
 /// else, so the trace fingerprint is backend- and machine-invariant.
-fn scenario<S: Shelves>(n: usize, items: usize, ops: usize, seed: u64, shelves: S) -> SloOut {
+/// `make_rec` builds the recorded substrate once the membership is
+/// known (the `--chaos` pass wraps the same `Sim` in a grey
+/// [`ChaosNet`]); `retry` is the policy the foreground ops run under.
+fn scenario<S: Shelves, T: Transport>(
+    n: usize,
+    items: usize,
+    ops: usize,
+    seed: u64,
+    shelves: S,
+    retry: RetryPolicy,
+    make_rec: impl FnOnce(&[NodeId]) -> Recorder<T>,
+) -> SloOut {
     let mut rng = seeded(seed ^ 0x510);
     let net = DhNetwork::new(&PointSet::random(n, &mut rng));
     let mut dht = ReplicatedDht::with_shelves(net, M, K, shelves, &mut rng);
-    let mut rec = Recorder::new(Sim::new(seed).with_latency(4, 16, 4));
-    let retry = RetryPolicy { timeout: 4_096, max_attempts: 8 };
+    let mut rec = make_rec(dht.net.live());
     dht.set_repair_pacing(Some(PACE));
 
     // preload the key space (not part of the measured stream)
@@ -238,6 +261,7 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let threads = parse_threads(&mut args);
     let file_backend = parse_backend_file(&mut args);
+    let chaos = parse_flag(&mut args, "--chaos");
     if let Some(t) = threads {
         rayon::set_num_threads(t);
     }
@@ -261,17 +285,22 @@ fn main() {
     );
 
     section("latency percentiles (modeled open-loop queue, measured service)");
+    fn healthy<S: Shelves>(n: usize, items: usize, ops: usize, seed: u64, shelves: S) -> SloOut {
+        scenario(n, items, ops, seed, shelves, RetryPolicy::patient(), |_| {
+            Recorder::new(Sim::new(seed).with_latency(4, 16, 4))
+        })
+    }
     let (mut out, out2) = if file_backend {
         let a = ScratchPath::new("e-slo-scenario");
         let b = ScratchPath::new("e-slo-twin");
         (
-            scenario(n, items, ops, seed, FileShelves::open(a.path()).expect("open WAL")),
-            scenario(n, items, ops, seed, FileShelves::open(b.path()).expect("open WAL")),
+            healthy(n, items, ops, seed, FileShelves::open(a.path()).expect("open WAL")),
+            healthy(n, items, ops, seed, FileShelves::open(b.path()).expect("open WAL")),
         )
     } else {
         (
-            scenario(n, items, ops, seed, MemShelves::new()),
-            scenario(n, items, ops, seed, MemShelves::new()),
+            healthy(n, items, ops, seed, MemShelves::new()),
+            healthy(n, items, ops, seed, MemShelves::new()),
         )
     };
     assert_eq!(
@@ -323,20 +352,80 @@ fn main() {
         ),
     );
 
-    let (put_row, get_row, thr_row) = if file_backend {
-        ("e_slo/put_file", "e_slo/get_file", "e_slo/throughput_file")
-    } else {
-        ("e_slo/put", "e_slo/get", "e_slo/throughput")
-    };
-    let records = vec![
-        Record::new(put_row, n, p_put.mean)
+    let suffix = if file_backend { "_file" } else { "" };
+    let mut records = vec![
+        Record::new(format!("e_slo/put{suffix}"), n, p_put.mean)
             .with_percentiles(p_put.p50, p_put.p99, p_put.p999)
             .with_threads(workers),
-        Record::new(get_row, n, p_get.mean)
+        Record::new(format!("e_slo/get{suffix}"), n, p_get.mean)
             .with_percentiles(p_get.p50, p_get.p99, p_get.p999)
             .with_threads(workers),
-        Record::new(thr_row, n, 1e9 / out.ops_per_s.max(1e-9)).with_threads(workers),
+        Record::new(format!("e_slo/throughput{suffix}"), n, 1e9 / out.ops_per_s.max(1e-9))
+            .with_threads(workers),
     ];
+
+    // the degraded pass: the identical op/churn schedule over a grey
+    // substrate under the hedged policy — healthy-vs-degraded rows
+    // land side by side in BENCH_ops.json
+    if chaos {
+        section("degraded pass (grey substrate, hedged policy)");
+        fn grey_pass<S: Shelves>(n: usize, items: usize, ops: usize, seed: u64, shelves: S) -> SloOut {
+            scenario(n, items, ops, seed, shelves, RetryPolicy::patient().hedged(), |nodes| {
+                let mut c = ChaosNet::new(Sim::new(seed).with_latency(4, 16, 4), seed ^ 0xC405);
+                let grey = c.grey_fraction(nodes, GREY_PERMILLE, GREY_MULT);
+                assert!(!grey.is_empty(), "the grey pick must land on someone");
+                Recorder::new(c)
+            })
+        }
+        let mut dg = if file_backend {
+            let p = ScratchPath::new("e-slo-chaos");
+            grey_pass(n, items, ops, seed, FileShelves::open(p.path()).expect("open WAL"))
+        } else {
+            grey_pass(n, items, ops, seed, MemShelves::new())
+        };
+        let dp_put = summarize(&mut dg.put);
+        let dp_get = summarize(&mut dg.get);
+        let mut dt = Table::new(["op", "count", "mean µs", "p50 µs", "p99 µs", "p999 µs"]);
+        for (name, p) in [("put (grey ×8)", &dp_put), ("get (grey ×8)", &dp_get)] {
+            dt.row([
+                name.to_string(),
+                format!("{}", p.count),
+                format!("{:.1}", p.mean / 1e3),
+                format!("{:.1}", p.p50 / 1e3),
+                format!("{:.1}", p.p99 / 1e3),
+                format!("{:.1}", p.p999 / 1e3),
+            ]);
+        }
+        print!("{}", dt.to_markdown());
+        println!(
+            "degraded throughput: {:.0} ops/s; {} shares rebuilt, {} lost",
+            dg.ops_per_s, dg.repair.shares_rebuilt, dg.repair.items_lost
+        );
+        println!("fingerprint (degraded scenario): {:#018x}", dg.fingerprint);
+        claim(
+            "the degraded-mode SLO is measured, not assumed",
+            format!(
+                "grey ×{GREY_MULT} on {GREY_PERMILLE}‰ of nodes: get p99 {:.0} µs vs healthy \
+                 {:.0} µs under the identical open-loop schedule",
+                dp_get.p99 / 1e3,
+                p_get.p99 / 1e3
+            ),
+        );
+        records.push(
+            Record::new(format!("e_slo/put_chaos{suffix}"), n, dp_put.mean)
+                .with_percentiles(dp_put.p50, dp_put.p99, dp_put.p999)
+                .with_threads(workers),
+        );
+        records.push(
+            Record::new(format!("e_slo/get_chaos{suffix}"), n, dp_get.mean)
+                .with_percentiles(dp_get.p50, dp_get.p99, dp_get.p999)
+                .with_threads(workers),
+        );
+        records.push(
+            Record::new(format!("e_slo/throughput_chaos{suffix}"), n, 1e9 / dg.ops_per_s.max(1e-9))
+                .with_threads(workers),
+        );
+    }
     let path = std::env::var("BENCH_JSON").unwrap_or_else(|_| "BENCH_ops.json".to_string());
     match bench_json::append(&path, &records) {
         Ok(()) => println!("\nappended {} records to {path}", records.len()),

@@ -68,7 +68,7 @@ fn run_row<G: ContinuousGraph>(
     let net = CdNetwork::build(graph, points);
     let build_secs = t0.elapsed().as_secs_f64();
     let (_, mean_deg) = net.degree_stats();
-    let retry = RetryPolicy { timeout: 4_096, max_attempts: 8 };
+    let retry = RetryPolicy::patient();
 
     let t0 = Instant::now();
     let (batch, _) = lookups_over(&net, kind, m, seed, Inline, retry, 2);
@@ -167,7 +167,7 @@ fn main() {
     let shards = pool_threads.max(2);
     {
         let net = CdNetwork::build(DistanceHalving::binary(), &points);
-        let retry = RetryPolicy { timeout: 4_096, max_attempts: 8 };
+        let retry = RetryPolicy::patient();
         let (single, _) = lookups_over(&net, LookupKind::Fast, m, seed, Inline, retry, 2);
         let t0 = Instant::now();
         let (sharded, _) =

@@ -60,6 +60,16 @@ pub fn parse_backend_file(args: &mut Vec<String>) -> bool {
     file
 }
 
+/// Strip a bare boolean flag (e.g. `--chaos`) out of `args` and
+/// return whether it was present.
+pub fn parse_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    let Some(pos) = args.iter().position(|a| a == flag) else {
+        return false;
+    };
+    args.remove(pos);
+    true
+}
+
 /// Print a paper-vs-measured comparison line.
 pub fn claim(paper: &str, measured: impl std::fmt::Display) {
     println!("- paper: {paper}");

@@ -6,7 +6,7 @@
 //! |----|------|-------|
 //! | D1 `hash-order`      | no `HashMap`/`HashSet` in trace-affecting crates | crates/{proto,dht,replica,store,fault} |
 //! | D2 `nondet-source`   | no `Instant::now`/`SystemTime`/`thread_rng`/`available_parallelism` | everywhere except shims/ and crates/bench/src/bin/ |
-//! | D3 `unwrap`, `indexing` | no `.unwrap()`/`.expect()`/panicking indexing | store recovery + WAL replay (crates/store/src/{wal,file}.rs) |
+//! | D3 `unwrap`, `indexing` | no `.unwrap()`/`.expect()`/panicking indexing | store recovery + WAL replay (crates/store/src/{wal,file}.rs) and the fault path (crates/proto/src/{health,fault}.rs) |
 //! | D4 `safety-comment`  | every `unsafe` carries a `// SAFETY:` within 3 lines | everywhere |
 //! | D5 `relaxed-ordering`| every `Ordering::Relaxed` site is on the compiled allowlist | everywhere |
 //!
@@ -64,8 +64,17 @@ pub struct Stats {
 const TRACE_CRATES: [&str; 5] =
     ["crates/proto/", "crates/dht/", "crates/replica/", "crates/store/", "crates/fault/"];
 
-/// Files forming the store recovery scan + WAL replay path (D3 scope).
-const RECOVERY_FILES: [&str; 2] = ["crates/store/src/wal.rs", "crates/store/src/file.rs"];
+/// Files where a panic is never acceptable (D3 scope): the store
+/// recovery scan + WAL replay path, and the grey-failure fault path —
+/// the failure detector and the fault-injection transports run exactly
+/// when the system is already degraded, so suspicion/hedge bookkeeping
+/// must degrade, not crash.
+const RECOVERY_FILES: [&str; 4] = [
+    "crates/store/src/wal.rs",
+    "crates/store/src/file.rs",
+    "crates/proto/src/health.rs",
+    "crates/proto/src/fault.rs",
+];
 
 /// Sources of wall-clock time / OS nondeterminism (D2).
 const NONDET_IDENTS: [&str; 3] = ["SystemTime", "thread_rng", "available_parallelism"];
@@ -255,7 +264,7 @@ pub fn lint_source(path: &str, src: &str, stats: &mut Stats) -> Vec<Finding> {
                         rule: "indexing",
                         file: path.to_string(),
                         line,
-                        msg: "panicking index in a recovery/replay path — use .get() and return a typed error".into(),
+                        msg: "panicking index in a recovery/fault path — use .get() and return a typed error".into(),
                     });
                 }
             }
@@ -291,7 +300,7 @@ pub fn lint_source(path: &str, src: &str, stats: &mut Stats) -> Vec<Finding> {
                     rule: "unwrap",
                     file: path.to_string(),
                     line,
-                    msg: format!(".{word}() in a recovery/replay path — crash paths must return typed errors"),
+                    msg: format!(".{word}() in a recovery/fault path — crash paths must return typed errors"),
                 });
             }
             "unsafe" => {

@@ -453,7 +453,7 @@ mod tests {
                 300,
                 0x5EED,
                 sim,
-                RetryPolicy { timeout: 2_000, max_attempts: 8 },
+                RetryPolicy::fixed(2_000, 8),
                 3,
             );
             (batch.msgs, batch.bytes, batch.retries, batch.completed, rec.trace.fingerprint())

@@ -385,7 +385,7 @@ mod tests {
         let mut rng = seeded(34);
         let net = DhNetwork::new(&PointSet::random(64, &mut rng));
         let mut dht = Dht::new(net, &mut rng);
-        let retry = RetryPolicy { timeout: 2_000, max_attempts: 10 };
+        let retry = RetryPolicy::fixed(2_000, 10);
         let mut stored = 0usize;
         let mut fetched = 0usize;
         for key in 0..60u64 {

@@ -204,7 +204,7 @@ fn sharded_lossy_sim_is_deterministic_across_threads() {
     // batch — retries, drops, fingerprints — must not feel the pool
     let mut rng = seeded(0xA51);
     let net = CdNetwork::build(DeBruijn::new(8), &PointSet::random(300, &mut rng));
-    let retry = RetryPolicy { timeout: 2_000, max_attempts: 8 };
+    let retry = RetryPolicy::fixed(2_000, 8);
     let runs: Vec<_> = THREAD_MATRIX
         .iter()
         .map(|&t| {

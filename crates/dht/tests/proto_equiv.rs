@@ -114,7 +114,7 @@ proptest! {
                 Recorder::new(Sim::new(sim_seed).with_drop(drop_p).with_dup(drop_p)),
                 net_seed ^ 0xE,
             )
-            .with_retry(RetryPolicy { timeout: 1_000, max_attempts: 8 });
+            .with_retry(RetryPolicy::fixed(1_000, 8));
             let mut qrng = seeded(sim_seed);
             let ops: Vec<_> = (0..24)
                 .map(|i| {

@@ -169,7 +169,7 @@ fn batch_equals_sequential_on_dh_inline() {
 
 #[test]
 fn batch_equals_sequential_on_dh_sim_and_lossy() {
-    let retry = RetryPolicy { timeout: 2_000, max_attempts: 8 };
+    let retry = RetryPolicy::fixed(2_000, 8);
     check_instance(DistanceHalving::binary(), 0xB002, retry, |i| {
         Sim::new(0xB002 ^ i as u64).with_latency(4, 16, 4)
     });
@@ -180,7 +180,7 @@ fn batch_equals_sequential_on_dh_sim_and_lossy() {
 
 #[test]
 fn batch_equals_sequential_on_chord() {
-    let retry = RetryPolicy { timeout: 2_000, max_attempts: 8 };
+    let retry = RetryPolicy::fixed(2_000, 8);
     check_instance(ChordLike, 0xB004, RetryPolicy::default(), |_| Inline);
     check_instance(ChordLike, 0xB005, retry, |i| {
         Sim::new(0xB005 ^ i as u64).with_latency(4, 16, 4).with_drop(0.05)
@@ -189,7 +189,7 @@ fn batch_equals_sequential_on_chord() {
 
 #[test]
 fn batch_equals_sequential_on_debruijn8() {
-    let retry = RetryPolicy { timeout: 2_000, max_attempts: 8 };
+    let retry = RetryPolicy::fixed(2_000, 8);
     check_instance(DeBruijn::new(8), 0xB006, RetryPolicy::default(), |_| Inline);
     check_instance(DeBruijn::new(8), 0xB007, retry, |i| {
         Sim::new(0xB007 ^ i as u64).with_latency(4, 16, 4).with_drop(0.05)
@@ -198,7 +198,7 @@ fn batch_equals_sequential_on_debruijn8() {
 
 #[test]
 fn lossy_batches_actually_retry() {
-    let retry = RetryPolicy { timeout: 2_000, max_attempts: 8 };
+    let retry = RetryPolicy::fixed(2_000, 8);
     let lossless = stats_of_storm(retry, |i| Sim::new(0xC0 ^ i as u64).with_latency(4, 16, 4));
     let lossy = stats_of_storm(retry, |i| {
         Sim::new(0xC0 ^ i as u64).with_latency(4, 16, 4).with_drop(0.08)

@@ -176,7 +176,7 @@ fn storage_matrix<G: ContinuousGraph>(graph: G, seed: u64) {
     let net = CdNetwork::build(graph, &PointSet::random(96, &mut rng));
     let label = net.graph().label();
     let mut dht = Dht::new(net, &mut rng);
-    let retry = RetryPolicy { timeout: 2_000, max_attempts: 10 };
+    let retry = RetryPolicy::fixed(2_000, 10);
 
     // Inline: every op completes, values roundtrip, removes delete.
     for key in 0..60u64 {
@@ -236,7 +236,7 @@ fn storage_matrix<G: ContinuousGraph>(graph: G, seed: u64) {
         Bytes::from_static(b"doomed"),
         faulty,
         41,
-        RetryPolicy { timeout: 50, max_attempts: 3 },
+        RetryPolicy::fixed(50, 3),
     );
     if out.msgs > 0 {
         assert!(!out.ok && !stored, "{label}: a dead destination cannot acknowledge a put");

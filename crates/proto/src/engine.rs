@@ -22,7 +22,30 @@
 //! digits, same target) up to [`RetryPolicy::max_attempts`] times.
 //! Duplicated or reordered deliveries and retransmissions from
 //! abandoned attempts are recognised by their stamps and ignored.
+//!
+//! # Grey-failure tolerance
+//!
+//! A fixed timeout cannot distinguish "dead" from "slow". Attaching a
+//! [`crate::health::NetHealth`] ([`Engine::with_health`]) feeds every
+//! planned delivery into per-destination Jacobson RTT estimators and
+//! decays/raises per-node suspicion counters; the opt-in
+//! [`RetryPolicy`] flags then change behavior:
+//!
+//! * **`adaptive`** — progress timers use the per-destination bound
+//!   (`3·rto`, clamped to the fixed timeout as a ceiling) with
+//!   exponential backoff across attempts and deterministic per-attempt
+//!   jitter drawn from `sub_rng(seed, op, attempt)` — traces stay
+//!   fingerprintable;
+//! * **`hedge`** — quorum reads contact the `k` least-suspect covers
+//!   first and launch backup `FetchShare`s (wave-stamped) after an
+//!   adaptive hedge delay instead of waiting for the full round
+//!   timeout; ops whose target clique is majority-suspected fail fast
+//!   ([`EngineStats::shed`]) instead of burning the retry budget.
+//!
+//! With no health attached (or both flags off) the engine behaves —
+//! and fingerprints — exactly as before.
 
+use crate::health::NetHealth;
 use crate::node::NodeId;
 use crate::transport::{Delivery, Transport};
 use crate::wire::{Action, Envelope, OpId, RouteKind, Wire};
@@ -31,6 +54,7 @@ use cd_core::point::Point;
 use cd_core::rng::sub_rng;
 use cd_core::walk::{prefix_walk_delta, walk_budget, TwoSidedWalk};
 use rand::rngs::StdRng;
+use rand::Rng;
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
 use std::mem;
@@ -138,15 +162,63 @@ impl Path {
 /// End-to-end retransmission policy.
 #[derive(Clone, Copy, Debug)]
 pub struct RetryPolicy {
-    /// Ticks without progress before the origin restarts the op.
+    /// Ticks without progress before the origin restarts the op. In
+    /// adaptive mode this is the *ceiling* (and the cold-start value);
+    /// per-destination estimates undercut it, never exceed it.
     pub timeout: u64,
     /// Attempts (including the first) before the op is abandoned.
     pub max_attempts: u32,
+    /// Derive progress timeouts from the attached
+    /// [`crate::health::NetHealth`] (per-destination Jacobson bound,
+    /// exponential backoff, deterministic per-attempt jitter). No-op
+    /// unless a health tracker is attached.
+    pub adaptive: bool,
+    /// Hedge quorum reads (suspicion-ordered staged fan-out with
+    /// backup fetches after an adaptive hedge delay) and shed ops
+    /// whose target clique is majority-suspected. No-op unless a
+    /// health tracker is attached.
+    pub hedge: bool,
+}
+
+impl RetryPolicy {
+    /// A fixed-timeout policy with no adaptive behavior — the classic
+    /// pre-health engine semantics.
+    pub const fn fixed(timeout: u64, max_attempts: u32) -> Self {
+        RetryPolicy { timeout, max_attempts, adaptive: false, hedge: false }
+    }
+
+    /// Fast-failing: a short timeout and a small retry budget, for
+    /// callers that prefer an error over a long stall (interactive
+    /// paths, tests asserting failure).
+    pub const fn aggressive() -> Self {
+        RetryPolicy::fixed(64, 3)
+    }
+
+    /// Patient: a generous timeout ceiling and a deep retry budget,
+    /// for lossy/slow substrates where completion beats latency
+    /// (benches, repair, bulk drivers).
+    pub const fn patient() -> Self {
+        RetryPolicy::fixed(4_096, 8)
+    }
+
+    /// Enable adaptive per-destination timeouts (builder-style).
+    pub const fn adaptive(mut self) -> Self {
+        self.adaptive = true;
+        self
+    }
+
+    /// Enable hedged quorum reads + load shedding. Hedging needs the
+    /// RTT estimators anyway, so this implies [`Self::adaptive`].
+    pub const fn hedged(mut self) -> Self {
+        self.hedge = true;
+        self.adaptive = true;
+        self
+    }
 }
 
 impl Default for RetryPolicy {
     fn default() -> Self {
-        RetryPolicy { timeout: 512, max_attempts: 5 }
+        RetryPolicy::fixed(512, 5)
     }
 }
 
@@ -174,6 +246,11 @@ pub struct EngineStats {
     pub completed: u64,
     /// Ops abandoned after `max_attempts`.
     pub failed: u64,
+    /// Backup fetches launched by hedged quorum reads.
+    pub hedged: u64,
+    /// Ops fast-failed because their target clique was
+    /// majority-suspected (counted in `failed` too).
+    pub shed: u64,
 }
 
 impl EngineStats {
@@ -189,6 +266,8 @@ impl EngineStats {
         self.retries += other.retries;
         self.completed += other.completed;
         self.failed += other.failed;
+        self.hedged += other.hedged;
+        self.shed += other.shed;
     }
 }
 
@@ -271,6 +350,15 @@ struct ReplicaState {
     replied: Vec<u8>,
     /// Indices found on the current attempt, in arrival order.
     gathered: Vec<u8>,
+    /// Contact order (share indices) of the current attempt: identity
+    /// for plain scatters, suspicion-sorted (coordinator first) when
+    /// hedging.
+    contact_order: Vec<u8>,
+    /// Entries of `contact_order` contacted so far — hedged reads
+    /// contact lazily, everything else contacts all upfront.
+    contacted: usize,
+    /// Hedge wave counter stamped into backup `FetchShare`s.
+    wave: u8,
 }
 
 struct Op {
@@ -295,6 +383,24 @@ struct Op {
     serve_level: Option<u32>,
     serve_at: Option<Point>,
     entered_at: Option<u32>,
+    /// The node the op's last routed send is waiting on — whom the
+    /// failure detector blames if the progress timer fires.
+    waiting_on: Option<NodeId>,
+    /// Pre-planned walk digits for a hedged DH op
+    /// ([`Engine::plan_walk`]): a route vetted against the failure
+    /// detector before the first send. Consumed digit-by-digit; the
+    /// op's own rng takes over past its end, and a retry re-plans
+    /// (the stall falsified the vetting).
+    planned: Vec<u32>,
+    /// Hedged scatter: whether this attempt already handed
+    /// coordination off to a less-suspect cover (at most once).
+    handed_off: bool,
+    /// In-place retransmissions of the current routed step (hedged
+    /// spurious-timeout protection; reset on every fresh step).
+    resends: u8,
+    /// The point of the last routed send — what an in-place
+    /// retransmission of the current step carries again.
+    last_at: Point,
     replica: Option<Box<ReplicaState>>,
 }
 
@@ -302,6 +408,9 @@ enum EventKind {
     Start { op: OpId },
     Deliver { env: Envelope },
     Timer { op: OpId, attempt: u32, step: u32 },
+    /// Hedge checkpoint of a staged quorum read: if the read is still
+    /// short, blame the silent covers and contact the next one.
+    Hedge { op: OpId, attempt: u32 },
 }
 
 struct Event {
@@ -334,7 +443,8 @@ impl Ord for Event {
 enum Lane {
     /// Deliveries scheduled for the current tick (every `Inline` send).
     Immediate,
-    /// Progress timers (constant delay per engine ⇒ monotone pushes).
+    /// Progress/hedge timers (a fixed retry delay ⇒ monotone pushes;
+    /// adaptive timeouts vary per destination and simply spill).
     Timer,
     /// Op start events (drivers submit in nondecreasing time order).
     Start,
@@ -420,6 +530,9 @@ pub struct Engine<'g, G: Topology, T: Transport> {
     pub retry: RetryPolicy,
     /// Global counters.
     pub stats: EngineStats,
+    /// Failure detector / RTT tracker shared across engine runs (the
+    /// layer above owns it; `None` ⇒ classic fixed-timeout behavior).
+    health: Option<&'g mut NetHealth>,
     plan_buf: Vec<Delivery>,
     /// Recycled phase-2 trace buffers (released when an op completes,
     /// claimed by the next op entering phase 2) — the DH hot path
@@ -441,6 +554,7 @@ impl<'g, G: Topology, T: Transport> Engine<'g, G, T> {
             ops: Vec::new(),
             retry: RetryPolicy::default(),
             stats: EngineStats::default(),
+            health: None,
             plan_buf: Vec::new(),
             trace_pool: Vec::new(),
         }
@@ -449,6 +563,16 @@ impl<'g, G: Topology, T: Transport> Engine<'g, G, T> {
     /// Set the retransmission policy.
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Attach a failure detector / RTT tracker that outlives this
+    /// engine run. Observation is unconditional (and trace-neutral:
+    /// it never changes what the engine schedules); the adaptive and
+    /// hedge behaviors additionally require the corresponding
+    /// [`RetryPolicy`] flags.
+    pub fn with_health(mut self, health: &'g mut NetHealth) -> Self {
+        self.health = Some(health);
         self
     }
 
@@ -519,6 +643,11 @@ impl<'g, G: Topology, T: Transport> Engine<'g, G, T> {
             serve_level: None,
             serve_at: None,
             entered_at: None,
+            waiting_on: None,
+            planned: Vec::new(),
+            handed_off: false,
+            resends: 0,
+            last_at: Point(0),
             replica: None,
         });
         let at = t.max(self.clock);
@@ -574,6 +703,7 @@ impl<'g, G: Topology, T: Transport> Engine<'g, G, T> {
                 }
                 EventKind::Deliver { env } => self.deliver(env, serve, view),
                 EventKind::Timer { op, attempt, step } => self.timer(op, attempt, step, serve, view),
+                EventKind::Hedge { op, attempt } => self.hedge_fire(op, attempt),
             }
         }
     }
@@ -660,6 +790,21 @@ impl<'g, G: Topology, T: Transport> Engine<'g, G, T> {
             0 => self.stats.dropped += 1,
             n => self.stats.duplicated += (n - 1) as u64,
         }
+        // feed the failure detector's RTT estimators with the planned
+        // delivery delays — pure observation, never changes the plan.
+        // Grey slowness rides whichever endpoint is slow, so hedged
+        // runs attribute the delay to both: a slow *sender* gets
+        // flagged too, instead of smearing its delay onto whoever it
+        // talks to.
+        if let Some(h) = self.health.as_deref_mut() {
+            for d in &plan {
+                let delay = d.at.saturating_sub(self.clock);
+                h.observe(env.dst, delay);
+                if self.retry.hedge && env.src != env.dst {
+                    h.observe(env.src, delay);
+                }
+            }
+        }
         for d in &plan {
             debug_assert!(d.at >= self.clock, "transport scheduled into the past");
             let env = Envelope { corrupt: env.corrupt || d.corrupt, ..env };
@@ -681,8 +826,21 @@ impl<'g, G: Topology, T: Transport> Engine<'g, G, T> {
                 self.ops[id as usize].trace = buf;
             }
         }
+        // a hedged DH op pre-plans its digit string against the
+        // detector — the initial attempt and every from-origin retry
+        // alike ([`Self::plan_walk`])
+        let planned = {
+            let op = &self.ops[id as usize];
+            if self.retry.hedge && matches!(op.kind, RouteKind::DistanceHalving) {
+                self.plan_walk(op.from, op.target, id, op.attempt)
+            } else {
+                Vec::new()
+            }
+        };
         let op = &mut self.ops[id as usize];
         op.cur = op.from;
+        op.handed_off = false;
+        op.planned = planned;
         let seg = self.net.segment_of(op.from);
         match op.kind {
             RouteKind::Fast => {
@@ -783,12 +941,45 @@ impl<'g, G: Topology, T: Transport> Engine<'g, G, T> {
                             }
                         }
                         None => {
+                            let delta = self.net.delta();
                             assert!(
                                 op.walk.steps() < 130,
-                                "phase 1 failed to converge (∆ = {})",
-                                self.net.delta()
+                                "phase 1 failed to converge (∆ = {delta})"
                             );
-                            op.walk.step(&mut op.rng);
+                            // a planner-vetted digit string takes
+                            // precedence; past its end (or after a
+                            // retry cleared it) the op draws its own
+                            if let Some(&d) = op.planned.get(op.walk.steps()) {
+                                op.walk.step_with(d);
+                                let p = op.walk.source();
+                                if self.hop(id, p) {
+                                    return;
+                                }
+                                continue;
+                            }
+                            // hedged mode steers the walk's digit away
+                            // from covers the detector holds suspect:
+                            // any digit halves the gap, so the walk is
+                            // still a valid §2.2.2 descent — the drawn
+                            // digit stays the deterministic default
+                            let d0 = op.rng.gen_range(0..delta);
+                            let mut d = d0;
+                            if self.retry.hedge {
+                                if let Some(h) = self.health.as_deref() {
+                                    for off in 0..delta {
+                                        let cand = (d0 + off) % delta;
+                                        let p = op.walk.source().child(cand, delta);
+                                        match self.net.local_cover(cur, p) {
+                                            Some(n) if !h.is_suspect(n) => {
+                                                d = cand;
+                                                break;
+                                            }
+                                            _ => {}
+                                        }
+                                    }
+                                }
+                            }
+                            op.walk.step_with(d);
                             let p = op.walk.source();
                             if self.hop(id, p) {
                                 return;
@@ -830,6 +1021,10 @@ impl<'g, G: Topology, T: Transport> Engine<'g, G, T> {
                         self.arrive(id, view);
                         return;
                     }
+                    // (the retrace offers no local detour: each
+                    // backward hop is the doubling map, so its next
+                    // cover is forced — suspect avoidance happens when
+                    // the digit string is planned, not here)
                     op.machine = Machine::Dh2 { idx: idx + 1 };
                     let next_q = op.trace[idx + 1];
                     if self.hop(id, next_q) {
@@ -862,11 +1057,12 @@ impl<'g, G: Topology, T: Transport> Engine<'g, G, T> {
         true
     }
 
-    /// Emit the op's next `LookupStep` to `next` and arm the progress
-    /// timer.
-    fn send_step(&mut self, id: OpId, next: NodeId, at: Point) {
-        let op = &mut self.ops[id as usize];
-        op.step += 1;
+    /// The `LookupStep` carrying the op's *current* step state — built
+    /// the same way for a fresh send and for an in-place
+    /// retransmission (identical stamps, so either delivery advances
+    /// the op).
+    fn step_msg(&self, id: OpId, at: Point) -> Wire {
+        let op = &self.ops[id as usize];
         let digits = match op.kind {
             RouteKind::Fast | RouteKind::Greedy => 0,
             RouteKind::DistanceHalving => match op.machine {
@@ -875,25 +1071,209 @@ impl<'g, G: Topology, T: Transport> Engine<'g, G, T> {
                 _ => op.walk.steps() as u32,
             },
         };
-        let msg = Wire::LookupStep {
+        Wire::LookupStep {
             op: id,
             attempt: op.attempt,
             step: op.step,
             at,
             digits,
             action: op.action,
-        };
+        }
+    }
+
+    /// Emit the op's next `LookupStep` to `next` and arm the progress
+    /// timer.
+    fn send_step(&mut self, id: OpId, next: NodeId, at: Point) {
+        {
+            let op = &mut self.ops[id as usize];
+            op.step += 1;
+            op.resends = 0;
+            op.last_at = at;
+        }
+        let msg = self.step_msg(id, at);
         let bytes = msg.wire_bytes();
+        let op = &mut self.ops[id as usize];
         op.msgs += 1;
         op.bytes += bytes;
         let (src, attempt, step) = (op.cur, op.attempt, op.step);
-        let timeout = self.retry.timeout;
+        op.waiting_on = Some(next);
+        // the timeout is decided with what was known *before* this
+        // send's own delivery is observed
+        let timeout = self.progress_timeout(id, next, attempt);
         self.dispatch(Envelope { src, dst: next, msg, corrupt: false }, bytes);
         self.push_event(
             self.clock + timeout,
             EventKind::Timer { op: id, attempt, step },
             Lane::Timer,
         );
+    }
+
+    /// Exponential backoff across attempts plus deterministic
+    /// per-`(op, attempt)` jitter on top of `base`, clamped to the
+    /// policy ceiling. The jitter stream is `sub_rng(seed, op, attempt)`
+    /// — a pure function of the engine seed, so traces stay
+    /// fingerprintable.
+    fn backed_off(&self, base: u64, id: OpId, attempt: u32) -> u64 {
+        let ceiling = self.retry.timeout;
+        let shift = attempt.saturating_sub(1).min(4);
+        let backed = base.saturating_mul(1u64 << shift).min(ceiling);
+        let span = (backed / 4).max(1);
+        let mut rng = sub_rng(
+            self.seed ^ 0xBACC_0FF5,
+            (u64::from(id) << 32) | u64::from(attempt),
+        );
+        (backed + rng.gen_range(0..span)).min(ceiling)
+    }
+
+    /// The progress timeout for a send toward `dst`: the fixed policy
+    /// timeout, or — in adaptive mode with health attached — the
+    /// per-destination Jacobson bound with backoff and jitter.
+    fn progress_timeout(&self, id: OpId, dst: NodeId, attempt: u32) -> u64 {
+        let ceiling = self.retry.timeout;
+        if !self.retry.adaptive {
+            return ceiling;
+        }
+        let Some(h) = self.health.as_deref() else { return ceiling };
+        let base = h.timeout_for(dst, ceiling);
+        if self.retry.hedge {
+            // a hedged route stalls one healthy-sized wait at most,
+            // every attempt: a premature fire costs one in-place
+            // retransmission (position kept), a true stall takes the
+            // re-planning detour around the blamed cover
+            // ([`Self::plan_walk`]) — so neither a slow cover's own
+            // inflated timeout nor exponential backoff should delay
+            // either. Flat cap, per-attempt jitter only.
+            let capped = base.min(h.route_cap(ceiling));
+            let span = (capped / 4).max(1);
+            let mut rng = sub_rng(
+                self.seed ^ 0xBACC_0FF5,
+                (u64::from(id) << 32) | u64::from(attempt),
+            );
+            return (capped + rng.gen_range(0..span)).min(ceiling);
+        }
+        self.backed_off(base, id, attempt)
+    }
+
+    /// Pre-plan a hedged Distance-Halving walk: simulate a few
+    /// candidate digit strings over the segment map, price every cover
+    /// each candidate visits — descent *and* the forced retrace orbit
+    /// — with the detector's delay estimators, and return the cheapest
+    /// string. The retrace offers no mid-route detour (each backward
+    /// hop is the doubling map, digit-independent), so the digit
+    /// string τ is the *only* routing freedom the §2.2.2 walk has;
+    /// pricing whole candidates before the first send is how lookup
+    /// planning consults the detector. A cover is priced at its
+    /// personal smoothed delay when any sample exists (one slow
+    /// delivery is enough to steer away — far earlier than the
+    /// suspicion threshold), the population's otherwise, plus a
+    /// penalty that makes suspect-free candidates always outrank
+    /// suspect-crossing ones. Candidate streams are pure functions of
+    /// `(engine seed, op, attempt)`, so traces stay fingerprintable;
+    /// retries re-plan from wherever the op stalled. Empty (the op
+    /// draws its own digits) without health or when no candidate
+    /// converged.
+    fn plan_walk(&self, from: NodeId, target: Point, id: OpId, attempt: u32) -> Vec<u32> {
+        const CANDIDATES: u64 = 32;
+        const MAX_STEPS: usize = 96;
+        /// Expected-delay surcharge for a suspect cover: dominates any
+        /// realistic sum of per-hop smoothed delays.
+        const SUSPECT_PENALTY: u64 = 100_000;
+        let Some(h) = self.health.as_deref() else {
+            return Vec::new();
+        };
+        // price a cover at smoothed delay + deviation (greys are both
+        // slow *and* jittery, so the deviation term separates them
+        // from the healthy population even on few samples)
+        let g = h.global_estimate();
+        let global = (g.srtt() + g.var()).max(1);
+        let price = |n: NodeId| -> u64 {
+            let base = match h.estimate(n) {
+                Some(e) if e.samples() > 0 => e.srtt() + e.var(),
+                _ => global,
+            };
+            base + if h.is_suspect(n) { SUSPECT_PENALTY } else { 0 }
+        };
+        let delta = self.net.delta();
+        let x = self.net.segment_of(from).start();
+        let mut best: Option<(u64, Vec<u32>)> = None;
+        for c in 0..CANDIDATES {
+            let mut rng = sub_rng(
+                self.seed ^ 0xD161_7909,
+                (u64::from(id) << 32) | (u64::from(attempt) << 8) | c,
+            );
+            let mut walk = TwoSidedWalk::new(x, target, delta);
+            let mut cur = from;
+            let mut cost = 0u64;
+            let mut ok = true;
+            loop {
+                // mirror the Dh1 arm: converged iff the current node's
+                // own table covers the walk's target
+                if let Some(entry) = self.net.local_cover(cur, walk.target()) {
+                    cost += price(entry);
+                    let trace = walk.target_backtrace();
+                    let mut at = entry;
+                    for q in trace.iter().skip(1) {
+                        match self.net.local_cover(at, *q) {
+                            Some(n) => {
+                                at = n;
+                                cost += price(n);
+                            }
+                            None => {
+                                ok = false;
+                                break;
+                            }
+                        }
+                    }
+                    break;
+                }
+                if walk.steps() >= MAX_STEPS {
+                    ok = false;
+                    break;
+                }
+                walk.step(&mut rng);
+                match self.net.local_cover(cur, walk.source()) {
+                    Some(n) => {
+                        cur = n;
+                        cost += price(n);
+                    }
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if !ok {
+                continue;
+            }
+            if best.as_ref().is_none_or(|(s, _)| cost < *s) {
+                best = Some((cost, walk.digits().to_vec()));
+            }
+        }
+        best.map(|(_, d)| d).unwrap_or_default()
+    }
+
+    /// The progress timeout of a scatter round: the slowest contacted
+    /// cover bounds the round, so take the max per-destination bound.
+    fn scatter_timeout(&self, id: OpId, holders: &[NodeId], attempt: u32) -> u64 {
+        let ceiling = self.retry.timeout;
+        if !self.retry.adaptive {
+            return ceiling;
+        }
+        let Some(h) = self.health.as_deref() else { return ceiling };
+        let base = holders
+            .iter()
+            .map(|&n| h.timeout_for(n, ceiling))
+            .max()
+            .unwrap_or(ceiling);
+        self.backed_off(base, id, attempt)
+    }
+
+    /// How long a staged quorum read waits before its next hedge.
+    fn hedge_delay_now(&self) -> u64 {
+        match self.health.as_deref() {
+            Some(h) => h.hedge_delay(self.retry.timeout),
+            None => (self.retry.timeout / 8).max(1),
+        }
     }
 
     /// Is `node` within the §6.2 cover clique of `item` — one of the
@@ -962,9 +1342,9 @@ impl<'g, G: Topology, T: Transport> Engine<'g, G, T> {
     fn begin_scatter<V: ShareView>(&mut self, id: OpId, view: &V) {
         let op = &self.ops[id as usize];
         let cur = op.cur;
-        let (key, m, item, put, share_len) = match op.action {
-            Action::PutShares { key, len, m, item, .. } => (key, m, item, true, len),
-            Action::GetShares { key, m, item, .. } => (key, m, item, false, 0),
+        let (key, m, k, item, put, share_len) = match op.action {
+            Action::PutShares { key, len, m, k, item } => (key, m, k, item, true, len),
+            Action::GetShares { key, m, k, item } => (key, m, k, item, false, 0),
             _ => unreachable!("arrive() gates on is_replicated"),
         };
         // walk back to the clique primary (the cover of h(item)): the
@@ -990,8 +1370,75 @@ impl<'g, G: Topology, T: Transport> Engine<'g, G, T> {
                 break;
             }
         }
+        // load shedding: when a majority of the clique is suspected
+        // *dead* (accrual counter, not the mere-slowness penalty) a
+        // quorum is unreachable in practice — fail fast instead of
+        // burning the whole retry budget against dead covers. Each
+        // shed also decays the suspects one notch: the shed stream is
+        // the detector's clock, so a healed partition's stale
+        // suspicion drains instead of locking the clique out forever.
+        if self.retry.hedge {
+            if let Some(h) = self.health.as_deref_mut() {
+                let suspects: Vec<NodeId> = holders
+                    .iter()
+                    .copied()
+                    .filter(|&n| n != cur && h.is_dead_suspect(n))
+                    .collect();
+                if suspects.len() * 2 > holders.len() {
+                    for n in suspects {
+                        h.alive(n);
+                    }
+                    let op = &mut self.ops[id as usize];
+                    op.machine = Machine::Failed;
+                    self.stats.shed += 1;
+                    self.stats.failed += 1;
+                    return;
+                }
+            }
+        }
+        // coordinator handoff: a suspect coordinator relays every
+        // share reply through its own slow queue, so a hedged read
+        // forwards the coordination one hop to the least-suspect
+        // cover instead (at most once per attempt)
+        if self.retry.hedge && !put && !self.ops[id as usize].handed_off {
+            if let Some(h) = self.health.as_deref() {
+                if h.is_suspect(cur) {
+                    let best = holders
+                        .iter()
+                        .copied()
+                        .min_by_key(|&n| (h.suspicion(n), n))
+                        .unwrap_or(cur);
+                    if best != cur && h.suspicion(best) < h.suspicion(cur) {
+                        let op = &mut self.ops[id as usize];
+                        op.handed_off = true;
+                        self.send_step(id, best, item);
+                        return;
+                    }
+                }
+            }
+        }
+        // contact order: identity normally (bit-identical to the
+        // pre-health fan-out); suspicion-sorted with the coordinator's
+        // free local share first when hedging
+        let reorder = self.retry.hedge && self.health.is_some();
+        let mut order: Vec<u8> = (0..holders.len() as u8).collect();
+        if reorder {
+            if let Some(h) = self.health.as_deref() {
+                order.sort_by_key(|&i| (h.suspicion(holders[i as usize]), i));
+            }
+            if let Some(pos) = order.iter().position(|&i| holders[i as usize] == cur) {
+                let own = order.remove(pos);
+                order.insert(0, own);
+            }
+        }
+        // staged fan-out: a hedged read contacts only a quorum's worth
+        // of covers upfront; hedge timers and not-found replies extend
+        let need = (k as usize).min(holders.len()).max(1);
+        let staged = reorder && !put;
+        let contact = if staged { need } else { holders.len() };
         let op = &mut self.ops[id as usize];
         op.step += 1;
+        op.waiting_on = None;
         let (attempt, step) = (op.attempt, op.step);
         let rep = op.replica.get_or_insert_with(Default::default);
         rep.acked.clear();
@@ -999,9 +1446,13 @@ impl<'g, G: Topology, T: Transport> Engine<'g, G, T> {
         rep.gathered.clear();
         rep.holders.clear();
         rep.holders.extend_from_slice(&holders);
+        rep.contact_order.clear();
+        rep.contact_order.extend_from_slice(&order);
+        rep.contacted = contact;
+        rep.wave = 0;
         op.machine = Machine::Scatter;
-        for (i, &holder) in holders.iter().enumerate() {
-            let idx = i as u8;
+        for &idx in order.iter().take(contact) {
+            let holder = holders[idx as usize];
             if holder == cur {
                 let rep = self.ops[id as usize].replica.as_mut().expect("just set");
                 if put {
@@ -1019,18 +1470,103 @@ impl<'g, G: Topology, T: Transport> Engine<'g, G, T> {
                 let msg = if put {
                     Wire::StoreShare { op: id, attempt, idx, key, len: share_len }
                 } else {
-                    Wire::FetchShare { op: id, attempt, idx, key }
+                    Wire::FetchShare { op: id, attempt, idx, key, wave: 0 }
                 };
                 self.send_replica(id, cur, holder, msg);
             }
         }
-        let timeout = self.retry.timeout;
+        let timeout = self.scatter_timeout(id, &holders, attempt);
         self.push_event(
             self.clock + timeout,
             EventKind::Timer { op: id, attempt, step },
             Lane::Timer,
         );
+        if staged && contact < holders.len() {
+            let delay = self.hedge_delay_now();
+            self.push_event(self.clock + delay, EventKind::Hedge { op: id, attempt }, Lane::Timer);
+        }
         self.check_quorum(id);
+    }
+
+    /// Launch the next staged fetch of a hedged quorum read, if any
+    /// cover remains uncontacted. Returns whether one was sent.
+    fn contact_next(&mut self, id: OpId) -> bool {
+        let op = &mut self.ops[id as usize];
+        let Action::GetShares { key, .. } = op.action else { return false };
+        let attempt = op.attempt;
+        let cur = op.cur;
+        let Some(rep) = op.replica.as_mut() else { return false };
+        let Some(&idx) = rep.contact_order.get(rep.contacted) else { return false };
+        rep.contacted += 1;
+        rep.wave = rep.wave.saturating_add(1);
+        let wave = rep.wave;
+        let Some(&holder) = rep.holders.get(idx as usize) else { return false };
+        self.send_replica(id, cur, holder, Wire::FetchShare { op: id, attempt, idx, key, wave });
+        true
+    }
+
+    /// Reply-driven top-up of a staged quorum read: every contacted
+    /// cover has answered but the quorum is still short — extend to
+    /// the next cover immediately instead of waiting for a hedge.
+    fn extend_contact_if_stalled(&mut self, id: OpId) {
+        let op = &self.ops[id as usize];
+        if !matches!(op.machine, Machine::Scatter) {
+            return;
+        }
+        let Action::GetShares { k, .. } = op.action else { return };
+        let Some(rep) = op.replica.as_ref() else { return };
+        let need = (k as usize).min(rep.holders.len()).max(1);
+        if rep.gathered.len() >= need
+            || rep.contacted >= rep.contact_order.len()
+            || rep.replied.len() < rep.contacted
+        {
+            return;
+        }
+        self.contact_next(id);
+    }
+
+    /// A hedge timer fired: if the staged quorum read is still short,
+    /// raise (gentle) suspicion of the silent covers, launch one
+    /// backup fetch, and chain the next hedge.
+    fn hedge_fire(&mut self, id: OpId, attempt: u32) {
+        let op = &self.ops[id as usize];
+        if !matches!(op.machine, Machine::Scatter) || attempt != op.attempt {
+            return; // the read completed or restarted since
+        }
+        let Some(rep) = op.replica.as_ref() else { return };
+        let cur = op.cur;
+        let mut silent: Vec<NodeId> = Vec::new();
+        for slot in 0..rep.contacted {
+            if let Some(&idx) = rep.contact_order.get(slot) {
+                if !rep.replied.contains(&idx) {
+                    if let Some(&n) = rep.holders.get(idx as usize) {
+                        if n != cur {
+                            silent.push(n);
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(h) = self.health.as_deref_mut() {
+            for n in silent {
+                h.raise_hedge(n);
+            }
+        }
+        if self.contact_next(id) {
+            self.stats.hedged += 1;
+            let more = self.ops[id as usize]
+                .replica
+                .as_ref()
+                .is_some_and(|r| r.contacted < r.contact_order.len());
+            if more {
+                let delay = self.hedge_delay_now();
+                self.push_event(
+                    self.clock + delay,
+                    EventKind::Hedge { op: id, attempt },
+                    Lane::Timer,
+                );
+            }
+        }
     }
 
     /// Completion test of the scatter phase: a put completes at `k`
@@ -1077,6 +1613,10 @@ impl<'g, G: Topology, T: Transport> Engine<'g, G, T> {
         view: &V,
     ) {
         self.stats.delivered += 1;
+        // any delivered message is evidence its sender is alive
+        if let Some(h) = self.health.as_deref_mut() {
+            h.alive(env.src);
+        }
         match env.msg {
             Wire::LookupStep { op: id, attempt, step, .. } => {
                 // an id this engine never issued (a hand-crafted send)
@@ -1094,13 +1634,14 @@ impl<'g, G: Topology, T: Transport> Engine<'g, G, T> {
                 }
                 op.cur = env.dst;
                 op.corrupt |= env.corrupt;
+                op.waiting_on = None;
                 self.advance_or_enter(id, serve, view);
             }
             Wire::StoreShare { op: id, attempt, idx, .. } => {
                 self.deliver_store(&env, id, attempt, idx)
             }
             Wire::ShareAck { op: id, attempt, idx } => self.deliver_ack(&env, id, attempt, idx),
-            Wire::FetchShare { op: id, attempt, idx, key } => {
+            Wire::FetchShare { op: id, attempt, idx, key, .. } => {
                 self.deliver_fetch(&env, id, attempt, idx, key, view)
             }
             Wire::ShareReply { op: id, attempt, idx, found, .. } => {
@@ -1200,6 +1741,9 @@ impl<'g, G: Topology, T: Transport> Engine<'g, G, T> {
                 rep.gathered.push(idx);
             }
         }
+        if self.retry.hedge {
+            self.extend_contact_if_stalled(id);
+        }
         self.check_quorum(id);
     }
 
@@ -1211,13 +1755,85 @@ impl<'g, G: Topology, T: Transport> Engine<'g, G, T> {
         serve: &mut impl FnMut(NodeId, u64, Point, u32) -> bool,
         view: &V,
     ) {
-        let op = &mut self.ops[id as usize];
+        let op = &self.ops[id as usize];
         if matches!(op.machine, Machine::Done | Machine::Failed)
             || attempt != op.attempt
             || step != op.step
         {
             return; // the op made progress since this timer was armed
         }
+        // spurious-timeout protection for hedged routes: a stalled
+        // step is usually a lost or merely-late message (a grey
+        // crossing outlasts the healthy-sized timer but still
+        // arrives) — retransmit in place with identical stamps
+        // (either delivery advances the op) instead of discarding
+        // route progress with a restart, and only soft-blame: a
+        // restart is the last resort once the resend budget shows the
+        // silence is real.
+        const MAX_RESENDS: u8 = 2;
+        if self.retry.hedge && !matches!(op.machine, Machine::Scatter) {
+            if let (Some(dst), Some(_)) = (op.waiting_on, self.health.as_deref()) {
+                if op.resends < MAX_RESENDS {
+                    let at = op.last_at;
+                    self.ops[id as usize].resends += 1;
+                    let msg = self.step_msg(id, at);
+                    let bytes = msg.wire_bytes();
+                    let op = &mut self.ops[id as usize];
+                    op.msgs += 1;
+                    op.bytes += bytes;
+                    let src = op.cur;
+                    // repeated silence still accrues, gently
+                    if let Some(h) = self.health.as_deref_mut() {
+                        h.raise_hedge(dst);
+                    }
+                    let timeout = self.progress_timeout(id, dst, attempt);
+                    self.dispatch(Envelope { src, dst, msg, corrupt: false }, bytes);
+                    self.push_event(
+                        self.clock + timeout,
+                        EventKind::Timer { op: id, attempt, step },
+                        Lane::Timer,
+                    );
+                    return;
+                }
+            }
+        }
+        // the accrual detector's primary signal: blame whoever we were
+        // waiting on when the progress timer fired
+        if self.health.is_some() {
+            let mut blamed: Vec<NodeId> = Vec::new();
+            match (&op.machine, op.replica.as_ref()) {
+                (Machine::Scatter, Some(rep)) => {
+                    let put = matches!(op.action, Action::PutShares { .. });
+                    for slot in 0..rep.contacted {
+                        if let Some(&idx) = rep.contact_order.get(slot) {
+                            let answered = if put {
+                                rep.acked.contains(&idx)
+                            } else {
+                                rep.replied.contains(&idx)
+                            };
+                            if !answered {
+                                if let Some(&n) = rep.holders.get(idx as usize) {
+                                    if n != op.cur {
+                                        blamed.push(n);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                _ => {
+                    if let Some(n) = op.waiting_on {
+                        blamed.push(n);
+                    }
+                }
+            }
+            if let Some(h) = self.health.as_deref_mut() {
+                for n in blamed {
+                    h.raise(n);
+                }
+            }
+        }
+        let op = &mut self.ops[id as usize];
         if op.attempt >= self.retry.max_attempts {
             op.machine = Machine::Failed;
             self.stats.failed += 1;
@@ -1232,7 +1848,27 @@ impl<'g, G: Topology, T: Transport> Engine<'g, G, T> {
         op.serve_at = None;
         op.entered_at = None;
         self.stats.retries += 1;
-        self.start_op(id);
+        // a hedged DH route that stalled mid-walk resumes from the
+        // node holding the message — a fresh random descent from here
+        // (the stalled hop's cover is now suspect, so the new digits
+        // steer around it) — instead of paying the whole route again
+        let resume = self.retry.hedge
+            && self.health.is_some()
+            && matches!(op.kind, RouteKind::DistanceHalving)
+            && matches!(op.machine, Machine::Dh1 | Machine::Dh2 { .. });
+        if resume {
+            let (cur, target, attempt) = (op.cur, op.target, op.attempt);
+            let here = self.net.segment_of(cur).start();
+            let delta = self.net.delta();
+            let digits = self.plan_walk(cur, target, id, attempt);
+            let op = &mut self.ops[id as usize];
+            op.handed_off = false;
+            op.walk.reset(here, op.target, delta);
+            op.planned = digits;
+            op.machine = Machine::Dh1;
+        } else {
+            self.start_op(id);
+        }
         self.advance_or_enter(id, serve, view);
     }
 
@@ -1361,7 +1997,7 @@ mod tests {
     fn greedy_machine_survives_drops() {
         let net = Complete::new(16, 2);
         let mut eng = Engine::new(&net, Sim::new(21).with_drop(0.25), 47)
-            .with_retry(RetryPolicy { timeout: 100, max_attempts: 12 });
+            .with_retry(RetryPolicy::fixed(100, 12));
         let ops: Vec<OpId> = (0..25)
             .map(|i| {
                 let target = Point(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i + 3));
@@ -1381,7 +2017,7 @@ mod tests {
         let run = || {
             let mut eng =
                 Engine::new(&net, Recorder::new(Sim::new(3).with_drop(0.1).with_dup(0.1)), 11)
-                    .with_retry(RetryPolicy { timeout: 200, max_attempts: 10 });
+                    .with_retry(RetryPolicy::fixed(200, 10));
             let ops = submit_mixed(&mut eng, 60);
             eng.run();
             let outs: Vec<(bool, u64, u64, u32, Option<u64>)> = ops
@@ -1405,7 +2041,7 @@ mod tests {
     fn drops_are_survived_by_retry() {
         let net = Complete::new(16, 2);
         let mut eng = Engine::new(&net, Sim::new(5).with_drop(0.3), 13)
-            .with_retry(RetryPolicy { timeout: 100, max_attempts: 12 });
+            .with_retry(RetryPolicy::fixed(100, 12));
         let ops = submit_mixed(&mut eng, 30);
         eng.run();
         assert_eq!(eng.stats.failed, 0, "retry must absorb 30% loss on short routes");
@@ -1440,7 +2076,7 @@ mod tests {
         faulty.fail(dest);
         let from = NodeId((dest.0 + 1) % 16);
         let mut eng = Engine::new(&net, faulty, 19)
-            .with_retry(RetryPolicy { timeout: 50, max_attempts: 3 });
+            .with_retry(RetryPolicy::fixed(50, 3));
         let op = eng.submit(RouteKind::Fast, from, target, Action::Locate);
         eng.run();
         let out = eng.outcome(op);
@@ -1636,7 +2272,7 @@ mod tests {
         faulty.fail(holders[4]);
         let cover = holders[0];
         let mut eng = Engine::new(&net, faulty, 107)
-            .with_retry(RetryPolicy { timeout: 64, max_attempts: 4 });
+            .with_retry(RetryPolicy::fixed(64, 4));
         let put = eng.submit(
             RouteKind::Fast,
             cover,
@@ -1658,7 +2294,7 @@ mod tests {
         faulty.fail(holders[2]);
         faulty.fail(holders[4]);
         let mut eng = Engine::new(&net, faulty, 109)
-            .with_retry(RetryPolicy { timeout: 64, max_attempts: 4 });
+            .with_retry(RetryPolicy::fixed(64, 4));
         let get = eng.submit(RouteKind::Fast, cover, item, Action::GetShares { key, m, k, item });
         eng.run_with_shares(&TableShares(table));
         let out = eng.outcome(get);
@@ -1691,7 +2327,7 @@ mod tests {
         let net = Complete::new(16, 2);
         let item = Point(u64::MAX / 5);
         let mut eng = Engine::new(&net, Sim::new(7).with_drop(0.2), 127)
-            .with_retry(RetryPolicy { timeout: 200, max_attempts: 12 });
+            .with_retry(RetryPolicy::fixed(200, 12));
         let op = eng.submit(
             RouteKind::Fast,
             NodeId(0),
@@ -1717,7 +2353,7 @@ mod tests {
         let cover = net.cover(item);
         let from = NodeId((cover.0 + 5) % 16);
         let mut eng = Engine::new(&net, liars, 131)
-            .with_retry(RetryPolicy { timeout: 64, max_attempts: 3 });
+            .with_retry(RetryPolicy::fixed(64, 3));
         let op = eng.submit(
             RouteKind::Fast,
             from,

@@ -19,6 +19,16 @@
 //!   and replay delivery traces for debugging, and
 //!   [`fault::Faulty`] turns the §6 failure models (fail-stop, false
 //!   message injection) into transport behaviors;
+//!   [`fault::ChaosNet`] extends the vocabulary to grey failures —
+//!   partitions (incl. asymmetric one-way cuts) with heal events,
+//!   per-node service-latency multipliers, scheduled flapping and
+//!   loss bursts, all deterministic functions of the chaos seed;
+//! * [`health::NetHealth`] — per-destination Jacobson RTT estimators
+//!   plus an accrual suspicion failure detector, shared across engine
+//!   runs via [`engine::Engine::with_health`]; the opt-in
+//!   [`engine::RetryPolicy`] `adaptive`/`hedge` flags turn it into
+//!   per-destination timeouts with deterministic backoff + jitter,
+//!   suspicion-ordered hedged quorum reads, and load shedding;
 //! * [`engine::Engine`] — a deterministic discrete-event runtime
 //!   (seeded, `(time, seq)`-ordered clock over lane-FIFO event queues)
 //!   that drives per-node protocol state machines over any
@@ -52,13 +62,15 @@
 
 pub mod engine;
 pub mod fault;
+pub mod health;
 pub mod node;
 pub mod shard;
 pub mod transport;
 pub mod wire;
 
 pub use engine::{Engine, EngineStats, NoShares, OpOutcome, Path, RetryPolicy, ShareView, Topology};
-pub use fault::{FaultModel, Faulty};
+pub use fault::{ChaosNet, CutDirection, FaultModel, Faulty, FlapSchedule, LossBurst, Partition};
+pub use health::{NetHealth, RttEstimate};
 pub use node::NodeId;
 pub use shard::{run_sharded, run_sharded_shares, OpSpec, ShardedRun};
 pub use transport::{Delivery, Inline, Recorder, Replay, Sim, Trace, Transport};

@@ -219,7 +219,7 @@ mod tests {
     fn sharded_run_is_deterministic_per_seed_and_shard_count() {
         let net = Complete::new(16);
         let ops = specs(40);
-        let retry = RetryPolicy { timeout: 200, max_attempts: 10 };
+        let retry = RetryPolicy::fixed(200, 10);
         let run = || {
             let r = run_sharded(&net, 7, retry, 4, &ops, |s| {
                 Recorder::new(Sim::new(s as u64 ^ 0xD1CE).with_drop(0.05))

@@ -45,6 +45,18 @@ impl<T: Transport + ?Sized> Transport for &mut T {
     }
 }
 
+/// A shared transport handle: many sequential engine runs (one per
+/// operation, as the replica layer creates them) can drive the *same*
+/// underlying transport, so its state — RNG stream, recorded trace,
+/// chaos schedules — is continuous across operations. Cloning the
+/// `Rc` is how a `make_transport(attempt)` closure hands every
+/// attempt the same substrate.
+impl<T: Transport> Transport for std::rc::Rc<std::cell::RefCell<T>> {
+    fn plan(&mut self, now: u64, env: &Envelope, out: &mut Vec<Delivery>) {
+        self.borrow_mut().plan(now, env, out)
+    }
+}
+
 /// Zero-overhead direct dispatch: every message arrives instantly and
 /// in order. The engine over `Inline` executes exactly the synchronous
 /// hop sequence of `DhNetwork::lookup` (property-tested in `dh_dht`).
@@ -214,6 +226,12 @@ impl<T: Transport> Recorder<T> {
     /// Stop recording and return the trace.
     pub fn into_trace(self) -> Trace {
         self.trace
+    }
+
+    /// The wrapped transport (e.g. to advance a `ChaosNet` epoch
+    /// mid-recording).
+    pub fn inner_mut(&mut self) -> &mut T {
+        &mut self.inner
     }
 }
 

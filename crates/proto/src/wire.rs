@@ -180,6 +180,12 @@ pub enum Wire {
         idx: u8,
         /// Item key.
         key: u64,
+        /// Hedge wave: 0 for the initial fan-out, `n` for the `n`-th
+        /// backup fetch a hedged read launched past a silent cover.
+        /// On the wire it packs into the high nibble of the `idx` byte
+        /// (`idx < m ≤ 16`, waves saturate at 15), so it costs no
+        /// extra bytes — [`Wire::wire_bytes`] is unchanged.
+        wave: u8,
     },
     /// A cover's answer to [`Wire::FetchShare`]: whether it holds the
     /// share and, if so, the share payload (charged by `len`).

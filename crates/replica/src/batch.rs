@@ -301,7 +301,7 @@ mod tests {
             let net = DhNetwork::new(&PointSet::random(128, &mut rng));
             let mut dht = ReplicatedDht::new(net, 8, 4, &mut rng);
             let ops = mixed_ops(&dht, 40, &mut rng);
-            let retry = RetryPolicy { timeout: 2_048, max_attempts: 8 };
+            let retry = RetryPolicy::fixed(2_048, 8);
             let (results, stats, _) = batch_over(&mut dht, &ops, 0xD06, retry, 4, |s| {
                 Sim::new(s as u64 ^ 0xBEEF).with_drop(0.02)
             });

@@ -57,10 +57,12 @@ use dh_dht::network::{CdNetwork, DistanceHalving, NodeId};
 use dh_dht::proto::route_kind;
 use dh_dht::LookupKind;
 use dh_erasure::{encode, sealed_len, try_decode, Share, ShareHeader};
-use dh_proto::engine::{Engine, OpOutcome, RetryPolicy};
+use dh_proto::engine::{Engine, EngineStats, OpOutcome, RetryPolicy};
+use dh_proto::health::NetHealth;
 use dh_proto::transport::{Inline, Transport};
 use dh_proto::wire::{Action, Wire};
 use rand::Rng;
+use std::cell::RefCell;
 use std::collections::{BTreeSet, VecDeque};
 
 pub use batch::{batch_over, ReplicaAction, ReplicaOp, ReplicaOutcome};
@@ -89,6 +91,30 @@ fn index_of<S: Shelves>(shelves: &S) -> (ArcIndex, HeldIndex) {
         }
     }
     (arc, held)
+}
+
+/// What a traced quorum read ([`ReplicatedDht::get_quorum_traced`])
+/// observed, for SLO and chaos-campaign accounting.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct QuorumRead {
+    /// The reconstructed value, if any attempt reached quorum.
+    pub value: Option<Bytes>,
+    /// Modeled engine ticks summed across all failover attempts —
+    /// the client-perceived latency of the read.
+    pub ticks: u64,
+    /// Wire messages across all attempts (wasted-work accounting).
+    pub msgs: u64,
+    /// Wire bytes across all attempts.
+    pub bytes: u64,
+    /// Failover attempts made (1 = first coordinator answered).
+    pub attempts: u32,
+    /// Attempts fast-failed by load shedding (majority-suspect clique).
+    pub shed: u64,
+    /// Backup fetches launched by hedging across all attempts.
+    pub hedged: u64,
+    /// Engine-level op restarts (progress timeouts) across all
+    /// attempts — the wasted-work half of grey-failure accounting.
+    pub retries: u64,
 }
 
 /// The replicated storage layer: a network plus the placement hash,
@@ -145,6 +171,14 @@ pub struct ReplicatedDht<G: ContinuousGraph = DistanceHalving, S: Shelves = MemS
     pace: Option<u32>,
     /// Repair frames planned but not yet priced through an engine.
     pub(crate) outbox: VecDeque<(NodeId, NodeId, Wire)>,
+    /// The client-side network health ledger: per-destination Jacobson
+    /// RTT estimators plus the accrual suspicion failure detector,
+    /// shared across every engine run this store drives (each op runs
+    /// its own engine, so the ledger is what carries grey-failure
+    /// knowledge from one op to the next). Observation is always on
+    /// and trace-neutral; the adaptive/hedge [`RetryPolicy`] flags opt
+    /// individual ops into consulting it.
+    health: RefCell<NetHealth>,
 }
 
 impl<G: ContinuousGraph> ReplicatedDht<G, MemShelves> {
@@ -187,7 +221,21 @@ impl<G: ContinuousGraph, S: Shelves> ReplicatedDht<G, S> {
             mode: RepairMode::Incremental,
             pace: None,
             outbox: VecDeque::new(),
+            health: RefCell::new(NetHealth::new()),
         }
+    }
+
+    /// Snapshot accessor for the network health ledger (RTT
+    /// estimators + suspicion counters accrued across ops).
+    pub fn health(&self) -> std::cell::Ref<'_, NetHealth> {
+        self.health.borrow()
+    }
+
+    /// Forget everything the failure detector learned (e.g. between
+    /// benchmark scenarios, so one scenario's grey set cannot bias the
+    /// next).
+    pub fn reset_health(&self) {
+        self.health.borrow_mut().reset();
     }
 
     /// Rebuild the arc and holder indices from the shelves. Required
@@ -279,10 +327,15 @@ impl<G: ContinuousGraph, S: Shelves> ReplicatedDht<G, S> {
         let shares = encode(&value, self.k as usize, self.m as usize);
         let len = sealed_len(shares[0].data.len()) as u32;
         let action = Action::PutShares { key, len, m: self.m, k: self.k, item: point };
-        let mut eng = Engine::new(&self.net, transport, seed).with_retry(retry);
-        let op = eng.submit(route_kind(self.kind), from, point, action);
-        eng.run();
-        let out = eng.take_outcome(op);
+        let out = {
+            let mut health = self.health.borrow_mut();
+            let mut eng = Engine::new(&self.net, transport, seed)
+                .with_retry(retry)
+                .with_health(&mut health);
+            let op = eng.submit(route_kind(self.kind), from, point, action);
+            eng.run();
+            eng.take_outcome(op)
+        };
         let placed = self.apply_put(key, point, &shares, &out);
         (out, placed)
     }
@@ -370,11 +423,15 @@ impl<G: ContinuousGraph, S: Shelves> ReplicatedDht<G, S> {
         retry: RetryPolicy,
     ) -> (OpOutcome, Option<Bytes>) {
         let point = self.hash.point(key);
-        self.get_via(from, key, point, transport, seed, retry)
+        let (out, value, _, _) = self.get_via(from, key, point, transport, seed, retry);
+        (out, value)
     }
 
     /// One quorum-read attempt routed at `target` (a clique member's
-    /// identifier point, or `h(key)` itself for the primary).
+    /// identifier point, or `h(key)` itself for the primary). Besides
+    /// the outcome and value, reports the modeled ticks the attempt's
+    /// engine ran (completion time on success, final clock on failure)
+    /// and the engine stats — the raw material for SLO accounting.
     fn get_via<T: Transport>(
         &self,
         from: NodeId,
@@ -383,15 +440,22 @@ impl<G: ContinuousGraph, S: Shelves> ReplicatedDht<G, S> {
         transport: T,
         seed: u64,
         retry: RetryPolicy,
-    ) -> (OpOutcome, Option<Bytes>) {
+    ) -> (OpOutcome, Option<Bytes>, u64, EngineStats) {
         let point = self.hash.point(key);
         let action = Action::GetShares { key, m: self.m, k: self.k, item: point };
-        let mut eng = Engine::new(&self.net, transport, seed).with_retry(retry);
-        let op = eng.submit(route_kind(self.kind), from, target, action);
-        eng.run_with_shares(&ShelfView(&self.shelves));
-        let out = eng.take_outcome(op);
+        let (out, ticks, stats) = {
+            let mut health = self.health.borrow_mut();
+            let mut eng = Engine::new(&self.net, transport, seed)
+                .with_retry(retry)
+                .with_health(&mut health);
+            let op = eng.submit(route_kind(self.kind), from, target, action);
+            eng.run_with_shares(&ShelfView(&self.shelves));
+            let out = eng.take_outcome(op);
+            let ticks = out.completed_at.unwrap_or_else(|| eng.now());
+            (out, ticks, eng.stats)
+        };
         let value = self.reconstruct(key, &out);
-        (out, value)
+        (out, value, ticks, stats)
     }
 
     /// Decode the value a completed quorum read gathered.
@@ -440,6 +504,23 @@ impl<G: ContinuousGraph, S: Shelves> ReplicatedDht<G, S> {
         seed: u64,
         retry: RetryPolicy,
     ) -> Option<Bytes> {
+        self.get_quorum_traced(from, key, make_transport, seed, retry).value
+    }
+
+    /// [`Self::get_quorum`] with full SLO accounting: modeled ticks,
+    /// message counts, shed/hedge activity. Under a hedged
+    /// [`RetryPolicy`] each sweep additionally orders candidate
+    /// coordinators by the failure detector's suspicion level (stable
+    /// on ties), so reads route around grey or flapping covers instead
+    /// of paying their timeouts first.
+    pub fn get_quorum_traced<T: Transport>(
+        &self,
+        from: NodeId,
+        key: u64,
+        make_transport: impl Fn(usize) -> T,
+        seed: u64,
+        retry: RetryPolicy,
+    ) -> QuorumRead {
         /// Clique sweeps before giving up. Generous because a
         /// deterministically routed instance (Chord-like) can have
         /// its approach to a given coordinator blocked by a dead
@@ -449,9 +530,20 @@ impl<G: ContinuousGraph, S: Shelves> ReplicatedDht<G, S> {
         let point = self.hash.point(key);
         let mut clique = Vec::with_capacity(self.m as usize);
         self.net.clique_of(point, self.m as usize, &mut clique);
+        let mut read = QuorumRead::default();
         for round in 0..ROUNDS {
-            for (j, &coord) in clique.iter().enumerate() {
-                let attempt = round * clique.len() + j;
+            // suspicion-ordered failover: least-suspect coordinator
+            // first, re-ranked per sweep as the detector learns. With
+            // hedging off the order is the identity, byte-for-byte the
+            // historical sweep.
+            let mut order: Vec<usize> = (0..clique.len()).collect();
+            if retry.hedge {
+                let h = self.health.borrow();
+                order.sort_by_key(|&j| (h.suspicion(clique[j]), j));
+            }
+            for (pos, &j) in order.iter().enumerate() {
+                let coord = clique[j];
+                let attempt = round * clique.len() + pos;
                 let origin = if attempt == 0 {
                     from
                 } else {
@@ -459,7 +551,7 @@ impl<G: ContinuousGraph, S: Shelves> ReplicatedDht<G, S> {
                     self.net.random_node(&mut rng)
                 };
                 let target = if j == 0 { point } else { self.net.node(coord).x };
-                let (out, value) = self.get_via(
+                let (out, value, ticks, stats) = self.get_via(
                     origin,
                     key,
                     target,
@@ -467,20 +559,28 @@ impl<G: ContinuousGraph, S: Shelves> ReplicatedDht<G, S> {
                     cd_core::rng::subseed(seed, attempt as u64),
                     retry,
                 );
+                read.ticks += ticks;
+                read.msgs += out.msgs;
+                read.bytes += out.bytes;
+                read.attempts += 1;
+                read.shed += stats.shed;
+                read.hedged += stats.hedged;
+                read.retries += stats.retries;
                 if out.ok {
-                    if let Some(v) = value {
-                        return Some(v);
+                    if value.is_some() {
+                        read.value = value;
+                        return read;
                     }
                     // completed below quorum ⇒ the every-cover-answered
                     // path fired: a definitive miss for this placement,
                     // so failing over cannot find more shares
                     if out.shares.len() < self.k as usize {
-                        return None;
+                        return read;
                     }
                 }
             }
         }
-        None
+        read
     }
 
     /// Delete `key`: a routed `Remove` reaches the clique primary,
@@ -496,7 +596,10 @@ impl<G: ContinuousGraph, S: Shelves> ReplicatedDht<G, S> {
         retry: RetryPolicy,
     ) -> (OpOutcome, bool) {
         let point = self.hash.point(key);
-        let mut eng = Engine::new(&self.net, transport, seed).with_retry(retry);
+        let mut health = self.health.borrow_mut();
+        let mut eng = Engine::new(&self.net, transport, seed)
+            .with_retry(retry)
+            .with_health(&mut health);
         let op = eng.submit(route_kind(self.kind), from, point, Action::Remove { key });
         eng.run();
         let out = eng.take_outcome(op);
@@ -635,7 +738,7 @@ mod tests {
                         break f;
                     }
                 };
-                let retry = RetryPolicy { timeout: 128, max_attempts: 6 };
+                let retry = RetryPolicy::fixed(128, 6);
                 let got = dht.get_quorum(from, 77, mk, 0xFEE7 ^ (a as u64) << 8 ^ b as u64, retry);
                 assert_eq!(
                     got,
@@ -649,7 +752,7 @@ mod tests {
     #[test]
     fn quorum_read_survives_a_lossy_transport() {
         let (mut dht, mut rng) = store(128, 8, 4, 0xA6);
-        let retry = RetryPolicy { timeout: 4_096, max_attempts: 10 };
+        let retry = RetryPolicy::fixed(4_096, 10);
         let mut stored = 0usize;
         let mut fetched = 0usize;
         for key in 0..40u64 {
@@ -679,7 +782,7 @@ mod tests {
         for &id in dht.net.live() {
             liars.fail(id);
         }
-        let retry = RetryPolicy { timeout: 64, max_attempts: 3 };
+        let retry = RetryPolicy::aggressive();
         let (out, placed) =
             dht.put_over(from, 9, Bytes::from_static(b"evil"), liars, 0x11, retry);
         if out.msgs > 0 {
@@ -714,7 +817,7 @@ mod tests {
         for &c in &clique[2..] {
             faulty.fail(c);
         }
-        let retry = RetryPolicy { timeout: 64, max_attempts: 3 };
+        let retry = RetryPolicy::aggressive();
         let (out, placed) =
             dht.put_over(clique[0], 3, Bytes::from_static(b"v2 torn"), faulty, 0x7E41, retry);
         assert!(!out.ok, "2 live covers cannot ack a k = 3 quorum");
@@ -748,7 +851,7 @@ mod tests {
             for key in 0..30u64 {
                 let from = dht.net.random_node(&mut rng);
                 let sim = Sim::new(key).with_drop(0.02);
-                let retry = RetryPolicy { timeout: 2_048, max_attempts: 8 };
+                let retry = RetryPolicy::fixed(2_048, 8);
                 let (out, _) =
                     dht.put_over(from, key, Bytes::from(vec![key as u8; 16]), sim, key, retry);
                 log.push((key, out.ok, out.msgs, out.bytes));

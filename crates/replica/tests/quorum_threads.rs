@@ -88,7 +88,7 @@ fn durability_after_churn_on<G: ContinuousGraph, S: Shelves>(graph: G, seed: u64
                     break f;
                 }
             };
-            let retry = RetryPolicy { timeout: 128, max_attempts: 6 };
+            let retry = RetryPolicy::fixed(128, 6);
             let got = dht.get_quorum(from, *key, mk, seed ^ (*key << 4) ^ rot as u64, retry);
             assert_eq!(
                 got.as_ref(),
@@ -152,7 +152,7 @@ fn batch_at_on<S: Shelves + Sync>(threads: usize, lossy: bool, shelves: S) -> Ba
                 ReplicaOp { from, action }
             })
             .collect();
-        let retry = RetryPolicy { timeout: 2_048, max_attempts: 8 };
+        let retry = RetryPolicy::fixed(2_048, 8);
         let (results, _stats, transports) = batch_over(&mut dht, &ops, 0x5EED, retry, 4, |s| {
             Recorder::new(if lossy {
                 Sim::new(s as u64 ^ 0xFA11).with_drop(0.02)

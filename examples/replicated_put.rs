@@ -51,7 +51,7 @@ fn main() {
             break c;
         }
     };
-    let retry = RetryPolicy { timeout: 256, max_attempts: 6 };
+    let retry = RetryPolicy::fixed(256, 6);
     let got = store
         .get_quorum(reader, key, make_faulty, 0xD00D, retry)
         .expect("k live covers are a read quorum");

@@ -15,7 +15,7 @@ fn main() {
     let net = DhNetwork::new(&PointSet::evenly_spaced(1024));
     let sim = Sim::new(7).with_latency(4, 16, 4).with_drop(0.01);
     let mut eng = Engine::new(&net, sim, 42)
-        .with_retry(RetryPolicy { timeout: 4_096, max_attempts: 8 });
+        .with_retry(RetryPolicy::patient());
 
     let op = eng.submit(
         route_kind(LookupKind::DistanceHalving),
