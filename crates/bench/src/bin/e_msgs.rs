@@ -26,24 +26,20 @@ use cd_bench::{claim, section, MASTER_SEED};
 use cd_core::pointset::PointSet;
 use cd_core::rng::seeded;
 use cd_core::stats::Table;
-use dh_dht::proto::lookups_over;
+use dh_dht::proto::{lookups_over, MsgBatch};
 use dh_dht::{DhNetwork, LookupKind};
+use dh_obs::Obs;
 use dh_proto::engine::RetryPolicy;
 use dh_proto::transport::{Inline, Recorder, Sim, Transport};
 use std::time::Instant;
 
-struct Row {
-    msgs_per_op: f64,
-    bytes_per_op: f64,
-    record: Option<Record>,
-}
-
-/// One batch configuration: the network, batch size and master seed
-/// shared by every transport scenario.
+/// One batch configuration: the network, batch size, master seed and
+/// the metrics registry shared by every transport scenario.
 struct Ctx<'n> {
     net: &'n DhNetwork,
     m: usize,
     seed: u64,
+    obs: Obs,
 }
 
 fn run_one<T: Transport>(
@@ -52,8 +48,12 @@ fn run_one<T: Transport>(
     transport: T,
     scenario: &'static str,
     table: &mut Table,
-    bench: Option<&str>,
-) -> (Row, T) {
+    // `(bench name, registry label)` — `None` for the shadow
+    // determinism-witness run, which records and exports nothing (a
+    // duplicate export would double-count the aggregated snapshot)
+    bench: Option<(String, u64)>,
+    records: &mut Vec<Record>,
+) -> (MsgBatch, T) {
     let (net, m, seed) = (ctx.net, ctx.m, ctx.seed);
     let retry = RetryPolicy::patient();
     let t0 = Instant::now();
@@ -79,13 +79,14 @@ fn run_one<T: Transport>(
         format!("{}", batch.makespan),
         format!("{:.0}", m as f64 / secs),
     ]);
-    let record = bench.map(|b| {
-        Record::new(b, net.len(), secs * 1e9 / m as f64)
-            .with_msgs(batch.msgs_per_op(), batch.bytes_per_op())
-    });
-    let row =
-        Row { msgs_per_op: batch.msgs_per_op(), bytes_per_op: batch.bytes_per_op(), record };
-    (row, transport)
+    if let Some((b, label)) = bench {
+        batch.export_into(&ctx.obs, label);
+        records.push(
+            Record::new(b, net.len(), secs * 1e9 / m as f64)
+                .with_msgs(batch.msgs_per_op(), batch.bytes_per_op()),
+        );
+    }
+    (batch, transport)
 }
 
 fn main() {
@@ -104,12 +105,14 @@ fn main() {
 
     println!("# E-msgs — per-operation wire cost of lookups (n = {n}, m = {m}, seed = {seed:#x})");
     let net = DhNetwork::new(&PointSet::random(n, &mut seeded(seed ^ 0x0E75)));
-    let ctx = Ctx { net: &net, m, seed };
+    // every scenario exports into one registry; the snapshot is
+    // appended to BENCH_ops.json next to the wall-clock records
+    let ctx = Ctx { net: &net, m, seed, obs: Obs::recording(16) };
     let logn = (n as f64).log2();
 
     let mut records: Vec<Record> = Vec::new();
     let mut fingerprint = 0u64;
-    for kind in kinds {
+    for (ki, kind) in kinds.into_iter().enumerate() {
         section(&format!("{kind} lookup over each transport"));
         let mut table = Table::new([
             "transport",
@@ -122,38 +125,58 @@ fn main() {
             "makespan",
             "lookups/s",
         ]);
+        let label = ki as u64 * 10;
         // 1. Inline baseline: 1 message per hop, by construction.
-        let (inline_row, _) =
-            run_one(&ctx, kind, Inline, "inline", &mut table, Some(&format!("e_msgs/inline_{kind}")));
-        assert!(inline_row.bytes_per_op > inline_row.msgs_per_op, "every message has a header");
+        let (inline_batch, _) = run_one(
+            &ctx,
+            kind,
+            Inline,
+            "inline",
+            &mut table,
+            Some((format!("e_msgs/inline_{kind}"), label)),
+            &mut records,
+        );
+        assert!(
+            inline_batch.bytes_per_op() > inline_batch.msgs_per_op(),
+            "every message has a header"
+        );
         // 2. Lossless Sim, twice: the determinism witness.
         let sim = || Recorder::new(Sim::new(seed).with_latency(4, 16, 4));
-        let (sim_row, rec_a) =
-            run_one(&ctx, kind, sim(), "sim", &mut table, Some(&format!("e_msgs/sim_{kind}")));
+        let (sim_batch, rec_a) = run_one(
+            &ctx,
+            kind,
+            sim(),
+            "sim",
+            &mut table,
+            Some((format!("e_msgs/sim_{kind}"), label + 1)),
+            &mut records,
+        );
         let fp_a = rec_a.trace.fingerprint();
         let mut shadow = Table::new(["x"; 9]);
-        let (sim_row_b, rec_b) = run_one(&ctx, kind, sim(), "sim", &mut shadow, None);
+        let (sim_batch_b, rec_b) =
+            run_one(&ctx, kind, sim(), "sim", &mut shadow, None, &mut records);
         let fp_b = rec_b.trace.fingerprint();
         assert_eq!(fp_a, fp_b, "same seed must reproduce the identical event trace");
-        assert_eq!(sim_row.msgs_per_op.to_bits(), sim_row_b.msgs_per_op.to_bits());
+        assert_eq!(sim_batch.msgs_per_op().to_bits(), sim_batch_b.msgs_per_op().to_bits());
         assert_eq!(
-            sim_row.msgs_per_op.to_bits(),
-            inline_row.msgs_per_op.to_bits(),
+            sim_batch.msgs_per_op().to_bits(),
+            inline_batch.msgs_per_op().to_bits(),
             "lossless latency changes schedules, never routes"
         );
         fingerprint ^= fp_a;
         println!("fingerprint({kind}, sim lossless): {fp_a:#018x}");
         // 3. Loss + duplication, absorbed by end-to-end retry.
-        let (lossy_row, _) = run_one(
+        let (lossy_batch, _) = run_one(
             &ctx,
             kind,
             Sim::new(seed).with_latency(4, 16, 4).with_drop(0.01).with_dup(0.005),
             "sim 1% loss",
             &mut table,
-            Some(&format!("e_msgs/lossy_{kind}")),
+            Some((format!("e_msgs/lossy_{kind}"), label + 2)),
+            &mut records,
         );
         assert!(
-            lossy_row.msgs_per_op >= sim_row.msgs_per_op,
+            lossy_batch.msgs_per_op() >= sim_batch.msgs_per_op(),
             "retransmissions cannot make lookups cheaper"
         );
         print!("{}", table.to_markdown());
@@ -163,11 +186,10 @@ fn main() {
             LookupKind::Greedy => unreachable!("e_msgs drives the DH instance only"),
         };
         assert!(
-            inline_row.msgs_per_op <= bound,
+            inline_batch.msgs_per_op() <= bound,
             "{kind}: {:.2} msgs/op exceeds the Corollary 2.5 / Theorem 2.8 shape {bound:.1}",
-            inline_row.msgs_per_op
+            inline_batch.msgs_per_op()
         );
-        records.extend([inline_row.record, sim_row.record, lossy_row.record].into_iter().flatten());
     }
 
     println!("\ncombined fingerprint: {fingerprint:#018x}");
@@ -185,8 +207,14 @@ fn main() {
     );
 
     let path = std::env::var("BENCH_JSON").unwrap_or_else(|_| "BENCH_ops.json".to_string());
-    match bench_json::append(&path, &records) {
-        Ok(()) => println!("\nappended {} records to {path}", records.len()),
+    // wall-clock records plus the unified registry snapshot — the
+    // per-scenario batch counters land in the same JSON-lines dialect
+    let lines = ctx.obs.snapshot().to_json_lines("e_msgs", n);
+    match bench_json::append(&path, &records).and_then(|()| bench_json::append_lines(&path, &lines))
+    {
+        Ok(()) => {
+            println!("\nappended {} records + {} metric lines to {path}", records.len(), lines.len());
+        }
         Err(e) => eprintln!("\nfailed to write {path}: {e}"),
     }
 }

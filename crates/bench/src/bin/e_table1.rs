@@ -48,21 +48,31 @@ use cd_core::rng::seeded;
 use cd_core::stats::Table;
 use dh_dht::proto::{lookups_over, lookups_over_sharded};
 use dh_dht::{CdNetwork, LookupKind};
+use dh_obs::Obs;
 use dh_proto::engine::RetryPolicy;
 use dh_proto::transport::{Inline, Recorder, Sim};
 use std::time::Instant;
+
+/// The workload every row shares: identifier points, batch size,
+/// seed and the metrics registry the batches export into.
+struct RowCtx<'a> {
+    points: &'a PointSet,
+    m: usize,
+    seed: u64,
+    obs: &'a Obs,
+}
 
 /// Run one `(instance, kind)` row: an `Inline` batch for the metrics
 /// plus a recorded lossless-`Sim` batch for the fingerprint.
 fn run_row<G: ContinuousGraph>(
     graph: G,
     kind: LookupKind,
-    points: &PointSet,
-    m: usize,
-    seed: u64,
+    ctx: &RowCtx<'_>,
+    row: u64,
     table: &mut Table,
     records: &mut Vec<Record>,
 ) -> u64 {
+    let (points, m, seed, obs) = (ctx.points, ctx.m, ctx.seed, ctx.obs);
     let label = graph.label();
     let t0 = Instant::now();
     let net = CdNetwork::build(graph, points);
@@ -74,6 +84,7 @@ fn run_row<G: ContinuousGraph>(
     let (batch, _) = lookups_over(&net, kind, m, seed, Inline, retry, 2);
     let secs = t0.elapsed().as_secs_f64();
     assert_eq!(batch.failed, 0, "{label}: Inline cannot fail an op");
+    batch.export_into(obs, row);
 
     // determinism witness: the same batch over a recorded Sim schedule
     let sim = || Recorder::new(Sim::new(seed).with_latency(4, 16, 4));
@@ -133,29 +144,23 @@ fn main() {
     ]);
     let mut records: Vec<Record> = Vec::new();
     let mut fingerprint = 0u64;
+    // per-row batch counters land in one registry, appended to
+    // BENCH_ops.json as the unified metrics snapshot
+    let obs = Obs::recording(16);
+    let ctx = RowCtx { points: &points, m, seed, obs: &obs };
 
-    fingerprint ^= run_row(
-        DistanceHalving::binary(),
-        LookupKind::Fast,
-        &points,
-        m,
-        seed,
-        &mut table,
-        &mut records,
-    );
+    fingerprint ^=
+        run_row(DistanceHalving::binary(), LookupKind::Fast, &ctx, 0, &mut table, &mut records);
     fingerprint ^= run_row(
         DistanceHalving::binary(),
         LookupKind::DistanceHalving,
-        &points,
-        m,
-        seed,
+        &ctx,
+        1,
         &mut table,
         &mut records,
     );
-    fingerprint ^=
-        run_row(DeBruijn::new(8), LookupKind::Fast, &points, m, seed, &mut table, &mut records);
-    fingerprint ^=
-        run_row(ChordLike, LookupKind::Greedy, &points, m, seed, &mut table, &mut records);
+    fingerprint ^= run_row(DeBruijn::new(8), LookupKind::Fast, &ctx, 2, &mut table, &mut records);
+    fingerprint ^= run_row(ChordLike, LookupKind::Greedy, &ctx, 3, &mut table, &mut records);
 
     print!("{}", table.to_markdown());
 
@@ -209,8 +214,12 @@ fn main() {
     );
 
     let path = std::env::var("BENCH_JSON").unwrap_or_else(|_| "BENCH_ops.json".to_string());
-    match bench_json::append(&path, &records) {
-        Ok(()) => println!("\nappended {} records to {path}", records.len()),
+    let lines = obs.snapshot().to_json_lines("e_table1", n);
+    match bench_json::append(&path, &records).and_then(|()| bench_json::append_lines(&path, &lines))
+    {
+        Ok(()) => {
+            println!("\nappended {} records + {} metric lines to {path}", records.len(), lines.len());
+        }
         Err(e) => eprintln!("\nfailed to write {path}: {e}"),
     }
 }

@@ -81,17 +81,25 @@ pub mod bench_json {
     //!
     //! `BENCH_ops.json` is a JSON-lines file (one record per line) so
     //! every PR can *append* its numbers and the perf trajectory stays
-    //! diffable. Each line is `{"bench": <name>, "n": <size>,
-    //! "ns_per_op": <mean>}`; records measured through the wire
-    //! protocol additionally carry `"msgs_per_op"` and
-    //! `"bytes_per_op"` (mean messages/bytes per operation, all
-    //! retransmissions charged), records swept across overlay
-    //! instances carry `"topology"` (the instance label, e.g.
-    //! `"chord"` or `"debruijn8"`), and records measured on the
+    //! diffable. Every line carries `"schema": 1` (the dialect
+    //! version — bump it if a field changes meaning) and the core
+    //! triple `{"bench": <name>, "n": <size>, "ns_per_op": <mean>}`;
+    //! records measured through the wire protocol additionally carry
+    //! `"msgs_per_op"` and `"bytes_per_op"` (mean messages/bytes per
+    //! operation, all retransmissions charged), records swept across
+    //! overlay instances carry `"topology"` (the instance label, e.g.
+    //! `"chord"` or `"debruijn8"`), records measured on the
     //! multi-core drivers carry `"threads"` (worker count of the run,
-    //! so the scaling curve is part of the perf trajectory), and
-    //! open-loop SLO benches carry `"p50_ns"`/`"p99_ns"`/`"p999_ns"`
-    //! (tail latency of the modeled arrival queue, not just the mean).
+    //! so the scaling curve is part of the perf trajectory), open-loop
+    //! SLO benches carry `"p50_ns"`/`"p99_ns"`/`"p999_ns"` (tail
+    //! latency of the modeled arrival queue, not just the mean), and
+    //! `"unit"` names what the numeric columns measure (`"ns"` for
+    //! wall-clock records — the default when absent — `"ticks"` for
+    //! virtual engine time, `"count"`/`"bytes"` for registry
+    //! exports). The full field table lives in `README.md`.
+    //! `dh_obs::Snapshot::to_json_lines` emits this same dialect, so
+    //! metrics-registry snapshots append next to wall-clock records
+    //! ([`append_lines`]).
 
     use std::io::Write;
 
@@ -119,6 +127,10 @@ pub mod bench_json {
         pub p99_ns: Option<f64>,
         /// 99.9th-percentile latency in nanoseconds.
         pub p999_ns: Option<f64>,
+        /// What the numeric columns measure (`"ns"` when absent;
+        /// `"ticks"` for virtual engine time, `"count"`/`"bytes"`
+        /// for metrics-registry exports).
+        pub unit: Option<String>,
     }
 
     /// Escape a string for inclusion in a JSON value.
@@ -149,6 +161,7 @@ pub mod bench_json {
                 p50_ns: None,
                 p99_ns: None,
                 p999_ns: None,
+                unit: None,
             }
         }
 
@@ -179,11 +192,18 @@ pub mod bench_json {
             self
         }
 
+        /// Tag the record's numeric columns with a unit (`"ticks"`,
+        /// `"count"`, `"bytes"`, …). Wall-clock records omit it.
+        pub fn with_unit(mut self, unit: impl Into<String>) -> Self {
+            self.unit = Some(unit.into());
+            self
+        }
+
         /// The record as a single JSON line.
         pub fn to_json(&self) -> String {
             let name = escape(&self.bench);
             let mut line = format!(
-                "{{\"bench\": \"{name}\", \"n\": {}, \"ns_per_op\": {:.1}",
+                "{{\"schema\": 1, \"bench\": \"{name}\", \"n\": {}, \"ns_per_op\": {:.1}",
                 self.n, self.ns_per_op
             );
             if let Some(m) = self.msgs_per_op {
@@ -207,6 +227,9 @@ pub mod bench_json {
             if let Some(p) = self.p999_ns {
                 line.push_str(&format!(", \"p999_ns\": {p:.1}"));
             }
+            if let Some(u) = &self.unit {
+                line.push_str(&format!(", \"unit\": \"{}\"", escape(u)));
+            }
             line.push('}');
             line
         }
@@ -217,6 +240,17 @@ pub mod bench_json {
         let mut file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
         for r in records {
             writeln!(file, "{}", r.to_json())?;
+        }
+        Ok(())
+    }
+
+    /// Append pre-serialized JSON lines (e.g. a
+    /// `dh_obs::Snapshot::to_json_lines` export, which speaks the
+    /// same dialect) to the same file.
+    pub fn append_lines(path: &str, lines: &[String]) -> std::io::Result<()> {
+        let mut file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+        for l in lines {
+            writeln!(file, "{l}")?;
         }
         Ok(())
     }

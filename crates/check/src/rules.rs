@@ -4,7 +4,7 @@
 //!
 //! | id | rule | scope |
 //! |----|------|-------|
-//! | D1 `hash-order`      | no `HashMap`/`HashSet` in trace-affecting crates | crates/{proto,dht,replica,store,fault} |
+//! | D1 `hash-order`      | no `HashMap`/`HashSet` in trace-affecting crates | crates/{proto,dht,replica,store,fault,obs} |
 //! | D2 `nondet-source`   | no `Instant::now`/`SystemTime`/`thread_rng`/`available_parallelism` | everywhere except shims/ and crates/bench/src/bin/ |
 //! | D3 `unwrap`, `indexing` | no `.unwrap()`/`.expect()`/panicking indexing | store recovery + WAL replay (crates/store/src/{wal,file}.rs) and the fault path (crates/proto/src/{health,fault}.rs) |
 //! | D4 `safety-comment`  | every `unsafe` carries a `// SAFETY:` within 3 lines | everywhere |
@@ -61,8 +61,14 @@ pub struct Stats {
 }
 
 /// Crates whose iteration order can leak into traces (D1 scope).
-const TRACE_CRATES: [&str; 5] =
-    ["crates/proto/", "crates/dht/", "crates/replica/", "crates/store/", "crates/fault/"];
+const TRACE_CRATES: [&str; 6] = [
+    "crates/proto/",
+    "crates/dht/",
+    "crates/replica/",
+    "crates/store/",
+    "crates/fault/",
+    "crates/obs/",
+];
 
 /// Files where a panic is never acceptable (D3 scope): the store
 /// recovery scan + WAL replay path, and the grey-failure fault path —

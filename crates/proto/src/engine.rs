@@ -53,6 +53,7 @@ use cd_core::interval::Interval;
 use cd_core::point::Point;
 use cd_core::rng::sub_rng;
 use cd_core::walk::{prefix_walk_delta, walk_budget, TwoSidedWalk};
+use dh_obs::{EventKind as ObsEvent, Obs};
 use rand::rngs::StdRng;
 use rand::Rng;
 use std::cmp::Ordering;
@@ -268,6 +269,27 @@ impl EngineStats {
         self.failed += other.failed;
         self.hedged += other.hedged;
         self.shed += other.shed;
+    }
+
+    /// Push every counter into a [`dh_obs`] registry under the
+    /// `engine/…` namespace, labelled by `label` (0 for "the run";
+    /// a scenario can use it to split foreground from repair traffic).
+    /// Counters accumulate across engine runs, which is exactly what
+    /// a scenario spanning many short-lived engines wants.
+    pub fn export(&self, obs: &Obs, label: u64) {
+        obs.add_many(&[
+            ("engine/msgs", label, self.msgs),
+            ("engine/bytes", label, self.bytes),
+            ("engine/delivered", label, self.delivered),
+            ("engine/dropped", label, self.dropped),
+            ("engine/duplicated", label, self.duplicated),
+            ("engine/stale", label, self.stale),
+            ("engine/retries", label, self.retries),
+            ("engine/completed", label, self.completed),
+            ("engine/failed", label, self.failed),
+            ("engine/hedged", label, self.hedged),
+            ("engine/shed", label, self.shed),
+        ]);
     }
 }
 
@@ -533,6 +555,14 @@ pub struct Engine<'g, G: Topology, T: Transport> {
     /// Failure detector / RTT tracker shared across engine runs (the
     /// layer above owns it; `None` ⇒ classic fixed-timeout behavior).
     health: Option<&'g mut NetHealth>,
+    /// Flight-recorder handle ([`dh_obs`]). Off by default: every
+    /// emit is one `Option` test, so an un-instrumented run schedules
+    /// bit-identically to a build without the recorder at all.
+    obs: Obs,
+    /// Buffered protocol-plane events, drained into the recorder
+    /// under one lock at the end of each run: the per-event cost on
+    /// the hot path is an `Option` test plus a `Vec` push.
+    ev_buf: Vec<(u64, u32, ObsEvent)>,
     plan_buf: Vec<Delivery>,
     /// Recycled phase-2 trace buffers (released when an op completes,
     /// claimed by the next op entering phase 2) — the DH hot path
@@ -555,6 +585,8 @@ impl<'g, G: Topology, T: Transport> Engine<'g, G, T> {
             retry: RetryPolicy::default(),
             stats: EngineStats::default(),
             health: None,
+            obs: Obs::off(),
+            ev_buf: Vec::new(),
             plan_buf: Vec::new(),
             trace_pool: Vec::new(),
         }
@@ -573,6 +605,18 @@ impl<'g, G: Topology, T: Transport> Engine<'g, G, T> {
     /// [`RetryPolicy`] flags.
     pub fn with_health(mut self, health: &'g mut NetHealth) -> Self {
         self.health = Some(health);
+        self
+    }
+
+    /// Attach a flight recorder ([`dh_obs::Obs`]). Emission is purely
+    /// observational — no event changes what the engine schedules and
+    /// no emission consumes engine randomness — so an instrumented
+    /// run's wire trace is bit-identical to an un-instrumented one.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        // recycled (cache-warm) buffer: the run's events accumulate
+        // without realloc chains or fresh page faults
+        self.ev_buf = obs.take_buf();
+        self.obs = obs;
         self
     }
 
@@ -661,7 +705,7 @@ impl<'g, G: Topology, T: Transport> Engine<'g, G, T> {
     pub fn send(&mut self, src: NodeId, dst: NodeId, msg: Wire) {
         let bytes = msg.wire_bytes();
         let env = Envelope { src, dst, msg, corrupt: false };
-        self.dispatch(env, bytes);
+        self.dispatch(env, bytes, 0);
     }
 
     /// Run to quiescence with no cache layer and no share store
@@ -705,6 +749,9 @@ impl<'g, G: Topology, T: Transport> Engine<'g, G, T> {
                 EventKind::Timer { op, attempt, step } => self.timer(op, attempt, step, serve, view),
                 EventKind::Hedge { op, attempt } => self.hedge_fire(op, attempt),
             }
+        }
+        if !self.ev_buf.is_empty() {
+            self.obs.emit_batch(&mut self.ev_buf);
         }
     }
 
@@ -779,10 +826,25 @@ impl<'g, G: Topology, T: Transport> Engine<'g, G, T> {
 
     /// Hand `env` to the transport and schedule its arrivals. `bytes`
     /// is `env.msg.wire_bytes()`, computed once by the caller (it also
-    /// charges the per-op accounting with it).
-    fn dispatch(&mut self, env: Envelope, bytes: u64) {
+    /// charges the per-op accounting with it); `attempt` stamps the
+    /// recorder's Send event (0 for bare sends).
+    /// Buffer one flight-recorder event (flushed under a single
+    /// recorder lock when the run completes).
+    #[inline]
+    fn note(&mut self, at: u64, attempt: u32, kind: ObsEvent) {
+        if self.obs.is_on() {
+            self.ev_buf.push((at, attempt, kind));
+        }
+    }
+
+    fn dispatch(&mut self, env: Envelope, bytes: u64, attempt: u32) {
         self.stats.msgs += 1;
         self.stats.bytes += bytes;
+        self.note(
+            self.clock,
+            attempt,
+            ObsEvent::Send { src: env.src.0, dst: env.dst.0, bytes: bytes as u32 },
+        );
         let mut plan = mem::take(&mut self.plan_buf);
         plan.clear();
         self.transport.plan(self.clock, &env, &mut plan);
@@ -1100,7 +1162,12 @@ impl<'g, G: Topology, T: Transport> Engine<'g, G, T> {
         // the timeout is decided with what was known *before* this
         // send's own delivery is observed
         let timeout = self.progress_timeout(id, next, attempt);
-        self.dispatch(Envelope { src, dst: next, msg, corrupt: false }, bytes);
+        self.dispatch(Envelope { src, dst: next, msg, corrupt: false }, bytes, attempt);
+        self.note(
+            self.clock,
+            attempt,
+            ObsEvent::TimerArm { dst: next.0, deadline: self.clock + timeout },
+        );
         self.push_event(
             self.clock + timeout,
             EventKind::Timer { op: id, attempt, step },
@@ -1378,22 +1445,23 @@ impl<'g, G: Topology, T: Transport> Engine<'g, G, T> {
         // the detector's clock, so a healed partition's stale
         // suspicion drains instead of locking the clique out forever.
         if self.retry.hedge {
-            if let Some(h) = self.health.as_deref_mut() {
-                let suspects: Vec<NodeId> = holders
+            let suspects: Vec<NodeId> = match self.health.as_deref() {
+                Some(h) => holders
                     .iter()
                     .copied()
                     .filter(|&n| n != cur && h.is_dead_suspect(n))
-                    .collect();
-                if suspects.len() * 2 > holders.len() {
-                    for n in suspects {
-                        h.alive(n);
-                    }
-                    let op = &mut self.ops[id as usize];
-                    op.machine = Machine::Failed;
-                    self.stats.shed += 1;
-                    self.stats.failed += 1;
-                    return;
+                    .collect(),
+                None => Vec::new(),
+            };
+            if suspects.len() * 2 > holders.len() {
+                for n in suspects {
+                    self.note_alive(n);
                 }
+                let op = &mut self.ops[id as usize];
+                op.machine = Machine::Failed;
+                self.stats.shed += 1;
+                self.stats.failed += 1;
+                return;
             }
         }
         // coordinator handoff: a suspect coordinator relays every
@@ -1436,6 +1504,15 @@ impl<'g, G: Topology, T: Transport> Engine<'g, G, T> {
         let need = (k as usize).min(holders.len()).max(1);
         let staged = reorder && !put;
         let contact = if staged { need } else { holders.len() };
+        self.note(
+            self.clock,
+            self.ops[id as usize].attempt,
+            ObsEvent::QuorumEntry {
+                coordinator: cur.0,
+                clique: holders.len() as u32,
+                need: need as u32,
+            },
+        );
         let op = &mut self.ops[id as usize];
         op.step += 1;
         op.waiting_on = None;
@@ -1476,6 +1553,11 @@ impl<'g, G: Topology, T: Transport> Engine<'g, G, T> {
             }
         }
         let timeout = self.scatter_timeout(id, &holders, attempt);
+        self.note(
+            self.clock,
+            attempt,
+            ObsEvent::TimerArm { dst: cur.0, deadline: self.clock + timeout },
+        );
         self.push_event(
             self.clock + timeout,
             EventKind::Timer { op: id, attempt, step },
@@ -1547,13 +1629,13 @@ impl<'g, G: Topology, T: Transport> Engine<'g, G, T> {
                 }
             }
         }
-        if let Some(h) = self.health.as_deref_mut() {
-            for n in silent {
-                h.raise_hedge(n);
-            }
+        for n in silent {
+            self.raise_suspicion(n, true);
         }
         if self.contact_next(id) {
             self.stats.hedged += 1;
+            let wave = self.ops[id as usize].replica.as_ref().map_or(0, |r| u32::from(r.wave));
+            self.note(self.clock, attempt, ObsEvent::Hedge { wave });
             let more = self.ops[id as usize]
                 .replica
                 .as_ref()
@@ -1603,7 +1685,40 @@ impl<'g, G: Topology, T: Transport> Engine<'g, G, T> {
         let op = &mut self.ops[id as usize];
         op.msgs += 1;
         op.bytes += bytes;
-        self.dispatch(Envelope { src, dst, msg, corrupt: false }, bytes);
+        let attempt = op.attempt;
+        self.dispatch(Envelope { src, dst, msg, corrupt: false }, bytes, attempt);
+    }
+
+    /// Accrue suspicion of `node` (gentle accrual when `hedge`),
+    /// emitting a [`ObsEvent::SuspicionEdge`] when the detector's
+    /// verdict flips. Pure pass-through to [`NetHealth`] plus reads —
+    /// behavior is identical to calling `raise`/`raise_hedge` direct.
+    fn raise_suspicion(&mut self, node: NodeId, hedge: bool) {
+        let Some(h) = self.health.as_deref_mut() else { return };
+        let was = h.is_suspect(node);
+        if hedge {
+            h.raise_hedge(node);
+        } else {
+            h.raise(node);
+        }
+        let now = h.is_suspect(node);
+        let level = h.suspicion(node);
+        if was != now {
+            self.note(self.clock, 0, ObsEvent::SuspicionEdge { node: node.0, up: now, level });
+        }
+    }
+
+    /// Decay suspicion of `node` (it showed life), emitting a
+    /// [`ObsEvent::SuspicionEdge`] when the verdict flips back down.
+    fn note_alive(&mut self, node: NodeId) {
+        let Some(h) = self.health.as_deref_mut() else { return };
+        let was = h.is_suspect(node);
+        h.alive(node);
+        let now = h.is_suspect(node);
+        let level = h.suspicion(node);
+        if was != now {
+            self.note(self.clock, 0, ObsEvent::SuspicionEdge { node: node.0, up: now, level });
+        }
     }
 
     fn deliver<V: ShareView>(
@@ -1613,10 +1728,23 @@ impl<'g, G: Topology, T: Transport> Engine<'g, G, T> {
         view: &V,
     ) {
         self.stats.delivered += 1;
-        // any delivered message is evidence its sender is alive
-        if let Some(h) = self.health.as_deref_mut() {
-            h.alive(env.src);
+        if self.obs.is_on() {
+            let attempt = match &env.msg {
+                Wire::LookupStep { attempt, .. }
+                | Wire::StoreShare { attempt, .. }
+                | Wire::ShareAck { attempt, .. }
+                | Wire::FetchShare { attempt, .. }
+                | Wire::ShareReply { attempt, .. } => *attempt,
+                _ => 0,
+            };
+            self.note(
+                self.clock,
+                attempt,
+                ObsEvent::Deliver { src: env.src.0, dst: env.dst.0 },
+            );
         }
+        // any delivered message is evidence its sender is alive
+        self.note_alive(env.src);
         match env.msg {
             Wire::LookupStep { op: id, attempt, step, .. } => {
                 // an id this engine never issued (a hand-crafted send)
@@ -1689,6 +1817,11 @@ impl<'g, G: Topology, T: Transport> Engine<'g, G, T> {
         if !rep.acked.contains(&idx) {
             rep.acked.push(idx);
         }
+        self.note(
+            self.clock,
+            attempt,
+            ObsEvent::ShareAck { holder: env.src.0, idx: u32::from(idx) },
+        );
         self.check_quorum(id);
     }
 
@@ -1739,6 +1872,13 @@ impl<'g, G: Topology, T: Transport> Engine<'g, G, T> {
             rep.replied.push(idx);
             if found {
                 rep.gathered.push(idx);
+                // a found reply is the read-side twin of a put's ack:
+                // the holder contributed a share toward the quorum
+                self.note(
+                    self.clock,
+                    attempt,
+                    ObsEvent::ShareAck { holder: env.src.0, idx: u32::from(idx) },
+                );
             }
         }
         if self.retry.hedge {
@@ -1762,6 +1902,8 @@ impl<'g, G: Topology, T: Transport> Engine<'g, G, T> {
         {
             return; // the op made progress since this timer was armed
         }
+        self.note(self.clock, attempt, ObsEvent::TimerFire { step });
+        let op = &self.ops[id as usize];
         // spurious-timeout protection for hedged routes: a stalled
         // step is usually a lost or merely-late message (a grey
         // crossing outlasts the healthy-sized timer but still
@@ -1783,11 +1925,9 @@ impl<'g, G: Topology, T: Transport> Engine<'g, G, T> {
                     op.bytes += bytes;
                     let src = op.cur;
                     // repeated silence still accrues, gently
-                    if let Some(h) = self.health.as_deref_mut() {
-                        h.raise_hedge(dst);
-                    }
+                    self.raise_suspicion(dst, true);
                     let timeout = self.progress_timeout(id, dst, attempt);
-                    self.dispatch(Envelope { src, dst, msg, corrupt: false }, bytes);
+                    self.dispatch(Envelope { src, dst, msg, corrupt: false }, bytes, attempt);
                     self.push_event(
                         self.clock + timeout,
                         EventKind::Timer { op: id, attempt, step },
@@ -1827,10 +1967,8 @@ impl<'g, G: Topology, T: Transport> Engine<'g, G, T> {
                     }
                 }
             }
-            if let Some(h) = self.health.as_deref_mut() {
-                for n in blamed {
-                    h.raise(n);
-                }
+            for n in blamed {
+                self.raise_suspicion(n, false);
             }
         }
         let op = &mut self.ops[id as usize];
@@ -1848,6 +1986,9 @@ impl<'g, G: Topology, T: Transport> Engine<'g, G, T> {
         op.serve_at = None;
         op.entered_at = None;
         self.stats.retries += 1;
+        let fresh = op.attempt;
+        self.note(self.clock, fresh, ObsEvent::Retry);
+        let op = &self.ops[id as usize];
         // a hedged DH route that stalled mid-walk resumes from the
         // node holding the message — a fresh random descent from here
         // (the stalled hop's cover is now suspect, so the new digits

@@ -278,6 +278,38 @@ impl NetHealth {
         self.susp.iter().filter(|&(&n, _)| self.is_suspect(n)).count()
     }
 
+    /// The nodes currently judged suspect, in id order (BTree
+    /// iteration — deterministic). The list form of [`Self::suspects`],
+    /// for tests and observability that need to name the suspects
+    /// rather than count them.
+    pub fn suspect_nodes(&self) -> Vec<NodeId> {
+        self.susp.keys().copied().filter(|&n| self.is_suspect(n)).collect()
+    }
+
+    /// The retransmission-timeout estimate for `dst`: `None` until a
+    /// delivery sample exists. Convenience over [`Self::estimate`] for
+    /// callers that only want the Jacobson bound.
+    pub fn rto(&self, dst: NodeId) -> Option<u64> {
+        self.rtt.get(&dst).map(RttEstimate::rto)
+    }
+
+    /// Push the detector's state into a [`dh_obs`] registry: per-node
+    /// rto gauges (`health/rto_ticks`, labelled by node id), per-node
+    /// suspicion levels for every tracked node (`health/suspicion`),
+    /// and a `health/suspects` gauge with the current suspect count.
+    pub fn export(&self, obs: &dh_obs::Obs) {
+        if !obs.is_on() {
+            return;
+        }
+        for (&n, e) in &self.rtt {
+            obs.gauge("health/rto_ticks", u64::from(n.0), e.rto());
+        }
+        for &n in self.susp.keys() {
+            obs.gauge("health/suspicion", u64::from(n.0), u64::from(self.suspicion(n)));
+        }
+        obs.gauge("health/suspects", 0, self.suspects() as u64);
+    }
+
     /// Forget everything (estimators and suspicion alike).
     pub fn reset(&mut self) {
         self.rtt.clear();

@@ -57,6 +57,7 @@ use dh_dht::network::{CdNetwork, DistanceHalving, NodeId};
 use dh_dht::proto::route_kind;
 use dh_dht::LookupKind;
 use dh_erasure::{encode, sealed_len, try_decode, Share, ShareHeader};
+use dh_obs::Obs;
 use dh_proto::engine::{Engine, EngineStats, OpOutcome, RetryPolicy};
 use dh_proto::health::NetHealth;
 use dh_proto::transport::{Inline, Transport};
@@ -179,6 +180,11 @@ pub struct ReplicatedDht<G: ContinuousGraph = DistanceHalving, S: Shelves = MemS
     /// and trace-neutral; the adaptive/hedge [`RetryPolicy`] flags opt
     /// individual ops into consulting it.
     health: RefCell<NetHealth>,
+    /// The observability sink ([`dh_obs::Obs`]): off by default (inert
+    /// handle, fingerprints unchanged), cloned into every engine this
+    /// store drives so foreground, hedge and repair traffic all land
+    /// in one flight recorder + metrics registry.
+    obs: Obs,
 }
 
 impl<G: ContinuousGraph> ReplicatedDht<G, MemShelves> {
@@ -222,7 +228,24 @@ impl<G: ContinuousGraph, S: Shelves> ReplicatedDht<G, S> {
             pace: None,
             outbox: VecDeque::new(),
             health: RefCell::new(NetHealth::new()),
+            obs: Obs::off(),
         }
+    }
+
+    /// Attach an observability sink: every engine this store drives
+    /// from now on records into it (sends, delivers, timers, retries,
+    /// hedges, quorum entries, repair frames, suspicion edges), and
+    /// per-run [`EngineStats`] are exported into its metrics registry.
+    /// The default [`Obs::off`] handle makes all of that a no-op.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    /// The attached observability sink (an inert handle when none was
+    /// set) — clone it to read fingerprints, explain ops, or snapshot
+    /// the registry.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Snapshot accessor for the network health ledger (RTT
@@ -331,9 +354,11 @@ impl<G: ContinuousGraph, S: Shelves> ReplicatedDht<G, S> {
             let mut health = self.health.borrow_mut();
             let mut eng = Engine::new(&self.net, transport, seed)
                 .with_retry(retry)
-                .with_health(&mut health);
+                .with_health(&mut health)
+                .with_obs(self.obs.clone());
             let op = eng.submit(route_kind(self.kind), from, point, action);
             eng.run();
+            eng.stats.export(&self.obs, 0);
             eng.take_outcome(op)
         };
         let placed = self.apply_put(key, point, &shares, &out);
@@ -447,11 +472,13 @@ impl<G: ContinuousGraph, S: Shelves> ReplicatedDht<G, S> {
             let mut health = self.health.borrow_mut();
             let mut eng = Engine::new(&self.net, transport, seed)
                 .with_retry(retry)
-                .with_health(&mut health);
+                .with_health(&mut health)
+                .with_obs(self.obs.clone());
             let op = eng.submit(route_kind(self.kind), from, target, action);
             eng.run_with_shares(&ShelfView(&self.shelves));
             let out = eng.take_outcome(op);
             let ticks = out.completed_at.unwrap_or_else(|| eng.now());
+            eng.stats.export(&self.obs, 0);
             (out, ticks, eng.stats)
         };
         let value = self.reconstruct(key, &out);
@@ -569,18 +596,40 @@ impl<G: ContinuousGraph, S: Shelves> ReplicatedDht<G, S> {
                 if out.ok {
                     if value.is_some() {
                         read.value = value;
+                        self.note_quorum(&read);
                         return read;
                     }
                     // completed below quorum ⇒ the every-cover-answered
                     // path fired: a definitive miss for this placement,
                     // so failing over cannot find more shares
                     if out.shares.len() < self.k as usize {
+                        self.note_quorum(&read);
                         return read;
                     }
                 }
             }
         }
+        self.note_quorum(&read);
         read
+    }
+
+    /// Price a finished traced quorum read into the metrics registry:
+    /// read count, failure count, and the failover-attempt and latency
+    /// distributions (no-op with observability off).
+    fn note_quorum(&self, read: &QuorumRead) {
+        if !self.obs.is_on() {
+            return;
+        }
+        self.obs.stats_many(
+            &[
+                ("quorum/reads", 0, 1),
+                ("quorum/failed", 0, u64::from(read.value.is_none())),
+            ],
+            &[
+                ("quorum/attempts", 0, u64::from(read.attempts)),
+                ("quorum/ticks", 0, read.ticks),
+            ],
+        );
     }
 
     /// Delete `key`: a routed `Remove` reaches the clique primary,
@@ -599,7 +648,8 @@ impl<G: ContinuousGraph, S: Shelves> ReplicatedDht<G, S> {
         let mut health = self.health.borrow_mut();
         let mut eng = Engine::new(&self.net, transport, seed)
             .with_retry(retry)
-            .with_health(&mut health);
+            .with_health(&mut health)
+            .with_obs(self.obs.clone());
         let op = eng.submit(route_kind(self.kind), from, point, Action::Remove { key });
         eng.run();
         let out = eng.take_outcome(op);
@@ -624,6 +674,7 @@ impl<G: ContinuousGraph, S: Shelves> ReplicatedDht<G, S> {
             }
             self.shelves.remove(key);
         }
+        eng.stats.export(&self.obs, 0);
         (out, existed)
     }
 

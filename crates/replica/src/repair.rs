@@ -63,6 +63,7 @@ use dh_dht::network::NodeId;
 use dh_dht::proto::{join_over, leave_over, ChurnMsgCost};
 use dh_dht::LookupKind;
 use dh_erasure::{encode, sealed_len, try_decode, Share, ShareHeader};
+use dh_obs::EventKind as ObsEvent;
 use dh_proto::engine::{Engine, RetryPolicy};
 use dh_proto::transport::Transport;
 use dh_proto::wire::Wire;
@@ -209,6 +210,8 @@ impl<G: ContinuousGraph, S: Shelves> ReplicatedDht<G, S> {
         let before = self.outbox.len();
         plan.enqueue(&mut self.outbox);
         report.frames_queued = self.outbox.len() - before;
+        self.obs.add("repair/frames_planned", 0, report.frames_queued as u64);
+        self.obs.add("repair/shares_rebuilt", 0, report.shares_rebuilt as u64);
         if self.pace.is_none() {
             let (msgs, bytes) = self.flush_repair(transport, seed);
             report.msgs = msgs;
@@ -355,16 +358,24 @@ impl<G: ContinuousGraph, S: Shelves> ReplicatedDht<G, S> {
         if budget == 0 || self.outbox.is_empty() {
             return (0, 0);
         }
-        let mut eng = Engine::new(&self.net, &mut *transport, seed);
+        let mut eng =
+            Engine::new(&self.net, &mut *transport, seed).with_obs(self.obs.clone());
         let mut sent = 0usize;
         while sent < budget {
             let Some((src, dst, msg)) = self.outbox.pop_front() else {
                 break;
             };
+            self.obs.emit_storage(ObsEvent::RepairFrame {
+                src: src.0,
+                dst: dst.0,
+                bytes: msg.wire_bytes() as u32,
+            });
             eng.send(src, dst, msg);
             sent += 1;
         }
         eng.run();
+        self.obs.add("repair/frames_pumped", 0, sent as u64);
+        eng.stats.export(&self.obs, 1);
         (eng.stats.msgs, eng.stats.bytes)
     }
 

@@ -17,6 +17,7 @@ use bytes::Bytes;
 use cd_core::pointset::PointSet;
 use cd_core::rng::{seeded, subseed};
 use dh_dht::DhNetwork;
+use dh_obs::{EventKind, Obs, BACKGROUND};
 use dh_proto::engine::RetryPolicy;
 use dh_proto::transport::Sim;
 use dh_proto::{ChaosNet, NodeId};
@@ -48,6 +49,10 @@ fn flap_storm_no_lost_commits_bounded_waste() {
     let mut rng = seeded(seed);
     let net = DhNetwork::new(&PointSet::random(64, &mut rng));
     let mut dht = ReplicatedDht::new(net, M, K, &mut rng);
+    // the flight recorder rides along: the storm must leave a visible
+    // trail of detector verdicts, not just survive
+    let obs = Obs::recording(1 << 18);
+    dht.set_obs(obs.clone());
     let nodes: Vec<NodeId> = dht.net.live().to_vec();
     let chaos = Rc::new(RefCell::new(ChaosNet::new(
         Sim::new(seed ^ 0x51).with_latency(4, 16, 4),
@@ -175,6 +180,44 @@ fn flap_storm_no_lost_commits_bounded_waste() {
         storm_retries as f64 / storm_reads as f64 <= 16.0,
         "engine retries unbounded: {storm_retries} over {storm_reads} reads"
     );
+
+    // the detector's verdicts are observable, not inferred: the storm
+    // must have flipped suspicion up at least once, every up-edge must
+    // name a real node, and at least one names a configured flapper
+    let edges: Vec<(u32, bool)> = obs
+        .explain(BACKGROUND)
+        .expect("recording")
+        .events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::SuspicionEdge { node, up, .. } => Some((node, up)),
+            _ => None,
+        })
+        .collect();
+    let ups: Vec<u32> = edges.iter().filter(|&&(_, up)| up).map(|&(n, _)| n).collect();
+    assert!(!ups.is_empty(), "a 20% flap storm must raise at least one suspicion verdict");
+    assert!(
+        ups.iter().all(|&n| (n as usize) < nodes.len()),
+        "suspicion edges must name real nodes"
+    );
+    assert!(
+        ups.iter().any(|&n| flappers.contains(&NodeId(n))),
+        "at least one up-verdict should land on a configured flapper: ups {ups:?} vs {flappers:?}"
+    );
+    {
+        // the accessors agree with the verdict stream: every currently
+        // suspect node is reported suspect, and the estimator has a
+        // per-destination RTO for nodes that carried traffic
+        let h = dht.health();
+        for node in h.suspect_nodes() {
+            assert!(h.is_suspect(node), "suspect_nodes() must agree with is_suspect()");
+            assert!(h.suspicion(node) > 0, "a suspect carries a nonzero level");
+        }
+        assert!(
+            nodes.iter().any(|&nd| h.rto(nd).is_some()),
+            "per-destination RTT estimators must have fed on delivered traffic"
+        );
+    }
 
     // zero lost committed writes: every committed key reads back
     // exactly, flap schedules still live. A read may land in a bad

@@ -35,6 +35,7 @@ use crate::shelf::{apply_record, Holder, ItemState, MemShelves, Shelves};
 use crate::wal::{encode_record, scan, WalRecord, FILE_MAGIC};
 use bytes::Bytes;
 use cd_core::point::Point;
+use dh_obs::{EventKind as ObsEvent, Obs};
 use dh_proto::node::NodeId;
 use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
@@ -100,6 +101,11 @@ pub struct FileShelves {
     pending: Vec<u8>,
     /// Scratch encode buffer.
     buf: Vec<u8>,
+    /// Flight-recorder handle (off by default). Storage-plane events
+    /// are stamped with the recorder's last-seen engine time — the
+    /// store has no clock of its own — and are excluded from the
+    /// recorder fingerprint, so mem and file backends pin one value.
+    obs: Obs,
 }
 
 /// Don't bother auto-compacting logs smaller than this.
@@ -170,7 +176,24 @@ impl FileShelves {
             live,
             pending: Vec::with_capacity(1 << 12),
             buf: Vec::with_capacity(256),
+            obs: Obs::off(),
         })
+    }
+
+    /// Attach a flight recorder. Emits the pending
+    /// [`ObsEvent::RecoveryScan`] for the scan that ran at
+    /// [`Self::open`] (the recorder cannot exist that early), then
+    /// records WAL appends, group-commit fsyncs and compactions as
+    /// they happen.
+    pub fn set_obs(&mut self, obs: Obs) {
+        let Recovery { records, skipped, torn_bytes } = self.recovery;
+        let sat = |v: u64| v.min(u64::from(u32::MAX)) as u32;
+        obs.emit_storage(ObsEvent::RecoveryScan {
+            records: sat(records as u64),
+            skipped: sat(skipped as u64),
+            torn_bytes: sat(torn_bytes),
+        });
+        self.obs = obs;
     }
 
     /// What the recovery scan found when this store was opened.
@@ -310,6 +333,7 @@ impl FileShelves {
             self.pending.extend_from_slice(&self.buf);
             self.wal_len += bytes;
             self.appended += 1;
+            self.obs.emit_storage(ObsEvent::WalAppend { bytes: bytes as u32 });
             if self.pending.len() >= PENDING_FLUSH_BYTES {
                 return self.flush_pending();
             }
@@ -336,11 +360,13 @@ impl FileShelves {
             self.commits_since_sync += 1;
             if self.commits_since_sync >= self.group_commit {
                 let _ = file.sync_data();
+                self.obs.emit_storage(ObsEvent::Fsync { batched: self.commits_since_sync });
                 self.commits_since_sync = 0;
             }
         }
         self.wal_len += bytes;
         self.appended += 1;
+        self.obs.emit_storage(ObsEvent::WalAppend { bytes: bytes as u32 });
         if self.crash.is_none()
             && self.auto_compact > 0
             && self.wal_len > AUTO_COMPACT_FLOOR
@@ -396,6 +422,11 @@ impl FileShelves {
         let mut file = OpenOptions::new().append(true).open(&self.path)?;
         use std::io::Seek;
         file.seek(io::SeekFrom::End(0))?;
+        let sat = |v: u64| v.min(u64::from(u32::MAX)) as u32;
+        self.obs.emit_storage(ObsEvent::Compaction {
+            live_bytes: sat(out.len() as u64),
+            wal_bytes: sat(self.wal_len),
+        });
         self.wal_len = out.len() as u64;
         self.file = Some(file);
         Ok(())

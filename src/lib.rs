@@ -17,6 +17,7 @@ pub use dh_caching as caching;
 pub use dh_dht as dht;
 pub use dh_erasure as erasure;
 pub use dh_fault as fault;
+pub use dh_obs as obs;
 pub use dh_proto as proto;
 pub use dh_replica as replica;
 pub use dh_store as store;
